@@ -1,0 +1,119 @@
+//! Ablation: which ingredients of the distribution algorithm matter?
+//!
+//! DESIGN.md calls out three design choices; this harness removes them one
+//! at a time on Dunnington and reports geomean cycles normalized to Base:
+//!
+//! * `full` — the complete Figure 6 algorithm;
+//! * `flat` — topology-blind clustering: partition straight into N
+//!   per-core clusters at once, ignoring the cache tree (tests whether the
+//!   *hierarchy* matters, not just grouping);
+//! * `no-balance` — a huge balance threshold (tests the load balancer);
+//! * `coarse-tags` — 16KB blocks instead of 2KB (tests tag resolution).
+
+use ctam::blocks::BlockMap;
+use ctam::cluster::{partition_groups, Assignment};
+use ctam::depgraph::GroupDepGraph;
+use ctam::group::group_iterations;
+use ctam::pipeline::{
+    append_schedule_trace, map_nest, CtamParams, NestMapping, Strategy,
+};
+use ctam::schedule::schedule_dependence_only;
+use ctam::space::IterationSpace;
+use ctam_cachesim::trace::MulticoreTrace;
+use ctam_cachesim::Simulator;
+use ctam_loopir::dependence;
+use ctam_topology::catalog;
+use ctam_workloads::{all, SizeClass};
+
+/// Cycles under a topology-*blind* one-shot partition into per-core sets.
+fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) -> u64 {
+    let mut trace = MulticoreTrace::new(n_cores);
+    let mut first = true;
+    for (nest, _) in w.program.nests() {
+        let dep = dependence::analyze(&w.program, nest);
+        let depth = w.program.nest(nest).depth();
+        let prefix = dep.outermost_parallel().map_or(depth, |l| (l + 1).min(depth));
+        let space = IterationSpace::build_units(&w.program, nest, prefix);
+        let blocks = BlockMap::new(&w.program, 2048);
+        let groups = group_iterations(&space, &blocks);
+        let parts = partition_groups(groups, &vec![1usize; n_cores], 0.10, blocks.n_blocks());
+        let assignment = Assignment::from_per_core(parts);
+        let flat = ctam::schedule::flatten_assignment(&assignment);
+        let graph = GroupDepGraph::build(&flat, &space, &dep);
+        if !graph.is_acyclic() {
+            return u64::MAX; // skip pathological cases
+        }
+        let schedule = schedule_dependence_only(assignment, &graph);
+        let mapping = NestMapping {
+            schedule,
+            space,
+            block_bytes: 2048,
+            n_groups: 0,
+        };
+        if !first {
+            trace.push_barrier_all();
+        }
+        append_schedule_trace(&mut trace, &w.program, &mapping);
+        first = false;
+    }
+    sim.run(&trace).expect("trace matches machine").total_cycles()
+}
+
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    let machine = catalog::dunnington();
+    let sim = Simulator::new(&machine);
+    let mut fig = ctam_bench::FigureData::new(
+        "Ablation (Dunnington)",
+        "cycles normalized to Base: full algorithm vs ablated variants",
+        vec![
+            "full".into(),
+            "flat".into(),
+            "no-balance".into(),
+            "coarse-tags".into(),
+        ],
+    );
+    for w in all(size) {
+        let base =
+            ctam_bench::runner::cycles(&w, &machine, Strategy::Base, &CtamParams::default())
+                as f64;
+        let full = ctam_bench::runner::cycles(
+            &w,
+            &machine,
+            Strategy::TopologyAware,
+            &CtamParams::default(),
+        ) as f64;
+        let flat = flat_cycles(&w, &sim, machine.n_cores());
+        let flat = if flat == u64::MAX { f64::NAN } else { flat as f64 };
+        let no_balance = ctam_bench::runner::cycles(
+            &w,
+            &machine,
+            Strategy::TopologyAware,
+            &CtamParams {
+                balance_threshold: 10.0,
+                ..CtamParams::default()
+            },
+        ) as f64;
+        let coarse = ctam_bench::runner::cycles(
+            &w,
+            &machine,
+            Strategy::TopologyAware,
+            &CtamParams {
+                block_bytes: Some(16 * 1024),
+                ..CtamParams::default()
+            },
+        ) as f64;
+        fig.push_row(
+            w.name,
+            vec![full / base, flat / base, no_balance / base, coarse / base],
+        );
+    }
+    fig.push_geomean();
+    println!("{fig}");
+    // Exercise map_nest to keep the public surface covered in this target.
+    let w = &all(SizeClass::Test)[0];
+    let (nest, _) = w.program.nests().next().unwrap();
+    let m = map_nest(&w.program, nest, &machine, Strategy::TopologyAware, &CtamParams::default())
+        .expect("mapping succeeds");
+    let _ = m.block_bytes;
+}

@@ -1,0 +1,7 @@
+//! Regenerates alpha/beta sensitivity of the paper. Run with
+//! `cargo bench --bench alpha_beta`; set `CTAM_SIZE=test|small|reference`
+//! to change the problem size (default: small).
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    println!("{}", ctam_bench::experiments::alpha_beta_sensitivity(size));
+}

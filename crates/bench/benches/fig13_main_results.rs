@@ -1,0 +1,12 @@
+//! Regenerates Figure 13 of the paper (the main results: Base / Base+ /
+//! TopologyAware on Harpertown, Nehalem and Dunnington, all 12 apps).
+//! Run with `cargo bench --bench fig13_main_results`; set
+//! `CTAM_SIZE=test|small|reference` to change the problem size.
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    println!("{}", ctam_bench::experiments::table1_machines());
+    println!("{}", ctam_bench::experiments::table2_apps(size));
+    for fig in ctam_bench::experiments::fig13_main(size) {
+        println!("{fig}");
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 15 of the paper. Run with
+//! `cargo bench --bench fig15_scheduling`; set `CTAM_SIZE=test|small|reference`
+//! to change the problem size (default: small).
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    println!("{}", ctam_bench::experiments::fig15_scheduling(size));
+}

@@ -1,0 +1,50 @@
+//! Compilation-time overhead of the CTAM pass (Section 4.1: "the increase
+//! in compilation times due to our scheme varied between 65% and 94% over
+//! the compilation that includes a parallelization step").
+//!
+//! Criterion benchmark: measures the mapping time of `Base` (the
+//! parallelization-only pipeline: enumerate + chunk) against
+//! `TopologyAware` and `Combined` (tagging, clustering, balancing,
+//! scheduling on top), per application.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctam::pipeline::{map_nest, CtamParams, Strategy};
+use ctam_topology::catalog;
+use ctam_workloads::{by_name, SizeClass};
+
+fn pass_overhead(c: &mut Criterion) {
+    let machine = catalog::dunnington();
+    let params = CtamParams::default();
+    let mut group = c.benchmark_group("pass_overhead");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    // A representative spread: a dense stencil, a dense coupled kernel, a
+    // banded sparse kernel and a scattered gather kernel. (The full twelve
+    // at ten samples each would take tens of minutes on the group-heavy
+    // apps; these four span the group-count range.)
+    let apps = ["applu", "galgel", "equake", "bodytrack"];
+    for name in apps {
+        let w = by_name(name, SizeClass::Test).expect("known app");
+        for strategy in [Strategy::Base, Strategy::TopologyAware, Strategy::Combined] {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), w.name),
+                &w,
+                |b, w| {
+                    b.iter(|| {
+                        for (nest, _) in w.program.nests() {
+                            let m = map_nest(&w.program, nest, &machine, strategy, &params)
+                                .expect("mapping succeeds");
+                            std::hint::black_box(m.n_groups);
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pass_overhead);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Regenerates miss-reduction table of the paper. Run with
+//! `cargo bench --bench tab_miss_reductions`; set `CTAM_SIZE=test|small|reference`
+//! to change the problem size (default: small).
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    println!("{}", ctam_bench::experiments::tab_miss_reductions(size));
+}

@@ -1,0 +1,441 @@
+//! One function per table/figure of the paper's evaluation (Section 4).
+//!
+//! Every function regenerates the corresponding figure's rows on the
+//! simulated machines. Values are reported exactly as the paper plots them
+//! (normalized execution cycles, or percentage improvements), so the
+//! *shape* — who wins, by roughly what factor, where the trend goes — is
+//! directly comparable with the paper. See EXPERIMENTS.md for the
+//! side-by-side record.
+
+use ctam::blocks::BlockMap;
+use ctam::group::group_iterations;
+use ctam::pipeline::{CtamParams, Strategy};
+use ctam::schedule::ScheduleWeights;
+use ctam::space::IterationSpace;
+use ctam_topology::{catalog, Machine};
+use ctam_workloads::{all, by_name, SizeClass, Workload};
+
+use crate::figure::FigureData;
+use crate::runner::{cycles, geomean, ported_cycles, report};
+
+fn params() -> CtamParams {
+    CtamParams::default()
+}
+
+/// Table 1: the machine catalog, as encoded.
+pub fn table1_machines() -> String {
+    let mut out = String::from("Table 1: multicore machines\n");
+    for m in catalog::commercial_machines() {
+        out.push_str(&m.describe());
+    }
+    out
+}
+
+/// Table 2: the application suite.
+pub fn table2_apps(size: SizeClass) -> String {
+    ctam_workloads::table2(size)
+}
+
+/// Figure 2: galgel, specialized per machine, run on every machine;
+/// normalized per host machine to the best version.
+pub fn fig02_motivation(size: SizeClass) -> FigureData {
+    let galgel = by_name("galgel", size).expect("galgel exists");
+    let machines = catalog::commercial_machines();
+    let p = params();
+    let mut fig = FigureData::new(
+        "Figure 2",
+        "galgel: rows = version (tuned for), columns = machine executed on; \
+         normalized per column to the best version (lower is better, best = 1.0)",
+        machines.iter().map(|m| format!("on {}", m.name())).collect(),
+    );
+    // cycles[version][host]
+    let raw: Vec<Vec<f64>> = machines
+        .iter()
+        .map(|tuned| {
+            machines
+                .iter()
+                .map(|host| {
+                    ported_cycles(&galgel, tuned, host, Strategy::TopologyAware, &p) as f64
+                })
+                .collect()
+        })
+        .collect();
+    for (v, tuned) in machines.iter().enumerate() {
+        let values = (0..machines.len())
+            .map(|h| {
+                let best = (0..machines.len())
+                    .map(|vv| raw[vv][h])
+                    .fold(f64::INFINITY, f64::min);
+                raw[v][h] / best
+            })
+            .collect();
+        fig.push_row(&format!("{} version", tuned.name()), values);
+    }
+    fig
+}
+
+/// Figure 13: Base / Base+ / TopologyAware on the three machines, all
+/// twelve applications, normalized to Base. One table per machine.
+pub fn fig13_main(size: SizeClass) -> Vec<FigureData> {
+    let p = params();
+    catalog::commercial_machines()
+        .iter()
+        .map(|m| {
+            let mut fig = FigureData::new(
+                &format!("Figure 13 ({})", m.name()),
+                "execution cycles normalized to Base (lower is better)",
+                vec!["Base".into(), "Base+".into(), "TopologyAware".into()],
+            );
+            for w in all(size) {
+                let base = cycles(&w, m, Strategy::Base, &p) as f64;
+                let plus = cycles(&w, m, Strategy::BasePlus, &p) as f64;
+                let topo = cycles(&w, m, Strategy::TopologyAware, &p) as f64;
+                fig.push_row(w.name, vec![1.0, plus / base, topo / base]);
+            }
+            fig.push_geomean();
+            fig
+        })
+        .collect()
+}
+
+/// Section 4.2 text: L1/L2/L3 miss reductions of TopologyAware over Base
+/// and Base+ on Dunnington (the paper reports 18/39/47% and 16/31/37%).
+pub fn tab_miss_reductions(size: SizeClass) -> FigureData {
+    let m = catalog::dunnington();
+    let p = params();
+    let mut fig = FigureData::new(
+        "Miss reductions (Dunnington)",
+        "% cache-miss reduction of TopologyAware vs Base and vs Base+, per level",
+        vec![
+            "L1 vs Base".into(),
+            "L2 vs Base".into(),
+            "L3 vs Base".into(),
+            "L1 vs Base+".into(),
+            "L2 vs Base+".into(),
+            "L3 vs Base+".into(),
+        ],
+    );
+    let reduction = |from: u64, to: u64| -> f64 {
+        if from == 0 {
+            0.0
+        } else {
+            100.0 * (from as f64 - to as f64) / from as f64
+        }
+    };
+    for w in all(size) {
+        let base = report(&w, &m, Strategy::Base, &p);
+        let plus = report(&w, &m, Strategy::BasePlus, &p);
+        let topo = report(&w, &m, Strategy::TopologyAware, &p);
+        let miss = |r: &ctam_cachesim::SimReport, l: u8| {
+            r.level_stats(l).map_or(0, |s| s.misses)
+        };
+        fig.push_row(
+            w.name,
+            vec![
+                reduction(miss(&base, 1), miss(&topo, 1)),
+                reduction(miss(&base, 2), miss(&topo, 2)),
+                reduction(miss(&base, 3), miss(&topo, 3)),
+                reduction(miss(&plus, 1), miss(&topo, 1)),
+                reduction(miss(&plus, 2), miss(&topo, 2)),
+                reduction(miss(&plus, 3), miss(&topo, 3)),
+            ],
+        );
+    }
+    fig
+}
+
+/// Figure 14: versions tuned for machine X executed on machine Y (all six
+/// cross pairs), normalized to the version tuned for Y on Y.
+pub fn fig14_cross_machine(size: SizeClass) -> FigureData {
+    let machines = catalog::commercial_machines();
+    let p = params();
+    let pairs: Vec<(usize, usize)> = (0..3)
+        .flat_map(|host| (0..3).filter(move |&v| v != host).map(move |v| (v, host)))
+        .collect();
+    let columns = pairs
+        .iter()
+        .map(|&(v, h)| format!("{}→{}", machines[v].name(), machines[h].name()))
+        .collect();
+    let mut fig = FigureData::new(
+        "Figure 14",
+        "cross-machine runs normalized to the host-tuned version (1.0 = native; \
+         higher = porting penalty)",
+        columns,
+    );
+    for w in all(size) {
+        let native: Vec<f64> = machines
+            .iter()
+            .map(|m| cycles(&w, m, Strategy::TopologyAware, &p) as f64)
+            .collect();
+        let values = pairs
+            .iter()
+            .map(|&(v, h)| {
+                ported_cycles(&w, &machines[v], &machines[h], Strategy::TopologyAware, &p)
+                    as f64
+                    / native[h]
+            })
+            .collect();
+        fig.push_row(w.name, values);
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// Figure 15: global distribution alone (TopologyAware), local
+/// reorganization alone (Local) and Combined, on Dunnington, normalized to
+/// Base.
+pub fn fig15_scheduling(size: SizeClass) -> FigureData {
+    let m = catalog::dunnington();
+    let p = params();
+    let mut fig = FigureData::new(
+        "Figure 15 (Dunnington)",
+        "cycles normalized to Base: distribution alone, local scheduling alone, combined",
+        vec![
+            "TopologyAware".into(),
+            "Local".into(),
+            "Combined".into(),
+        ],
+    );
+    for w in all(size) {
+        let base = cycles(&w, &m, Strategy::Base, &p) as f64;
+        fig.push_row(
+            w.name,
+            vec![
+                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base,
+                cycles(&w, &m, Strategy::Local, &p) as f64 / base,
+                cycles(&w, &m, Strategy::Combined, &p) as f64 / base,
+            ],
+        );
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// Section 4.2 text: α/β sensitivity of the combined scheme (the paper
+/// found equal weights best; too-large β misses shared-cache locality,
+/// too-large α hurts L1 locality).
+pub fn alpha_beta_sensitivity(size: SizeClass) -> FigureData {
+    let m = catalog::dunnington();
+    let apps = ["galgel", "applu", "bodytrack", "freqmine"];
+    let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let mut fig = FigureData::new(
+        "α/β sensitivity (Dunnington)",
+        "Combined cycles normalized to Base, per α (β = 1 − α)",
+        alphas.iter().map(|a| format!("α={a}")).collect(),
+    );
+    for name in apps {
+        let w = by_name(name, size).expect("known app");
+        let base = cycles(&w, &m, Strategy::Base, &params()) as f64;
+        let values = alphas
+            .iter()
+            .map(|&a| {
+                let p = CtamParams {
+                    weights: ScheduleWeights {
+                        alpha: a,
+                        beta: 1.0 - a,
+                    },
+                    ..params()
+                };
+                cycles(&w, &m, Strategy::Combined, &p) as f64 / base
+            })
+            .collect();
+        fig.push_row(name, values);
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// Figure 16: sensitivity to the data block size (Dunnington,
+/// TopologyAware normalized to Base).
+pub fn fig16_block_size(size: SizeClass) -> FigureData {
+    let m = catalog::dunnington();
+    let sizes = [256u64, 512, 1024, 2048, 4096];
+    let mut fig = FigureData::new(
+        "Figure 16 (Dunnington)",
+        "TopologyAware cycles normalized to Base, per data block size",
+        sizes.iter().map(|s| format!("{s}B")).collect(),
+    );
+    for w in all(size) {
+        let base = cycles(&w, &m, Strategy::Base, &params()) as f64;
+        let values = sizes
+            .iter()
+            .map(|&b| {
+                let p = CtamParams {
+                    block_bytes: Some(b),
+                    ..params()
+                };
+                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base
+            })
+            .collect();
+        fig.push_row(w.name, values);
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// Figure 17: core-count scaling — Dunnington grown to 12/18/24 cores
+/// (simulated); average improvement of Base+ and TopologyAware over Base.
+pub fn fig17_core_scaling(size: SizeClass) -> FigureData {
+    let mut fig = FigureData::new(
+        "Figure 17",
+        "% improvement over Base (geomean over apps), per core count",
+        vec!["12 cores".into(), "18 cores".into(), "24 cores".into()],
+    );
+    let machines: Vec<Machine> = [2, 3, 4].iter().map(|&s| catalog::dunnington_scaled(s)).collect();
+    let p = params();
+    for strategy in [Strategy::BasePlus, Strategy::TopologyAware] {
+        let values = machines
+            .iter()
+            .map(|m| {
+                let ratios: Vec<f64> = all(size)
+                    .iter()
+                    .map(|w| {
+                        let base = cycles(w, m, Strategy::Base, &p) as f64;
+                        cycles(w, m, strategy, &p) as f64 / base
+                    })
+                    .collect();
+                100.0 * (1.0 - geomean(&ratios))
+            })
+            .collect();
+        fig.push_row(strategy.name(), values);
+    }
+    fig
+}
+
+/// Figure 18: deeper on-chip hierarchies — default Dunnington vs Arch-I vs
+/// Arch-II; TopologyAware improvement over Base.
+pub fn fig18_deep_hierarchies(size: SizeClass) -> FigureData {
+    let machines = [catalog::dunnington(), catalog::arch_i(), catalog::arch_ii()];
+    let p = params();
+    let mut fig = FigureData::new(
+        "Figure 18",
+        "TopologyAware cycles normalized to Base, per hierarchy depth",
+        machines
+            .iter()
+            .map(|m| format!("{} (L{}max)", m.name(), m.levels().last().unwrap()))
+            .collect(),
+    );
+    for w in all(size) {
+        let values = machines
+            .iter()
+            .map(|m| {
+                let base = cycles(&w, m, Strategy::Base, &p) as f64;
+                cycles(&w, m, Strategy::TopologyAware, &p) as f64 / base
+            })
+            .collect();
+        fig.push_row(w.name, values);
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// Figure 19: halved cache capacities (Dunnington/halved); Base+,
+/// TopologyAware and Combined normalized to Base.
+pub fn fig19_small_caches(size: SizeClass) -> FigureData {
+    let m = catalog::dunnington().halved_capacities();
+    let p = params();
+    let mut fig = FigureData::new(
+        "Figure 19 (Dunnington, halved caches)",
+        "cycles normalized to Base on the halved-capacity machine",
+        vec!["Base+".into(), "TopologyAware".into(), "Combined".into()],
+    );
+    for w in all(size) {
+        let base = cycles(&w, &m, Strategy::Base, &p) as f64;
+        fig.push_row(
+            w.name,
+            vec![
+                cycles(&w, &m, Strategy::BasePlus, &p) as f64 / base,
+                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base,
+                cycles(&w, &m, Strategy::Combined, &p) as f64 / base,
+            ],
+        );
+    }
+    fig.push_geomean();
+    fig
+}
+
+/// A block size coarse enough that a workload forms at most `max_groups`
+/// iteration groups (needed for the exponential Optimal search of
+/// Figure 20).
+pub fn coarse_block_bytes(w: &Workload, max_groups: usize) -> u64 {
+    let mut block = (w.data_bytes() / max_groups as u64).next_power_of_two().max(2048);
+    loop {
+        let bm = BlockMap::new(&w.program, block);
+        let groups: usize = w
+            .program
+            .nests()
+            .map(|(id, _)| {
+                let space = IterationSpace::build(&w.program, id);
+                group_iterations(&space, &bm).len()
+            })
+            .max()
+            .unwrap_or(0);
+        if groups <= max_groups {
+            return block;
+        }
+        block *= 2;
+    }
+}
+
+/// Figure 20: on Arch-I, what the mapper sees matters — L1+L2 view vs
+/// L1+L2+L3 view vs the full four-level hierarchy, compared against the
+/// exact Optimal mapping. Uses coarse blocks so the ILP-scale search is
+/// tractable, exactly as the paper shrank its ILP instances.
+pub fn fig20_levels_and_optimal(size: SizeClass) -> FigureData {
+    let full = catalog::arch_i();
+    let l12 = full.truncated(2);
+    let l123 = full.truncated(3);
+    let mut fig = FigureData::new(
+        "Figure 20 (Arch-I)",
+        "cycles normalized to Base: mapper sees L1+L2 / L1+L2+L3 / all levels / Optimal",
+        vec![
+            "L1+L2".into(),
+            "L1+L2+L3".into(),
+            "L1+L2+L3+L4".into(),
+            "Optimal".into(),
+        ],
+    );
+    for w in all(size) {
+        let p = CtamParams {
+            block_bytes: Some(coarse_block_bytes(&w, 14)),
+            ..params()
+        };
+        let base = cycles(&w, &full, Strategy::Base, &p) as f64;
+        // Mapper sees the truncated view; execution is on the full machine.
+        let view = |mapper: &Machine| {
+            ported_cycles(&w, mapper, &full, Strategy::TopologyAware, &p) as f64 / base
+        };
+        fig.push_row(
+            w.name,
+            vec![
+                view(&l12),
+                view(&l123),
+                cycles(&w, &full, Strategy::TopologyAware, &p) as f64 / base,
+                cycles(&w, &full, Strategy::Optimal, &p) as f64 / base,
+            ],
+        );
+    }
+    fig.push_geomean();
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        assert!(table1_machines().contains("Dunnington"));
+        assert!(table2_apps(SizeClass::Test).contains("galgel"));
+    }
+
+    #[test]
+    fn coarse_blocks_bound_group_count() {
+        let w = by_name("applu", SizeClass::Test).unwrap();
+        let block = coarse_block_bytes(&w, 14);
+        let bm = BlockMap::new(&w.program, block);
+        let (id, _) = w.program.nests().next().unwrap();
+        let space = IterationSpace::build(&w.program, id);
+        assert!(group_iterations(&space, &bm).len() <= 14);
+    }
+}

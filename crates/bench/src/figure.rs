@@ -1,0 +1,137 @@
+//! Tabular output for regenerated figures.
+
+use std::fmt;
+
+/// One row of a figure: a label and one value per column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (application name, parameter value, …).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+/// A regenerated figure or table: captioned columns of per-row values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// Figure identifier, e.g. "Figure 13 (Dunnington)".
+    pub id: String,
+    /// What is being shown, including the normalization.
+    pub caption: String,
+    /// Column labels.
+    pub columns: Vec<String>,
+    /// The rows.
+    pub rows: Vec<Row>,
+}
+
+impl FigureData {
+    /// Builds an empty figure.
+    pub fn new(id: &str, caption: &str, columns: Vec<String>) -> Self {
+        Self {
+            id: id.to_owned(),
+            caption: caption.to_owned(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count differs from the column count.
+    pub fn push_row(&mut self, label: &str, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(Row {
+            label: label.to_owned(),
+            values,
+        });
+    }
+
+    /// Appends a geometric-mean row over all current rows.
+    pub fn push_geomean(&mut self) {
+        let cols = self.columns.len();
+        let mut means = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let vals: Vec<f64> = self.rows.iter().map(|r| r.values[c]).collect();
+            means.push(crate::runner::geomean(&vals));
+        }
+        self.rows.push(Row {
+            label: "geomean".to_owned(),
+            values: means,
+        });
+    }
+
+    /// The value at `(row_label, column_label)`, if present.
+    pub fn value(&self, row: &str, column: &str) -> Option<f64> {
+        let c = self.columns.iter().position(|x| x == column)?;
+        self.rows
+            .iter()
+            .find(|r| r.label == row)
+            .map(|r| r.values[c])
+    }
+}
+
+impl fmt::Display for FigureData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.id)?;
+        writeln!(f, "{}", self.caption)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        let col_w = self.columns.iter().map(|c| c.len()).chain([8]).max().unwrap_or(8);
+        write!(f, "{:<label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_w$}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:<label_w$}", r.label)?;
+            for v in &r.values {
+                write!(f, "  {v:>col_w$.3}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut fig = FigureData::new(
+            "Figure X",
+            "test",
+            vec!["a".into(), "b".into()],
+        );
+        fig.push_row("row1", vec![1.0, 2.0]);
+        fig.push_row("longer-row", vec![0.5, 0.25]);
+        let s = fig.to_string();
+        assert!(s.contains("Figure X"));
+        assert!(s.contains("1.000"));
+        assert!(s.contains("0.250"));
+    }
+
+    #[test]
+    fn geomean_row_appended() {
+        let mut fig = FigureData::new("F", "t", vec!["v".into()]);
+        fig.push_row("a", vec![2.0]);
+        fig.push_row("b", vec![8.0]);
+        fig.push_geomean();
+        assert_eq!(fig.value("geomean", "v"), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut fig = FigureData::new("F", "t", vec!["v".into()]);
+        fig.push_row("a", vec![1.0, 2.0]);
+    }
+}

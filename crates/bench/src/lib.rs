@@ -1,0 +1,16 @@
+//! Benchmark harness reproducing every table and figure of the PLDI'10
+//! evaluation (Section 4).
+//!
+//! Each `benches/figNN_*.rs` target prints the rows/series of one figure of
+//! the paper, regenerated on the simulated machines. Run them all with
+//! `cargo bench`, or one with `cargo bench --bench fig13_main_results`.
+//!
+//! The [`experiments`] module holds the experiment definitions; [`figure`]
+//! the tabular output type; [`runner`] the shared evaluation plumbing.
+
+pub mod experiments;
+pub mod figure;
+pub mod runner;
+
+pub use figure::{FigureData, Row};
+pub use runner::{geomean, normalize_to_first};

@@ -1,0 +1,110 @@
+//! Shared evaluation plumbing for the experiment definitions.
+
+use ctam::pipeline::{evaluate, evaluate_ported, CtamParams, Strategy};
+use ctam_cachesim::SimReport;
+use ctam_topology::Machine;
+use ctam_workloads::{SizeClass, Workload};
+
+/// Problem size from the `CTAM_SIZE` environment variable
+/// (`test` / `small` / `reference`). The default is `test`, which runs the
+/// full suite in minutes on one core; `small` is the reference
+/// configuration the recorded EXPERIMENTS.md numbers use (expect a couple
+/// of hours single-threaded).
+pub fn size_from_env() -> SizeClass {
+    match std::env::var("CTAM_SIZE").as_deref() {
+        Ok("small") => SizeClass::Small,
+        Ok("reference") => SizeClass::Reference,
+        _ => SizeClass::Test,
+    }
+}
+
+/// Geometric mean (0 for an empty slice; non-positive entries are clamped
+/// to a tiny epsilon so a single zero doesn't zero the whole mean).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|&v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Normalizes a series so the first entry becomes 1.0.
+///
+/// # Panics
+///
+/// Panics if the slice is empty or the first entry is zero.
+pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    let base = values[0];
+    assert!(base != 0.0, "cannot normalize to zero");
+    values.iter().map(|&v| v / base).collect()
+}
+
+/// Simulated execution cycles of `workload` on `machine` under `strategy`.
+///
+/// # Panics
+///
+/// Panics on pipeline errors — experiment configurations are fixed, so an
+/// error is a harness bug, not an input condition.
+pub fn cycles(workload: &Workload, machine: &Machine, strategy: Strategy, params: &CtamParams) -> u64 {
+    evaluate(&workload.program, machine, strategy, params)
+        .unwrap_or_else(|e| panic!("{} on {} ({strategy}): {e}", workload.name, machine.name()))
+        .cycles()
+}
+
+/// Full simulation report (for the cache-miss tables).
+///
+/// # Panics
+///
+/// As [`cycles`].
+pub fn report(
+    workload: &Workload,
+    machine: &Machine,
+    strategy: Strategy,
+    params: &CtamParams,
+) -> SimReport {
+    evaluate(&workload.program, machine, strategy, params)
+        .unwrap_or_else(|e| panic!("{} on {} ({strategy}): {e}", workload.name, machine.name()))
+        .report
+}
+
+/// Cycles of the version tuned for `tuned_for` when run on `run_on`
+/// (Figures 2 and 14).
+///
+/// # Panics
+///
+/// As [`cycles`].
+pub fn ported_cycles(
+    workload: &Workload,
+    tuned_for: &Machine,
+    run_on: &Machine,
+    strategy: Strategy,
+    params: &CtamParams,
+) -> u64 {
+    evaluate_ported(&workload.program, tuned_for, run_on, strategy, params)
+        .unwrap_or_else(|e| {
+            panic!(
+                "{} tuned for {} on {}: {e}",
+                workload.name,
+                tuned_for.name(),
+                run_on.name()
+            )
+        })
+        .cycles()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(normalize_to_first(&[4.0, 2.0, 8.0]), vec![1.0, 0.5, 2.0]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Trace analysis: LRU stack (reuse) distances and miss-ratio curves.
+//!
+//! The simulator measures a mapping against one concrete hierarchy; reuse
+//! distances characterize a trace's locality *independently* of any cache:
+//! an access's stack distance is the number of distinct lines touched since
+//! the previous access to the same line, and a fully-associative LRU cache
+//! of `C` lines hits exactly the accesses with distance `< C`. This is the
+//! classical tool for judging per-core locality of the orders the mapper
+//! produces (Mattson et al.'s stack algorithm, computed in `O(n log n)`
+//! with a Fenwick tree).
+
+use std::collections::HashMap;
+
+/// A Fenwick (binary indexed) tree over access positions.
+struct Fenwick {
+    tree: Vec<i64>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Self {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i64) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of `[0, i]`.
+    fn prefix(&self, mut i: usize) -> i64 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// LRU stack distance of every access in `lines` (a per-access sequence of
+/// line addresses): `None` for first-ever touches (cold accesses),
+/// `Some(d)` where `d` counts the *distinct* lines accessed strictly
+/// between the two uses (0 = immediate re-use).
+///
+/// # Example
+///
+/// ```
+/// use ctam_cachesim::analysis::reuse_distances;
+///
+/// // A B A B: both re-uses skip one distinct line.
+/// let d = reuse_distances(&[1, 2, 1, 2]);
+/// assert_eq!(d, vec![None, None, Some(1), Some(1)]);
+/// ```
+pub fn reuse_distances(lines: &[u64]) -> Vec<Option<u64>> {
+    let n = lines.len();
+    let mut last_pos: HashMap<u64, usize> = HashMap::new();
+    // marker[i] = 1 if position i is the *most recent* access of its line.
+    let mut fen = Fenwick::new(n);
+    let mut out = Vec::with_capacity(n);
+    for (i, &line) in lines.iter().enumerate() {
+        match last_pos.get(&line) {
+            None => out.push(None),
+            Some(&p) => {
+                // Distinct lines between p and i = markers in (p, i).
+                let between = fen.prefix(i.saturating_sub(1)) - fen.prefix(p);
+                out.push(Some(between as u64));
+            }
+        }
+        if let Some(&p) = last_pos.get(&line) {
+            fen.add(p, -1);
+        }
+        fen.add(i, 1);
+        last_pos.insert(line, i);
+    }
+    out
+}
+
+/// Number of distinct lines in the sequence (the working set).
+pub fn working_set(lines: &[u64]) -> usize {
+    let mut seen: Vec<u64> = lines.to_vec();
+    seen.sort_unstable();
+    seen.dedup();
+    seen.len()
+}
+
+/// The miss ratio of a fully-associative LRU cache of `capacity_lines` on
+/// this sequence: cold accesses and re-uses at distance `>= capacity` miss.
+///
+/// # Example
+///
+/// ```
+/// use ctam_cachesim::analysis::lru_miss_ratio;
+///
+/// // A A A A: one cold miss, three hits at any capacity >= 1.
+/// assert_eq!(lru_miss_ratio(&[7, 7, 7, 7], 1), 0.25);
+/// ```
+pub fn lru_miss_ratio(lines: &[u64], capacity_lines: u64) -> f64 {
+    if lines.is_empty() {
+        return 0.0;
+    }
+    let misses = reuse_distances(lines)
+        .into_iter()
+        .filter(|d| match d {
+            None => true,
+            Some(d) => *d >= capacity_lines,
+        })
+        .count();
+    misses as f64 / lines.len() as f64
+}
+
+/// A histogram of reuse distances in power-of-two buckets:
+/// `buckets[k]` counts re-uses with distance in `[2^k-1 .. 2^(k+1)-1)`
+/// (bucket 0 holds distances 0); the final element counts cold accesses.
+pub fn reuse_histogram(lines: &[u64], n_buckets: usize) -> Vec<u64> {
+    let mut buckets = vec![0u64; n_buckets + 1];
+    for d in reuse_distances(lines) {
+        match d {
+            None => buckets[n_buckets] += 1,
+            Some(d) => {
+                let b = (64 - (d + 1).leading_zeros() - 1) as usize;
+                buckets[b.min(n_buckets - 1)] += 1;
+            }
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn immediate_reuse_is_distance_zero() {
+        assert_eq!(reuse_distances(&[5, 5]), vec![None, Some(0)]);
+    }
+
+    #[test]
+    fn classic_abcba() {
+        // A B C B A: B re-used over {C} (d=1), A over {B, C} (d=2).
+        let d = reuse_distances(&[1, 2, 3, 2, 1]);
+        assert_eq!(d, vec![None, None, None, Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn matches_naive_computation_on_random_like_input() {
+        let lines: Vec<u64> = (0..200).map(|i| (i * 7 + i / 3) % 23).collect();
+        let fast = reuse_distances(&lines);
+        // Naive O(n^2) reference.
+        for (i, &l) in lines.iter().enumerate() {
+            let prev = (0..i).rev().find(|&j| lines[j] == l);
+            let expect = prev.map(|p| {
+                let mut seen: Vec<u64> = lines[p + 1..i].to_vec();
+                seen.sort_unstable();
+                seen.dedup();
+                seen.len() as u64
+            });
+            assert_eq!(fast[i], expect, "position {i}");
+        }
+    }
+
+    #[test]
+    fn lru_miss_ratio_steps_at_the_working_set() {
+        // Cyclic sweep of 8 lines: at capacity >= 8 only cold misses remain;
+        // below that, LRU thrashes completely.
+        let lines: Vec<u64> = (0..64).map(|i| i % 8).collect();
+        assert_eq!(lru_miss_ratio(&lines, 8), 8.0 / 64.0);
+        assert_eq!(lru_miss_ratio(&lines, 7), 1.0);
+    }
+
+    #[test]
+    fn working_set_counts_distinct() {
+        assert_eq!(working_set(&[1, 1, 2, 9, 2]), 3);
+        assert_eq!(working_set(&[]), 0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_everything() {
+        let lines: Vec<u64> = (0..128).map(|i| i % 16).collect();
+        let h = reuse_histogram(&lines, 8);
+        assert_eq!(h.iter().sum::<u64>(), 128);
+        assert_eq!(h[8], 16); // 16 cold accesses
+    }
+}

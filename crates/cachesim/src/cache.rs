@@ -1,0 +1,245 @@
+//! A single set-associative cache with LRU replacement.
+
+use ctam_topology::CacheParams;
+
+/// One cache line slot.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Line-granular tag (full line address; sets are selected separately).
+    tag: u64,
+    valid: bool,
+    /// Global LRU stamp: larger = more recently used.
+    last_use: u64,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are indexed at line granularity; the caller supplies a
+/// monotonically increasing `stamp` so that LRU order is global across the
+/// whole simulation (important for shared caches fed by several cores).
+///
+/// # Example
+///
+/// ```
+/// use ctam_cachesim::cache::SetAssocCache;
+/// use ctam_topology::CacheParams;
+///
+/// // Two-entry fully-associative cache.
+/// let mut c = SetAssocCache::new(CacheParams::new(128, 2, 64, 1));
+/// assert!(!c.access(0x000, 1)); // miss
+/// assert!(!c.access(0x040, 2)); // miss
+/// assert!(c.access(0x000, 3));  // hit
+/// assert!(!c.access(0x080, 4)); // miss, evicts LRU line 0x040
+/// assert!(!c.access(0x040, 5)); // miss again
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    params: CacheParams,
+    /// `n_sets * associativity` line slots, set-major.
+    lines: Vec<Line>,
+    n_sets: u64,
+    line_shift: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(params: CacheParams) -> Self {
+        let n_sets = params.n_sets();
+        let assoc = params.associativity() as usize;
+        Self {
+            params,
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    last_use: 0
+                };
+                n_sets as usize * assoc
+            ],
+            n_sets,
+            line_shift: params.line_bytes().trailing_zeros(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    /// Line address (byte address divided by line size).
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line % self.n_sets) as usize;
+        let assoc = self.params.associativity() as usize;
+        set * assoc..(set + 1) * assoc
+    }
+
+    /// Accesses the line containing `addr`: returns `true` on a hit. On a
+    /// miss the line is installed, evicting the LRU way of its set. `stamp`
+    /// must increase across calls for LRU to be meaningful.
+    pub fn access(&mut self, addr: u64, stamp: u64) -> bool {
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        let ways = &mut self.lines[range];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.last_use = stamp;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("associativity >= 1 guarantees at least one way");
+        *victim = Line {
+            tag: line,
+            valid: true,
+            last_use: stamp,
+        };
+        false
+    }
+
+    /// True if the line containing `addr` is present (no state change, no
+    /// stats).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        self.lines[self.set_range(line)]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+
+    /// Installs the line containing `addr` without recording a hit or miss
+    /// (prefetch fills). Replaces the LRU way if the line is absent.
+    pub fn install(&mut self, addr: u64, stamp: u64) {
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        let ways = &mut self.lines[range];
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.last_use = stamp;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|w| if w.valid { w.last_use } else { 0 })
+            .expect("associativity >= 1 guarantees at least one way");
+        *victim = Line {
+            tag: line,
+            valid: true,
+            last_use: stamp,
+        };
+    }
+
+    /// Invalidates the line containing `addr` if present; returns whether a
+    /// copy was dropped.
+    pub fn invalidate(&mut self, addr: u64) -> bool {
+        let line = self.line_of(addr);
+        let range = self.set_range(line);
+        for w in &mut self.lines[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_topology::KB;
+
+    fn tiny() -> SetAssocCache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        SetAssocCache::new(CacheParams::new(512, 2, 64, 1))
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(!c.access(100, 1));
+        assert!(c.access(101, 2)); // same 64B line
+        assert_eq!((c.hits(), c.misses()), (1, 1));
+    }
+
+    #[test]
+    fn set_mapping_separates_lines() {
+        let mut c = tiny();
+        // Lines 0 and 4 map to set 0; lines 1 and 2 to sets 1 and 2.
+        assert!(!c.access(0, 1));
+        assert!(!c.access(64, 2));
+        assert!(c.access(0, 3));
+        assert!(c.access(64, 4));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_way() {
+        let mut c = tiny();
+        // Three lines in set 0 (stride = n_sets * line = 256B): A, B, C.
+        let (a, b, d) = (0u64, 256, 512);
+        c.access(a, 1);
+        c.access(b, 2);
+        c.access(a, 3); // A now MRU
+        assert!(!c.access(d, 4)); // evicts B
+        assert!(c.access(a, 5)); // A survived
+        assert!(!c.access(b, 6)); // B was evicted
+    }
+
+    #[test]
+    fn invalidate_drops_line() {
+        let mut c = tiny();
+        c.access(0, 1);
+        assert!(c.probe(0));
+        assert!(c.invalidate(0));
+        assert!(!c.probe(0));
+        assert!(!c.invalidate(0));
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = tiny();
+        assert_eq!(c.occupancy(), 0);
+        c.access(0, 1);
+        c.access(64, 2);
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    fn large_cache_geometry() {
+        let c = SetAssocCache::new(CacheParams::new(32 * KB, 8, 64, 3));
+        assert_eq!(c.lines.len(), 512);
+        assert_eq!(c.n_sets, 64);
+    }
+
+    #[test]
+    fn probe_does_not_touch_stats() {
+        let mut c = tiny();
+        c.access(0, 1);
+        let (h, m) = (c.hits(), c.misses());
+        let _ = c.probe(0);
+        let _ = c.probe(4096);
+        assert_eq!((c.hits(), c.misses()), (h, m));
+    }
+}

@@ -1,0 +1,51 @@
+//! Trace-driven multicore cache-hierarchy simulator.
+//!
+//! This crate stands in for the Simics/GEMS full-system simulation the
+//! PLDI'10 paper uses for its sensitivity studies, and for the three real
+//! Intel machines of its main results. The paper attributes *all* execution
+//! time differences between code versions to on-chip cache behaviour ("this
+//! difference across execution times is due entirely to on-chip cache
+//! behavior"), so a latency-weighted cache simulator over the same topologies
+//! preserves exactly the effect being measured.
+//!
+//! The model:
+//!
+//! * every cache in the [`ctam_topology::Machine`] tree becomes a
+//!   set-associative LRU cache ([`cache::SetAssocCache`]);
+//! * a memory access from a core probes its lookup path (L1, then the shared
+//!   levels above it) until it hits, paying each probed level's latency, and
+//!   fills the line into every level it missed in (inclusive hierarchy);
+//! * a full miss additionally pays the machine's off-chip latency;
+//! * writes invalidate the line from caches *outside* the writer's lookup
+//!   path (write-invalidate coherence at line granularity);
+//! * cores advance in virtual time: the engine always steps the core with
+//!   the smallest local clock, so accesses from different cores interleave
+//!   in shared caches the way concurrent execution interleaves them;
+//! * [`trace::TraceEvent::Barrier`]s synchronize all cores (the inserted
+//!   barrier of Figure 7's round-based schedule);
+//! * the reported execution time is the largest per-core clock.
+//!
+//! # Example
+//!
+//! ```
+//! use ctam_cachesim::{Simulator, trace::{MulticoreTrace, Op}};
+//! use ctam_topology::catalog;
+//!
+//! let machine = catalog::harpertown();
+//! let mut trace = MulticoreTrace::new(machine.n_cores());
+//! // Core 0 touches the same line twice: one miss, one L1 hit.
+//! trace.push_access(0, 0x1000, Op::Read);
+//! trace.push_access(0, 0x1008, Op::Read);
+//! let report = Simulator::new(&machine).run(&trace).unwrap();
+//! assert_eq!(report.level_stats(1).unwrap().hits, 1);
+//! assert_eq!(report.level_stats(1).unwrap().misses, 1);
+//! ```
+
+pub mod analysis;
+pub mod cache;
+pub mod report;
+pub mod sim;
+pub mod trace;
+
+pub use report::{LevelStats, SimReport};
+pub use sim::{SimError, SimOptions, Simulator};

@@ -1,0 +1,472 @@
+//! The multicore simulation engine.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use ctam_topology::{Machine, NodeKind};
+
+use crate::cache::SetAssocCache;
+use crate::report::{LevelStats, SimReport};
+use crate::trace::{MulticoreTrace, Op, TraceEvent};
+
+/// Errors from [`Simulator::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace was built for a different number of cores.
+    CoreCountMismatch {
+        /// Cores in the machine.
+        expected: usize,
+        /// Cores in the trace.
+        got: usize,
+    },
+    /// Cores carry different numbers of barriers; the run would deadlock.
+    BarrierMismatch {
+        /// Per-core barrier counts.
+        counts: Vec<usize>,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CoreCountMismatch { expected, got } => {
+                write!(f, "trace has {got} cores but the machine has {expected}")
+            }
+            SimError::BarrierMismatch { counts } => {
+                write!(f, "unbalanced barrier counts across cores: {counts:?}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Tunable simulation options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Next-line prefetching in the L1: on an L1 miss, the following cache
+    /// line is installed into the L1 as well (without charging latency —
+    /// the fetch overlaps the demand miss). Models the adjacent-line
+    /// prefetcher the evaluated Intel parts ship with; useful for checking
+    /// that the mapping conclusions survive a prefetcher.
+    pub l1_next_line_prefetch: bool,
+}
+
+/// A reusable simulator for one machine.
+///
+/// `run` is a pure function of the trace: every call starts from cold
+/// caches, so results are deterministic and independent across calls.
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    /// Cold caches, one per cache node, cloned at the start of each run.
+    template: Vec<SetAssocCache>,
+    /// Cache level of each simulated cache.
+    levels: Vec<u8>,
+    /// Per-core lookup path: indices into `template`, L1 first.
+    paths: Vec<Vec<usize>>,
+    /// Per-core caches *not* on the core's path (invalidation targets).
+    foreign: Vec<Vec<usize>>,
+    /// Per-cache hit latency.
+    latencies: Vec<u64>,
+    memory_latency: u64,
+    n_cores: usize,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// Instantiates the cache hierarchy of `machine` with default options.
+    pub fn new(machine: &Machine) -> Self {
+        Self::with_options(machine, SimOptions::default())
+    }
+
+    /// Instantiates the cache hierarchy of `machine` with explicit
+    /// [`SimOptions`].
+    pub fn with_options(machine: &Machine, options: SimOptions) -> Self {
+        let mut template = Vec::new();
+        let mut levels = Vec::new();
+        let mut latencies = Vec::new();
+        let mut node_to_idx = BTreeMap::new();
+        for level in machine.levels() {
+            for node in machine.caches_at(level) {
+                let NodeKind::Cache { params, .. } = machine.kind(node) else {
+                    unreachable!("caches_at returns cache nodes");
+                };
+                node_to_idx.insert(node, template.len());
+                template.push(SetAssocCache::new(params));
+                levels.push(level);
+                latencies.push(u64::from(params.latency()));
+            }
+        }
+        let paths: Vec<Vec<usize>> = machine
+            .cores()
+            .map(|c| {
+                machine
+                    .lookup_path(c)
+                    .into_iter()
+                    .map(|n| node_to_idx[&n])
+                    .collect()
+            })
+            .collect();
+        let foreign = paths
+            .iter()
+            .map(|p| (0..template.len()).filter(|i| !p.contains(i)).collect())
+            .collect();
+        Self {
+            template,
+            levels,
+            paths,
+            foreign,
+            latencies,
+            memory_latency: u64::from(machine.memory_latency()),
+            n_cores: machine.n_cores(),
+            options,
+        }
+    }
+
+    /// Number of cores the simulator expects in a trace.
+    pub fn n_cores(&self) -> usize {
+        self.n_cores
+    }
+
+    /// Simulates `trace` from cold caches and reports cycles and per-level
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CoreCountMismatch`] if the trace's core count differs from
+    /// the machine's; [`SimError::BarrierMismatch`] if cores disagree on the
+    /// number of barriers (which would deadlock a real run).
+    pub fn run(&self, trace: &MulticoreTrace) -> Result<SimReport, SimError> {
+        if trace.n_cores() != self.n_cores {
+            return Err(SimError::CoreCountMismatch {
+                expected: self.n_cores,
+                got: trace.n_cores(),
+            });
+        }
+        let barrier_counts = trace.barrier_counts();
+        if barrier_counts.windows(2).any(|w| w[0] != w[1]) {
+            return Err(SimError::BarrierMismatch {
+                counts: barrier_counts,
+            });
+        }
+
+        let mut caches = self.template.clone();
+        let n = self.n_cores;
+        let mut pos = vec![0usize; n];
+        let mut clock = vec![0u64; n];
+        let mut at_barrier = vec![false; n];
+        let mut stamp: u64 = 0;
+        let mut memory_accesses: u64 = 0;
+        let mut invalidations: u64 = 0;
+
+        loop {
+            // Step the non-blocked core with the smallest local clock: this
+            // interleaves accesses in shared caches in virtual-time order.
+            let next = (0..n)
+                .filter(|&c| pos[c] < trace.core(c).len() && !at_barrier[c])
+                .min_by_key(|&c| (clock[c], c));
+            let Some(c) = next else {
+                if at_barrier.iter().any(|&b| b) {
+                    // Everyone still running has reached the barrier
+                    // (guaranteed by the balanced-barrier check): release.
+                    let t = (0..n)
+                        .filter(|&c| at_barrier[c])
+                        .map(|c| clock[c])
+                        .max()
+                        .unwrap_or(0);
+                    for c in 0..n {
+                        if at_barrier[c] {
+                            clock[c] = clock[c].max(t);
+                            at_barrier[c] = false;
+                            pos[c] += 1;
+                        }
+                    }
+                    continue;
+                }
+                break;
+            };
+            match trace.core(c)[pos[c]] {
+                TraceEvent::Barrier => at_barrier[c] = true,
+                TraceEvent::Access(a) => {
+                    stamp += 1;
+                    let mut cost = 0u64;
+                    let mut hit = false;
+                    let mut l1_missed = false;
+                    for (depth, &ci) in self.paths[c].iter().enumerate() {
+                        cost += self.latencies[ci];
+                        if caches[ci].access(a.addr, stamp) {
+                            hit = true;
+                            break;
+                        }
+                        if depth == 0 {
+                            l1_missed = true;
+                        }
+                    }
+                    if !hit {
+                        cost += self.memory_latency;
+                        memory_accesses += 1;
+                    }
+                    if self.options.l1_next_line_prefetch && l1_missed {
+                        // Install the adjacent line in the L1 (cost-free:
+                        // the prefetch overlaps the demand fill). Skipped
+                        // when already present to keep hit stats clean.
+                        let l1 = self.paths[c][0];
+                        let line = u64::from(caches[l1].params().line_bytes());
+                        let next = a.addr.wrapping_add(line);
+                        if !caches[l1].probe(next) {
+                            caches[l1].install(next, stamp);
+                        }
+                    }
+                    if a.op == Op::Write {
+                        for &ci in &self.foreign[c] {
+                            if caches[ci].invalidate(a.addr) {
+                                invalidations += 1;
+                            }
+                        }
+                    }
+                    clock[c] += cost;
+                    pos[c] += 1;
+                }
+            }
+        }
+
+        let mut levels: BTreeMap<u8, LevelStats> = BTreeMap::new();
+        for (i, cache) in caches.iter().enumerate() {
+            let e = levels.entry(self.levels[i]).or_default();
+            e.hits += cache.hits();
+            e.misses += cache.misses();
+        }
+        Ok(SimReport {
+            total_cycles: clock.iter().copied().max().unwrap_or(0),
+            per_core_cycles: clock,
+            levels,
+            memory_accesses,
+            n_accesses: trace.n_accesses() as u64,
+            invalidations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_topology::{CacheParams, Machine, NodeId, KB};
+
+    /// 4 cores, 2 L2s each shared by 2 cores.
+    fn toy() -> Machine {
+        let mut b = Machine::builder("toy", 1.0, 100);
+        let l1 = CacheParams::new(KB, 2, 64, 2);
+        for _ in 0..2 {
+            let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(64 * KB, 8, 64, 10));
+            b.core_with_l1(l2, l1);
+            b.core_with_l1(l2, l1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_access_costs_full_path_plus_memory() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0, Op::Read);
+        let r = sim.run(&t).unwrap();
+        // L1 (2) + L2 (10) + memory (100)
+        assert_eq!(r.total_cycles(), 112);
+        assert_eq!(r.memory_accesses(), 1);
+    }
+
+    #[test]
+    fn l1_hit_costs_l1_latency_only() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0, Op::Read);
+        t.push_access(0, 0, Op::Read);
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.total_cycles(), 112 + 2);
+        assert_eq!(r.level_stats(1).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn constructive_sharing_through_shared_l2() {
+        // Core 0 misses everywhere and fills L2; core 1 (same L2) then hits
+        // in L2 after missing its own L1.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x100, Op::Read);
+        t.push_barrier_all();
+        t.push_access(1, 0x100, Op::Read);
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.memory_accesses(), 1);
+        assert_eq!(r.level_stats(2).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn no_sharing_across_sockets() {
+        // Core 2 is under the other L2: it must go to memory.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x100, Op::Read);
+        t.push_barrier_all();
+        t.push_access(2, 0x100, Op::Read);
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.memory_accesses(), 2);
+    }
+
+    #[test]
+    fn write_invalidates_peer_copies() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x40, Op::Read); // core 0 caches the line
+        t.push_barrier_all();
+        t.push_access(1, 0x40, Op::Write); // peer write invalidates it
+        t.push_barrier_all();
+        t.push_access(0, 0x40, Op::Read); // core 0 must re-fetch below L1
+        let r = sim.run(&t).unwrap();
+        assert!(r.invalidations() >= 1);
+        // Core 0's second read misses L1 (its copy was invalidated).
+        assert_eq!(r.level_stats(1).unwrap().hits, 0);
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        // Core 0 does a slow (miss) access; others do nothing. After the
+        // barrier, core 1 does one L2-hit access.
+        t.push_access(0, 0x200, Op::Read);
+        t.push_barrier_all();
+        t.push_access(1, 0x200, Op::Read);
+        let r = sim.run(&t).unwrap();
+        // Core 1 starts at 112 (post-barrier) and pays 2 + 10.
+        assert_eq!(r.per_core_cycles()[1], 112 + 12);
+    }
+
+    #[test]
+    fn mismatched_core_count_rejected() {
+        let sim = Simulator::new(&toy());
+        let t = MulticoreTrace::new(2);
+        assert_eq!(
+            sim.run(&t),
+            Err(SimError::CoreCountMismatch {
+                expected: 4,
+                got: 2
+            })
+        );
+    }
+
+    #[test]
+    fn unbalanced_barriers_rejected() {
+        let sim = Simulator::new(&toy());
+        let mut t = MulticoreTrace::new(4);
+        t.push_barrier(0);
+        assert!(matches!(sim.run(&t), Err(SimError::BarrierMismatch { .. })));
+    }
+
+    #[test]
+    fn runs_are_independent() {
+        let sim = Simulator::new(&toy());
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0, Op::Read);
+        let a = sim.run(&t).unwrap();
+        let b = sim.run(&t).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn next_line_prefetch_turns_streams_into_hits() {
+        let m = toy();
+        let plain = Simulator::new(&m);
+        let pf = Simulator::with_options(
+            &m,
+            SimOptions {
+                l1_next_line_prefetch: true,
+            },
+        );
+        // A pure streaming read: every line is new.
+        let mut t = MulticoreTrace::new(4);
+        for i in 0..64u64 {
+            t.push_access(0, i * 64, Op::Read);
+        }
+        let r_plain = plain.run(&t).unwrap();
+        let r_pf = pf.run(&t).unwrap();
+        // With the prefetcher, roughly every other line is already in L1.
+        assert!(
+            r_pf.level_stats(1).unwrap().hits > r_plain.level_stats(1).unwrap().hits,
+            "{} vs {}",
+            r_pf.level_stats(1).unwrap().hits,
+            r_plain.level_stats(1).unwrap().hits
+        );
+        assert!(r_pf.total_cycles() < r_plain.total_cycles());
+    }
+
+    #[test]
+    fn prefetch_does_not_change_access_counts() {
+        let m = toy();
+        let pf = Simulator::with_options(
+            &m,
+            SimOptions {
+                l1_next_line_prefetch: true,
+            },
+        );
+        let mut t = MulticoreTrace::new(4);
+        for i in 0..32u64 {
+            t.push_access(i as usize % 4, i * 128, Op::Read);
+        }
+        let r = pf.run(&t).unwrap();
+        assert_eq!(r.n_accesses(), 32);
+        assert_eq!(r.level_stats(1).unwrap().accesses(), 32);
+    }
+
+    #[test]
+    fn destructive_interference_in_shared_cache() {
+        // Two cores under one L2 streaming disjoint data conflict more than
+        // the same streams placed under different L2s. Use a tiny machine
+        // where the shared L2 is small enough to thrash.
+        let mut b = Machine::builder("tiny", 1.0, 200);
+        let l1 = CacheParams::new(128, 2, 64, 1);
+        let l2p = CacheParams::new(KB, 2, 64, 8);
+        for _ in 0..2 {
+            let l2 = b.cache(NodeId::ROOT, 2, l2p);
+            b.core_with_l1(l2, l1);
+            b.core_with_l1(l2, l1);
+        }
+        let m = b.build();
+        let sim = Simulator::new(&m);
+
+        // Each stream is 16 lines = 1KB: it fits the 1KB L2 exactly, so a
+        // lone stream hits L2 after the first sweep, but two streams in one
+        // L2 thrash it.
+        let stream = |t: &mut MulticoreTrace, core: usize, base: u64| {
+            for rep in 0..4 {
+                let _ = rep;
+                for i in 0..16u64 {
+                    t.push_access(core, base + i * 64, Op::Read);
+                }
+            }
+        };
+        // Shared placement: cores 0,1 (same L2) stream disjoint 2KB regions.
+        let mut shared = MulticoreTrace::new(4);
+        stream(&mut shared, 0, 0);
+        stream(&mut shared, 1, 1 << 20);
+        // Spread placement: cores 0,2 (different L2s).
+        let mut spread = MulticoreTrace::new(4);
+        stream(&mut spread, 0, 0);
+        stream(&mut spread, 2, 1 << 20);
+
+        let r_shared = sim.run(&shared).unwrap();
+        let r_spread = sim.run(&spread).unwrap();
+        assert!(
+            r_shared.memory_accesses() > r_spread.memory_accesses(),
+            "shared {} vs spread {}",
+            r_shared.memory_accesses(),
+            r_spread.memory_accesses()
+        );
+    }
+}

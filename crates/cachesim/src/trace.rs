@@ -1,0 +1,154 @@
+//! Memory access traces fed to the simulator.
+
+use std::fmt;
+
+/// Whether an access reads or writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A load.
+    Read,
+    /// A store (invalidates peer copies).
+    Write,
+}
+
+/// One memory access: a byte address and an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Access {
+    /// Byte address accessed.
+    pub addr: u64,
+    /// Read or write.
+    pub op: Op,
+}
+
+/// One event in a core's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceEvent {
+    /// A memory access.
+    Access(Access),
+    /// A global barrier: the core waits until every core has reached its
+    /// barrier with the same ordinal.
+    Barrier,
+}
+
+/// The per-core access streams of one parallel execution.
+///
+/// # Example
+///
+/// ```
+/// use ctam_cachesim::trace::{MulticoreTrace, Op};
+///
+/// let mut t = MulticoreTrace::new(2);
+/// t.push_access(0, 0x40, Op::Read);
+/// t.push_barrier_all();
+/// t.push_access(1, 0x80, Op::Write);
+/// assert_eq!(t.n_accesses(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MulticoreTrace {
+    per_core: Vec<Vec<TraceEvent>>,
+}
+
+impl MulticoreTrace {
+    /// An empty trace for `n_cores` cores.
+    pub fn new(n_cores: usize) -> Self {
+        Self {
+            per_core: vec![Vec::new(); n_cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Appends an access to `core`'s stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn push_access(&mut self, core: usize, addr: u64, op: Op) {
+        self.per_core[core].push(TraceEvent::Access(Access { addr, op }));
+    }
+
+    /// Appends a barrier to one core's stream. Every core must eventually
+    /// carry the same number of barriers; [`Self::push_barrier_all`] is the
+    /// safe way to keep them aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn push_barrier(&mut self, core: usize) {
+        self.per_core[core].push(TraceEvent::Barrier);
+    }
+
+    /// Appends a barrier to every core's stream.
+    pub fn push_barrier_all(&mut self) {
+        for c in &mut self.per_core {
+            c.push(TraceEvent::Barrier);
+        }
+    }
+
+    /// The event stream of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core(&self, core: usize) -> &[TraceEvent] {
+        &self.per_core[core]
+    }
+
+    /// Total number of accesses across all cores (barriers excluded).
+    pub fn n_accesses(&self) -> usize {
+        self.per_core
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .filter(|e| matches!(e, TraceEvent::Access(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Number of barriers in each core's stream; the simulator requires all
+    /// entries to be equal.
+    pub fn barrier_counts(&self) -> Vec<usize> {
+        self.per_core
+            .iter()
+            .map(|c| c.iter().filter(|e| matches!(e, TraceEvent::Barrier)).count())
+            .collect()
+    }
+}
+
+impl fmt::Display for MulticoreTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace: {} cores, {} accesses",
+            self.n_cores(),
+            self.n_accesses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accesses_not_barriers() {
+        let mut t = MulticoreTrace::new(3);
+        t.push_access(0, 1, Op::Read);
+        t.push_access(2, 2, Op::Write);
+        t.push_barrier_all();
+        assert_eq!(t.n_accesses(), 2);
+        assert_eq!(t.barrier_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut t = MulticoreTrace::new(2);
+        t.push_access(0, 1, Op::Read);
+        assert_eq!(t.core(0).len(), 1);
+        assert!(t.core(1).is_empty());
+    }
+}

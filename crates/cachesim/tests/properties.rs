@@ -1,0 +1,99 @@
+//! Property tests for the cache simulator.
+
+use ctam_cachesim::cache::SetAssocCache;
+use ctam_cachesim::trace::{MulticoreTrace, Op};
+use ctam_cachesim::Simulator;
+use ctam_topology::{catalog, CacheParams};
+use proptest::prelude::*;
+
+fn arb_trace(n_cores: usize) -> impl Strategy<Value = MulticoreTrace> {
+    proptest::collection::vec(
+        (0..n_cores, 0u64..4096, prop::bool::ANY),
+        1..200,
+    )
+    .prop_map(move |accesses| {
+        let mut t = MulticoreTrace::new(n_cores);
+        for (core, addr, write) in accesses {
+            t.push_access(core, addr * 8, if write { Op::Write } else { Op::Read });
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn l1_lookups_equal_accesses(trace in arb_trace(8)) {
+        let sim = Simulator::new(&catalog::harpertown());
+        let r = sim.run(&trace).expect("valid trace");
+        let l1 = r.level_stats(1).expect("L1 exists");
+        prop_assert_eq!(l1.accesses(), trace.n_accesses() as u64);
+    }
+
+    #[test]
+    fn deeper_levels_see_only_shallower_misses(trace in arb_trace(12)) {
+        let sim = Simulator::new(&catalog::dunnington());
+        let r = sim.run(&trace).expect("valid trace");
+        let l1 = r.level_stats(1).unwrap();
+        let l2 = r.level_stats(2).unwrap();
+        let l3 = r.level_stats(3).unwrap();
+        prop_assert_eq!(l2.accesses(), l1.misses);
+        prop_assert_eq!(l3.accesses(), l2.misses);
+        prop_assert_eq!(r.memory_accesses(), l3.misses);
+    }
+
+    #[test]
+    fn runs_are_deterministic(trace in arb_trace(8)) {
+        let sim = Simulator::new(&catalog::nehalem());
+        let a = sim.run(&trace).expect("valid");
+        let b = sim.run(&trace).expect("valid");
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cycle_costs_are_within_the_latency_envelope(trace in arb_trace(8)) {
+        let machine = catalog::harpertown();
+        let sim = Simulator::new(&machine);
+        let r = sim.run(&trace).expect("valid");
+        let n = r.n_accesses();
+        let work: u64 = r.per_core_cycles().iter().sum();
+        // Harpertown: L1=3, L2=15, memory=320.
+        prop_assert!(work >= n * 3);
+        prop_assert!(work <= n * (3 + 15 + 320));
+    }
+
+    #[test]
+    fn barriers_never_reduce_total_cycles(trace in arb_trace(8)) {
+        let sim = Simulator::new(&catalog::harpertown());
+        let plain = sim.run(&trace).expect("valid");
+        // Same accesses with a trailing global barrier.
+        let mut with_barrier = trace.clone();
+        with_barrier.push_barrier_all();
+        let barred = sim.run(&with_barrier).expect("valid");
+        prop_assert!(barred.total_cycles() >= plain.total_cycles());
+        prop_assert_eq!(barred.memory_accesses(), plain.memory_accesses());
+    }
+
+    #[test]
+    fn cache_occupancy_never_exceeds_capacity(
+        addrs in proptest::collection::vec(0u64..100_000, 1..500)
+    ) {
+        let mut c = SetAssocCache::new(CacheParams::new(4096, 4, 64, 1));
+        for (i, &a) in addrs.iter().enumerate() {
+            let _ = c.access(a, i as u64 + 1);
+        }
+        prop_assert!(c.occupancy() <= 64); // 4096/64 lines
+        prop_assert_eq!(c.hits() + c.misses(), addrs.len() as u64);
+    }
+
+    #[test]
+    fn probe_agrees_with_recent_access(addrs in proptest::collection::vec(0u64..512, 1..100)) {
+        // Fully-associative cache big enough to never evict in this range.
+        let mut c = SetAssocCache::new(CacheParams::new(64 * 64, 64, 64, 1));
+        for (i, &a) in addrs.iter().enumerate() {
+            c.access(a * 64, i as u64 + 1);
+            prop_assert!(c.probe(a * 64), "just-accessed line must be present");
+        }
+    }
+}

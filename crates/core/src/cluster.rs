@@ -1,0 +1,974 @@
+//! Hierarchical, cache-topology-aware iteration distribution — the
+//! algorithm of Figure 6.
+//!
+//! Starting from the root of the cache hierarchy tree, the iteration groups
+//! are clustered level by level: at each tree node the current cluster is
+//! partitioned into as many sub-clusters as the node has children, by greedy
+//! agglomerative merging that maximizes the *dot product* of cluster tags
+//! (the degree of data-block sharing). Each level then load-balances cluster
+//! sizes to within a tunable threshold, evicting — and if necessary
+//! splitting — iteration groups. After the leaf level every cluster is one
+//! core's work.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ctam_topology::{Machine, NodeId, NodeKind};
+
+use crate::group::{total_size, IterationGroup};
+use crate::tag::Tag;
+
+/// The result of iteration distribution: the groups assigned to each core
+/// (unordered; ordering is the scheduler's job).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    per_core: Vec<Vec<IterationGroup>>,
+}
+
+impl Assignment {
+    /// Builds an assignment directly (used by the baselines and tests).
+    pub fn from_per_core(per_core: Vec<Vec<IterationGroup>>) -> Self {
+        Self { per_core }
+    }
+
+    /// The groups of every core, indexed by core id.
+    pub fn per_core(&self) -> &[Vec<IterationGroup>] {
+        &self.per_core
+    }
+
+    /// Consumes the assignment, yielding the per-core group lists.
+    pub fn into_per_core(self) -> Vec<Vec<IterationGroup>> {
+        self.per_core
+    }
+
+    /// Number of cores.
+    pub fn n_cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Total iterations assigned to core `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn core_size(&self, c: usize) -> usize {
+        total_size(&self.per_core[c])
+    }
+
+    /// Total iterations across all cores.
+    pub fn total_iterations(&self) -> usize {
+        (0..self.n_cores()).map(|c| self.core_size(c)).sum()
+    }
+}
+
+/// One cluster during hierarchical distribution: a set of groups plus the
+/// bitwise sum (OR) of their tags.
+#[derive(Debug, Clone)]
+struct Cluster {
+    tag: Tag,
+    groups: Vec<IterationGroup>,
+    size: usize,
+    /// Smallest first-member id across groups: the cluster's position in
+    /// program order, used to tie-break merges toward program-adjacent
+    /// clusters (consecutive blocks get consecutive numbers in the paper's
+    /// numbering, so program adjacency approximates block adjacency).
+    first: u32,
+    /// Bumped on every mutation; stale heap entries are discarded.
+    generation: u32,
+}
+
+impl Cluster {
+    fn of_group(g: IterationGroup) -> Self {
+        Self {
+            tag: g.tag().clone(),
+            size: g.size(),
+            first: g.iterations()[0],
+            groups: vec![g],
+            generation: 0,
+        }
+    }
+
+    fn empty(n_bits: usize) -> Self {
+        Self {
+            tag: Tag::empty(n_bits),
+            groups: Vec::new(),
+            size: 0,
+            first: u32::MAX,
+            generation: 0,
+        }
+    }
+
+    fn absorb(&mut self, other: Cluster) {
+        self.tag.or_assign(&other.tag);
+        self.size += other.size;
+        self.first = self.first.min(other.first);
+        self.groups.extend(other.groups);
+        self.generation += 1;
+    }
+
+    fn push(&mut self, g: IterationGroup) {
+        self.tag.or_assign(g.tag());
+        self.size += g.size();
+        self.first = self.first.min(g.iterations()[0]);
+        self.groups.push(g);
+        self.generation += 1;
+    }
+
+    /// Removes group `idx`. The cluster tag is recomputed (OR is not
+    /// invertible).
+    fn remove(&mut self, idx: usize, n_bits: usize) -> IterationGroup {
+        let g = self.groups.remove(idx);
+        self.size -= g.size();
+        self.tag = Tag::empty(n_bits);
+        self.first = u32::MAX;
+        for m in &self.groups {
+            self.tag.or_assign(m.tag());
+            self.first = self.first.min(m.iterations()[0]);
+        }
+        self.generation += 1;
+        g
+    }
+}
+
+/// How the bottom of the tree — the cores under one shared cache subtree —
+/// splits its cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LeafSplit {
+    /// Greedy separation all the way down (the literal Figure 6 step):
+    /// each core gets whole iteration groups, minimizing its private
+    /// footprint.
+    #[default]
+    Separate,
+    /// Constructive interleaving (Figure 3b) over the last `n` splitting
+    /// levels: every group reaching a subtree within `n` splits of the
+    /// cores is divided across *all* that subtree's cores, so the sharers
+    /// execute concurrently and prefetch each other's blocks in the caches
+    /// they share.
+    Interleave(u8),
+}
+
+/// Distributes `groups` over the cores of `machine` by walking the cache
+/// hierarchy tree from the root, clustering and load-balancing at every
+/// level (Figure 6). `balance_threshold` is the maximum tolerated relative
+/// imbalance (the paper's default is 0.10).
+///
+/// # Panics
+///
+/// Panics if `balance_threshold` is negative.
+pub fn distribute(
+    groups: Vec<IterationGroup>,
+    machine: &Machine,
+    balance_threshold: f64,
+) -> Assignment {
+    distribute_with(groups, machine, balance_threshold, LeafSplit::Separate)
+}
+
+/// [`distribute`] with an explicit [`LeafSplit`] policy. The pipeline
+/// measures both policies per nest and keeps the faster one, the same way
+/// the paper selects its `Base+` tile size by measurement.
+///
+/// # Panics
+///
+/// Panics if `balance_threshold` is negative.
+pub fn distribute_with(
+    groups: Vec<IterationGroup>,
+    machine: &Machine,
+    balance_threshold: f64,
+    leaf_split: LeafSplit,
+) -> Assignment {
+    assert!(balance_threshold >= 0.0, "threshold must be non-negative");
+    let n_bits = groups.first().map_or(0, |g| g.tag().n_bits());
+    let mut per_core: Vec<Vec<IterationGroup>> = vec![Vec::new(); machine.n_cores()];
+    // Per-level imbalance compounds multiplicatively down the tree; divide
+    // the budget across the splitting levels so the end-to-end imbalance
+    // stays within the requested threshold.
+    let splits = split_depth(machine, NodeId::ROOT);
+    let level_threshold = balance_threshold / splits.max(1) as f64;
+    // Root-level look-ahead: the topmost cut constrains everything below,
+    // and its local score cannot see the deeper levels. Try every candidate
+    // root cut, distribute each fully, and keep the one with the smallest
+    // end-to-end sharing cost (the same objective the exact reference of
+    // Figure 20 minimizes).
+    let root_children = machine.children(NodeId::ROOT).to_vec();
+    if root_children.len() > 1 && !groups.is_empty() {
+        let capacities: Vec<usize> = root_children
+            .iter()
+            .map(|&k| machine.cores_under(k).len().max(1))
+            .collect();
+        let mut best: Option<(u64, Vec<Vec<IterationGroup>>)> = None;
+        for candidate in
+            partition_candidates(groups.clone(), &capacities, level_threshold, n_bits)
+        {
+            let mut trial: Vec<Vec<IterationGroup>> =
+                vec![Vec::new(); machine.n_cores()];
+            for (child, cluster) in root_children.iter().zip(candidate) {
+                distribute_rec(
+                    machine,
+                    *child,
+                    cluster,
+                    level_threshold,
+                    n_bits,
+                    leaf_split,
+                    &mut trial,
+                );
+            }
+            let core_tags: Vec<Tag> = trial
+                .iter()
+                .map(|gs| {
+                    let mut t = Tag::empty(n_bits);
+                    for g in gs {
+                        t.or_assign(g.tag());
+                    }
+                    t
+                })
+                .collect();
+            let cost = crate::optimal::sharing_cost(machine, &core_tags);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, trial));
+            }
+        }
+        per_core = best.expect("at least one candidate").1;
+    } else {
+        distribute_rec(
+            machine,
+            NodeId::ROOT,
+            groups,
+            level_threshold,
+            n_bits,
+            leaf_split,
+            &mut per_core,
+        );
+    }
+    // Canonicalize each core's groups to program order: distribution decides
+    // *where* groups run; absent the local scheduler (Figure 7), the order
+    // within a core follows the original code, which preserves its
+    // sequential (line-granular) locality.
+    for groups in &mut per_core {
+        groups.sort_by_key(|g| g.iterations()[0]);
+    }
+    Assignment { per_core }
+}
+
+/// Splits any group larger than `ceil(ideal × (1 + threshold))` — where
+/// `ideal = total/n_cores` — into limit-sized pieces, so that a group-level
+/// assignment (greedy or exact) can balance the load. Used to prepare
+/// instances for [`crate::optimal`], whose search assigns whole groups.
+pub fn split_for_balance(
+    mut groups: Vec<IterationGroup>,
+    n_cores: usize,
+    threshold: f64,
+) -> Vec<IterationGroup> {
+    assert!(n_cores > 0, "need at least one core");
+    let total: usize = groups.iter().map(IterationGroup::size).sum();
+    if total == 0 {
+        return groups;
+    }
+    let limit =
+        ((total as f64 / n_cores as f64) * (1.0 + threshold)).ceil().max(1.0) as usize;
+    let mut out = Vec::with_capacity(groups.len());
+    for mut g in groups.drain(..) {
+        while g.size() > limit {
+            out.push(g.split_off(limit));
+        }
+        out.push(g);
+    }
+    out.sort_by_key(|g| g.iterations()[0]);
+    out
+}
+
+/// The maximum number of multi-child nodes on any root-to-core path.
+fn split_depth(machine: &Machine, node: NodeId) -> usize {
+    let children = machine.children(node);
+    let here = usize::from(children.len() > 1);
+    here + children
+        .iter()
+        .map(|&k| split_depth(machine, k))
+        .max()
+        .unwrap_or(0)
+}
+
+fn distribute_rec(
+    machine: &Machine,
+    node: NodeId,
+    groups: Vec<IterationGroup>,
+    threshold: f64,
+    n_bits: usize,
+    leaf_split: LeafSplit,
+    out: &mut Vec<Vec<IterationGroup>>,
+) {
+    if let NodeKind::Core(c) = machine.kind(node) {
+        out[c.index()] = groups;
+        return;
+    }
+    let children = machine.children(node).to_vec();
+    match children.len() {
+        0 => unreachable!("validated machines have cores under every cache"),
+        1 => distribute_rec(machine, children[0], groups, threshold, n_bits, leaf_split, out),
+        _ => {
+            let capacities: Vec<usize> = children
+                .iter()
+                .map(|&k| machine.cores_under(k).len().max(1))
+                .collect();
+            // Near the bottom of the tree the children all share this
+            // node's cache(s), so dividing every group across the cores is
+            // constructive rather than wasteful; the Interleave policy says
+            // how many splitting levels from the bottom to treat that way.
+            if let LeafSplit::Interleave(n) = leaf_split {
+                if split_depth(machine, node) <= usize::from(n) {
+                    let cores = machine.cores_under(node);
+                    for (core, part) in cores
+                        .iter()
+                        .zip(interleave_split(groups, cores.len()))
+                    {
+                        out[core.index()] = part;
+                    }
+                    return;
+                }
+            }
+            let clusters = partition_groups(groups, &capacities, threshold, n_bits);
+            for (child, cluster) in children.into_iter().zip(clusters) {
+                distribute_rec(machine, child, cluster, threshold, n_bits, leaf_split, out);
+            }
+        }
+    }
+}
+
+/// Deals the cluster's work round-robin across the `k` sibling cores:
+/// groups (split first so none exceeds a 1/k share) are ordered by program
+/// position and dealt in turn, so every core receives a slice of every
+/// phase of the cluster's data — the sharers of each block run concurrently
+/// under the caches the siblings share. Balanced to within one group per
+/// core by construction.
+fn interleave_split(groups: Vec<IterationGroup>, k: usize) -> Vec<Vec<IterationGroup>> {
+    let total: usize = groups.iter().map(IterationGroup::size).sum();
+    let mut pieces = split_for_balance(groups, k, 0.0);
+    pieces.sort_by_key(|g| g.iterations()[0]);
+    let mut out: Vec<Vec<IterationGroup>> = (0..k).map(|_| Vec::new()).collect();
+    let mut sizes = vec![0usize; k];
+    for g in pieces {
+        // Round-robin with a size guard: take the least-loaded core among
+        // the next in rotation, so uneven piece sizes cannot pile up.
+        let c = (0..k)
+            .min_by_key(|&c| (sizes[c], c))
+            .expect("k >= 1 cores");
+        sizes[c] += g.size();
+        out[c].push(g);
+    }
+    debug_assert_eq!(sizes.iter().sum::<usize>(), total);
+    out
+}
+
+/// Partitions `groups` into `capacities.len()` clusters: agglomerative
+/// merging by maximum tag dot product, splitting when there are fewer
+/// clusters than required, then greedy load balancing. Cluster `k` targets a
+/// share of the iterations proportional to `capacities[k]` (the number of
+/// cores below child `k`).
+///
+/// Exposed for white-box testing and ablation benchmarks; [`distribute`] is
+/// the intended entry point.
+pub fn partition_groups(
+    groups: Vec<IterationGroup>,
+    capacities: &[usize],
+    threshold: f64,
+    n_bits: usize,
+) -> Vec<Vec<IterationGroup>> {
+    let target = capacities.len();
+    assert!(target > 0, "need at least one output cluster");
+
+    partition_candidates(groups, capacities, threshold, n_bits)
+        .into_iter()
+        .min_by_key(|parts| partition_score(parts, n_bits))
+        .expect("at least one candidate")
+}
+
+/// The local quality of a partition: total replication (sum of per-cluster
+/// distinct-block counts; smaller = blocks duplicated across fewer caches),
+/// tie-broken toward balance.
+fn partition_score(parts: &[Vec<IterationGroup>], n_bits: usize) -> (u32, usize) {
+    let replication = parts
+        .iter()
+        .map(|gs| {
+            let mut t = Tag::empty(n_bits);
+            for g in gs {
+                t.or_assign(g.tag());
+            }
+            t.popcount()
+        })
+        .sum();
+    let max_size = parts.iter().map(|gs| total_size(gs)).max().unwrap_or(0);
+    (replication, max_size)
+}
+
+/// The candidate partitions one tree level considers (see
+/// [`partition_groups`]): nested bisection (composes with deeper levels),
+/// the literal one-shot Figure 6 cut, the program-order cut, and the
+/// data-order cut. All are load-balanced.
+pub(crate) fn partition_candidates(
+    groups: Vec<IterationGroup>,
+    capacities: &[usize],
+    threshold: f64,
+    n_bits: usize,
+) -> Vec<Vec<Vec<IterationGroup>>> {
+    let target = capacities.len();
+    let mut candidates: Vec<Vec<Vec<IterationGroup>>> = Vec::new();
+    if target > 2 && target % 2 == 0 && capacities.windows(2).all(|w| w[0] == w[1]) {
+        // Halve the per-level threshold so the two nested levels compound
+        // to roughly the requested imbalance.
+        let t = threshold / 2.0;
+        let halves = partition_direct(groups.clone(), &[1, 1], t, n_bits);
+        let sub_caps = vec![capacities[0]; target / 2];
+        let mut out = Vec::with_capacity(target);
+        for half in halves {
+            out.extend(partition_groups(half, &sub_caps, t, n_bits));
+        }
+        candidates.push(out);
+    }
+    candidates.push(partition_direct(groups.clone(), capacities, threshold, n_bits));
+    // Order-based cuts (both re-balanced like the greedy candidates; they
+    // may need to split a dominant group): program order, and data order —
+    // groups sorted by the first block they touch, which lines up
+    // class-structured sharing (same subtree, same image region, ...) into
+    // contiguous segments.
+    let balanced_cut = |mut sorted: Vec<IterationGroup>,
+                        key: fn(&IterationGroup) -> (usize, u32)|
+     -> Vec<Vec<IterationGroup>> {
+        sorted.sort_by_key(key);
+        let mut clusters: Vec<Cluster> = contiguous_cut(&sorted, capacities)
+            .into_iter()
+            .map(|gs| {
+                let mut c = Cluster::empty(n_bits);
+                for g in gs {
+                    c.push(g);
+                }
+                c
+            })
+            .collect();
+        balance(&mut clusters, capacities, threshold, n_bits);
+        clusters.into_iter().map(|c| c.groups).collect()
+    };
+    candidates.push(balanced_cut(groups.clone(), |g| (0, g.iterations()[0])));
+    candidates.push(balanced_cut(groups, |g| {
+        (
+            g.tag().iter_bits().next().unwrap_or(usize::MAX),
+            g.iterations()[0],
+        )
+    }));
+    candidates
+}
+
+/// Slices groups, in the order given, into contiguous segments whose sizes
+/// track the capacities. Never splits a group. With program-ordered input
+/// this is the partition a static OpenMP schedule induces; with
+/// data-ordered input it aligns class-structured sharing. Scoring these
+/// cuts against the greedy candidates guarantees the pass never does worse
+/// than either naive order at any level.
+fn contiguous_cut(
+    groups: &[IterationGroup],
+    capacities: &[usize],
+) -> Vec<Vec<IterationGroup>> {
+    let total: usize = groups.iter().map(IterationGroup::size).sum();
+    let total_cap: usize = capacities.iter().sum::<usize>().max(1);
+    let mut out: Vec<Vec<IterationGroup>> = Vec::with_capacity(capacities.len());
+    let mut it = groups.to_vec().into_iter().peekable();
+    let mut consumed = 0usize;
+    let mut cap_acc = 0usize;
+    for (k, &cap) in capacities.iter().enumerate() {
+        cap_acc += cap;
+        let boundary = total * cap_acc / total_cap;
+        let mut part = Vec::new();
+        while let Some(g) = it.peek() {
+            if k + 1 < capacities.len() && consumed + g.size() > boundary {
+                break;
+            }
+            let g = it.next().expect("peeked");
+            consumed += g.size();
+            part.push(g);
+        }
+        out.push(part);
+    }
+    out
+}
+
+/// One-shot k-way partitioning (the raw Figure 6 level step).
+fn partition_direct(
+    groups: Vec<IterationGroup>,
+    capacities: &[usize],
+    threshold: f64,
+    n_bits: usize,
+) -> Vec<Vec<IterationGroup>> {
+    let target = capacities.len();
+    let mut clusters: Vec<Cluster> = groups.into_iter().map(Cluster::of_group).collect();
+
+    merge_to(&mut clusters, target);
+    split_to(&mut clusters, target, n_bits);
+
+    // Pair clusters with children before balancing. For the symmetric trees
+    // of Figure 1 (all children the same width) clusters are ordered by the
+    // smallest data-block id they touch: blocks are numbered sequentially
+    // through the data space, so this keys the placement to the *data*, and
+    // different loop nests of one program — which share the block numbering
+    // — land their shared blocks under the same caches. Asymmetric
+    // (truncated) views fall back to largest-cluster-to-widest-child.
+    let symmetric = capacities.windows(2).all(|w| w[0] == w[1]);
+    let mut cluster_order: Vec<usize> = (0..clusters.len()).collect();
+    if symmetric {
+        cluster_order.sort_by_key(|&i| {
+            (
+                clusters[i].tag.iter_bits().next().unwrap_or(usize::MAX),
+                clusters[i].first,
+            )
+        });
+    } else {
+        cluster_order.sort_by_key(|&i| Reverse(clusters[i].size));
+    }
+    let mut cap_order: Vec<usize> = (0..target).collect();
+    if !symmetric {
+        cap_order.sort_by_key(|&k| Reverse(capacities[k]));
+    }
+    let mut aligned: Vec<Cluster> = (0..target).map(|_| Cluster::empty(n_bits)).collect();
+    for (ci, ki) in cluster_order.into_iter().zip(cap_order) {
+        aligned[ki] = std::mem::replace(&mut clusters[ci], Cluster::empty(n_bits));
+    }
+
+    balance(&mut aligned, capacities, threshold, n_bits);
+    aligned.into_iter().map(|c| c.groups).collect()
+}
+
+/// Greedy agglomerative merging: repeatedly merge the cluster pair with the
+/// largest tag dot product (ties: smallest combined size, then smallest
+/// indices) until `target` clusters remain.
+fn merge_to(clusters: &mut Vec<Cluster>, target: usize) {
+    if clusters.len() <= target {
+        return;
+    }
+    // Max-heap of (dot, Reverse(size sum), Reverse(i), Reverse(j)) with lazy
+    // invalidation via generations. Only pairs that actually share blocks
+    // (dot > 0) are queued: sharing is sparse for real programs (a stencil
+    // tag overlaps only its spatial neighbours), so this keeps the heap
+    // near-linear instead of quadratic in the number of groups.
+    type Entry = (
+        u32,
+        Reverse<usize>,
+        Reverse<u32>,
+        Reverse<usize>,
+        Reverse<usize>,
+        u32,
+        u32,
+    );
+    let gap = |a: &Cluster, b: &Cluster| -> u32 { a.first.abs_diff(b.first) };
+    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
+    let mut alive: Vec<bool> = vec![true; clusters.len()];
+    let push_pairs_for =
+        |heap: &mut BinaryHeap<Entry>, clusters: &[Cluster], alive: &[bool], i: usize| {
+            for j in 0..clusters.len() {
+                if j != i && alive[j] {
+                    let (a, b) = (i.min(j), i.max(j));
+                    let dot = clusters[a].tag.dot(&clusters[b].tag);
+                    if dot > 0 {
+                        heap.push((
+                            dot,
+                            Reverse(clusters[a].size + clusters[b].size),
+                            Reverse(gap(&clusters[a], &clusters[b])),
+                            Reverse(a),
+                            Reverse(b),
+                            clusters[a].generation,
+                            clusters[b].generation,
+                        ));
+                    }
+                }
+            }
+        };
+    for i in 0..clusters.len() {
+        for j in (i + 1)..clusters.len() {
+            let dot = clusters[i].tag.dot(&clusters[j].tag);
+            if dot > 0 {
+                heap.push((
+                    dot,
+                    Reverse(clusters[i].size + clusters[j].size),
+                    Reverse(gap(&clusters[i], &clusters[j])),
+                    Reverse(i),
+                    Reverse(j),
+                    clusters[i].generation,
+                    clusters[j].generation,
+                ));
+            }
+        }
+    }
+    let mut remaining = clusters.len();
+    while remaining > target {
+        let popped = heap.pop();
+        let Some((_, _, _, Reverse(i), Reverse(j), gi, gj)) = popped else {
+            // No sharing pairs left: merge the two smallest clusters (their
+            // relative placement is locality-neutral, so minimize the size
+            // skew handed to load balancing), then rescan for new sharing.
+            let mut order: Vec<usize> = (0..clusters.len()).filter(|&k| alive[k]).collect();
+            order.sort_by_key(|&k| (clusters[k].size, clusters[k].first, k));
+            let (i, j) = (order[0].min(order[1]), order[0].max(order[1]));
+            let absorbed = std::mem::replace(&mut clusters[j], Cluster::empty(0));
+            alive[j] = false;
+            clusters[i].absorb(absorbed);
+            remaining -= 1;
+            push_pairs_for(&mut heap, clusters, &alive, i);
+            continue;
+        };
+        if !alive[i] || !alive[j] || clusters[i].generation != gi || clusters[j].generation != gj
+        {
+            continue;
+        }
+        let absorbed = std::mem::replace(&mut clusters[j], Cluster::empty(0));
+        alive[j] = false;
+        clusters[i].absorb(absorbed);
+        remaining -= 1;
+        push_pairs_for(&mut heap, clusters, &alive, i);
+    }
+    // Drop the dead husks left by `replace`.
+    let mut kept = Vec::with_capacity(remaining);
+    for (idx, c) in std::mem::take(clusters).into_iter().enumerate() {
+        if alive[idx] {
+            kept.push(c);
+        }
+    }
+    *clusters = kept;
+}
+
+/// Splits the largest clusters until `target` clusters exist (Figure 6's
+/// `If(|csi| < NumClusters)` branch). Prefers moving whole groups; splits a
+/// lone group's iterations when necessary; pads with empty clusters if there
+/// are fewer iterations than clusters.
+fn split_to(clusters: &mut Vec<Cluster>, target: usize, n_bits: usize) {
+    while clusters.len() < target {
+        let Some(big) = (0..clusters.len()).max_by_key(|&i| clusters[i].size) else {
+            clusters.push(Cluster::empty(n_bits));
+            continue;
+        };
+        if clusters[big].size <= 1 {
+            clusters.push(Cluster::empty(n_bits));
+            continue;
+        }
+        let half = clusters[big].size / 2;
+        let mut moved = Cluster::empty(n_bits);
+        // Move whole groups (smallest first, preserving the big cluster's
+        // densest sharing) until `moved` holds about half the iterations.
+        clusters[big]
+            .groups
+            .sort_by_key(|g| Reverse(g.size()));
+        while moved.size < half {
+            let last = clusters[big].groups.len() - 1;
+            let need = half - moved.size;
+            if clusters[big].groups.len() > 1 && clusters[big].groups[last].size() <= need {
+                let g = clusters[big].remove(last, n_bits);
+                moved.push(g);
+            } else {
+                // Split one group to make up the difference.
+                let g = &mut clusters[big].groups[last];
+                if g.size() <= need {
+                    // Lone group smaller than need: take it whole.
+                    let g = clusters[big].remove(last, n_bits);
+                    moved.push(g);
+                    break;
+                }
+                let part = g.split_off(need);
+                clusters[big].size -= part.size();
+                clusters[big].generation += 1;
+                moved.push(part);
+                break;
+            }
+        }
+        clusters.push(moved);
+    }
+}
+
+/// Greedy load balancing (Figure 6): while some cluster exceeds its upper
+/// limit, evict groups from it into the most underfull cluster, choosing the
+/// evicted group to maximize its tag's dot product with the recipient's tag,
+/// and splitting a group when no whole group fits.
+fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bits: usize) {
+    let total: usize = clusters.iter().map(|c| c.size).sum();
+    let total_cap: usize = capacities.iter().sum();
+    if total == 0 || total_cap == 0 {
+        return;
+    }
+    let ideal: Vec<f64> = capacities
+        .iter()
+        .map(|&c| total as f64 * c as f64 / total_cap as f64)
+        .collect();
+    let up: Vec<usize> = ideal
+        .iter()
+        .map(|&i| (i * (1.0 + threshold)).ceil() as usize)
+        .collect();
+    // Upper bound on moves: every move shifts >= 1 iteration of overflow.
+    for _guard in 0..=total {
+        let Some(donor) = (0..clusters.len())
+            .filter(|&i| clusters[i].size > up[i])
+            .max_by_key(|&i| clusters[i].size - up[i])
+        else {
+            break;
+        };
+        let Some(recipient) = (0..clusters.len())
+            .filter(|&j| j != donor && clusters[j].size < up[j])
+            .min_by(|&a, &b| {
+                let fa = clusters[a].size as f64 / ideal[a].max(1.0);
+                let fb = clusters[b].size as f64 / ideal[b].max(1.0);
+                fa.partial_cmp(&fb).expect("sizes are finite")
+            })
+        else {
+            break; // everyone else is full: threshold unsatisfiable, stop
+        };
+        let excess = clusters[donor].size - up[donor];
+        let room = up[recipient] - clusters[recipient].size;
+        let quota = excess.min(room).max(1);
+        // Whole group that fits, maximizing affinity with the recipient.
+        let fit = (0..clusters[donor].groups.len())
+            .filter(|&gi| clusters[donor].groups[gi].size() <= room)
+            .max_by_key(|&gi| {
+                (
+                    clusters[donor].groups[gi].tag().dot(&clusters[recipient].tag),
+                    clusters[donor].groups[gi].size(),
+                )
+            });
+        if let Some(gi) = fit {
+            let g = clusters[donor].remove(gi, n_bits);
+            clusters[recipient].push(g);
+        } else {
+            // No whole group fits: split the best-affinity group.
+            let gi = (0..clusters[donor].groups.len())
+                .max_by_key(|&gi| {
+                    clusters[donor].groups[gi].tag().dot(&clusters[recipient].tag)
+                })
+                .expect("donor exceeds its limit, so it has groups");
+            let g = &mut clusters[donor].groups[gi];
+            debug_assert!(g.size() > quota, "unfitting group must exceed quota");
+            let part = g.split_off(quota);
+            clusters[donor].size -= part.size();
+            clusters[donor].generation += 1;
+            clusters[recipient].push(part);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_topology::{catalog, CacheParams, Machine, NodeId, KB, MB};
+
+    fn group(n_bits: usize, bits: &[usize], iters: std::ops::Range<u32>) -> IterationGroup {
+        IterationGroup::new(
+            Tag::from_bits(n_bits, bits.iter().copied()),
+            iters.collect(),
+        )
+    }
+
+    /// The machine of Figure 9: 4 cores, two L2s each shared by two cores,
+    /// one L3 over everything.
+    fn figure9() -> Machine {
+        let mut b = Machine::builder("fig9", 1.0, 100);
+        let l1 = CacheParams::new(8 * KB, 8, 64, 2);
+        let l3 = b.cache(NodeId::ROOT, 3, CacheParams::new(8 * MB, 16, 64, 30));
+        for _ in 0..2 {
+            let l2 = b.cache(l3, 2, CacheParams::new(MB, 8, 64, 10));
+            b.core_with_l1(l2, l1);
+            b.core_with_l1(l2, l1);
+        }
+        b.build()
+    }
+
+    /// The 8 iteration groups of Figure 10(a): k iterations each, tags
+    /// `σ_j` touching blocks `{j, j+2, j+4}` of 12.
+    fn figure10_groups(k: u32) -> Vec<IterationGroup> {
+        (0..8u32)
+            .map(|j| {
+                group(
+                    12,
+                    &[j as usize, j as usize + 2, j as usize + 4],
+                    (j * k)..((j + 1) * k),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_example_figure10_clusters_evens_and_odds() {
+        // At the first level (two L2s), the even-tag groups (which share
+        // blocks pairwise) must separate from the odd-tag groups.
+        let assignment = distribute(figure10_groups(4), &figure9(), 0.10);
+        assert_eq!(assignment.n_cores(), 4);
+        // Each core gets 2 groups of 4 iterations (perfect balance).
+        for c in 0..4 {
+            assert_eq!(assignment.core_size(c), 8, "core {c}");
+        }
+        // Parity of every group on a core must match, and the two cores of
+        // each L2 pair must hold the same parity.
+        let parity_of = |groups: &[IterationGroup]| -> Vec<usize> {
+            groups
+                .iter()
+                .map(|g| g.tag().iter_bits().next().unwrap() % 2)
+                .collect()
+        };
+        let p: Vec<Vec<usize>> = assignment.per_core().iter().map(|g| parity_of(g)).collect();
+        for c in 0..4 {
+            assert!(p[c].windows(2).all(|w| w[0] == w[1]), "core {c} mixes parities");
+        }
+        assert_eq!(p[0][0], p[1][0], "L2 pair (0,1) split across parities");
+        assert_eq!(p[2][0], p[3][0], "L2 pair (2,3) split across parities");
+        assert_ne!(p[0][0], p[2][0], "both parities on one socket");
+    }
+
+    #[test]
+    fn distribution_preserves_all_iterations() {
+        let groups = figure10_groups(5);
+        let total: usize = groups.iter().map(|g| g.size()).sum();
+        let a = distribute(groups, &figure9(), 0.10);
+        assert_eq!(a.total_iterations(), total);
+        let mut all: Vec<u32> = a
+            .per_core()
+            .iter()
+            .flatten()
+            .flat_map(|g| g.iterations().to_vec())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total);
+    }
+
+    #[test]
+    fn balance_threshold_respected_with_splitting() {
+        // One giant group + tiny ones: splitting must kick in.
+        let mut groups = vec![group(4, &[0], 0..100)];
+        groups.push(group(4, &[1], 100..104));
+        groups.push(group(4, &[2], 104..108));
+        let a = distribute(groups, &figure9(), 0.10);
+        let sizes: Vec<usize> = (0..4).map(|c| a.core_size(c)).collect();
+        let ideal: f64 = 108.0 / 4.0;
+        for (c, &s) in sizes.iter().enumerate() {
+            assert!(
+                (s as f64) <= (ideal * 1.10).ceil(),
+                "core {c} got {s} iterations (ideal {ideal})"
+            );
+        }
+        assert_eq!(sizes.iter().sum::<usize>(), 108);
+    }
+
+    #[test]
+    fn more_cores_than_groups_pads_with_splits_or_empties() {
+        let groups = vec![group(4, &[0], 0..10)];
+        let a = distribute(groups, &figure9(), 0.10);
+        assert_eq!(a.total_iterations(), 10);
+        // The lone group must have been split across cores.
+        let nonempty = (0..4).filter(|&c| a.core_size(c) > 0).count();
+        assert!(nonempty >= 2, "expected the group to be split");
+    }
+
+    #[test]
+    fn empty_input_yields_empty_assignment() {
+        let a = distribute(Vec::new(), &figure9(), 0.10);
+        assert_eq!(a.total_iterations(), 0);
+        assert_eq!(a.n_cores(), 4);
+    }
+
+    #[test]
+    fn single_core_machine_gets_everything() {
+        let mut b = Machine::builder("uni", 1.0, 100);
+        let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(MB, 8, 64, 10));
+        b.core_with_l1(l2, CacheParams::new(8 * KB, 8, 64, 2));
+        let m = b.build();
+        let a = distribute(figure10_groups(3), &m, 0.10);
+        assert_eq!(a.core_size(0), 24);
+    }
+
+    #[test]
+    fn works_on_commercial_machines() {
+        for m in catalog::commercial_machines() {
+            let a = distribute(figure10_groups(6), &m, 0.10);
+            assert_eq!(a.total_iterations(), 48, "{}", m.name());
+            assert_eq!(a.n_cores(), m.n_cores());
+        }
+    }
+
+    #[test]
+    fn partition_respects_proportional_capacities() {
+        // Two children with capacities 1 and 3: sizes should track 25%/75%.
+        let groups: Vec<IterationGroup> =
+            (0..8).map(|j| group(8, &[j], (j as u32 * 10)..((j as u32 + 1) * 10))).collect();
+        let parts = partition_groups(groups, &[1, 3], 0.10, 8);
+        let s0 = total_size(&parts[0]);
+        let s1 = total_size(&parts[1]);
+        assert_eq!(s0 + s1, 80);
+        assert!(s0 <= 25 && s1 >= 55, "got {s0}/{s1}");
+    }
+
+    #[test]
+    fn split_for_balance_bounds_every_group() {
+        let groups = vec![group(4, &[0], 0..97), group(4, &[1], 97..100)];
+        let out = split_for_balance(groups, 4, 0.10);
+        let limit = (100f64 / 4.0 * 1.1).ceil() as usize; // 28
+        assert!(out.iter().all(|g| g.size() <= limit));
+        let total: usize = out.iter().map(IterationGroup::size).sum();
+        assert_eq!(total, 100);
+        // Split pieces keep the donor's tag.
+        assert!(out.iter().filter(|g| g.tag().get(0)).count() >= 4);
+    }
+
+    #[test]
+    fn split_for_balance_is_identity_when_balanced() {
+        let groups: Vec<IterationGroup> =
+            (0..4).map(|j| group(4, &[j], (j as u32 * 5)..((j as u32 + 1) * 5))).collect();
+        let out = split_for_balance(groups.clone(), 4, 0.10);
+        assert_eq!(out, groups);
+    }
+
+    #[test]
+    fn interleaved_distribution_slices_every_group_across_siblings() {
+        // One big group per L2-pair cluster; with Interleave(1), both cores
+        // of a pair must receive parts of it.
+        let groups: Vec<IterationGroup> = (0..2)
+            .map(|j| group(8, &[j, j + 4], (j as u32 * 40)..((j as u32 + 1) * 40)))
+            .collect();
+        let m = figure9();
+        let sep = distribute_with(groups.clone(), &m, 0.10, LeafSplit::Separate);
+        let int = distribute_with(groups, &m, 0.10, LeafSplit::Interleave(1));
+        assert_eq!(int.total_iterations(), 80);
+        assert_eq!(sep.total_iterations(), 80);
+        // Interleave: the two cores of the pair holding group 0 both carry
+        // its tag bit.
+        let holders = |a: &Assignment, bit: usize| -> Vec<usize> {
+            (0..a.n_cores())
+                .filter(|&c| {
+                    a.per_core()[c].iter().any(|g| g.tag().get(bit))
+                })
+                .collect()
+        };
+        assert!(
+            holders(&int, 0).len() >= 2,
+            "interleave must spread group 0: {:?}",
+            holders(&int, 0)
+        );
+    }
+
+    #[test]
+    fn interleave_balances_to_within_one_piece() {
+        let groups: Vec<IterationGroup> =
+            (0..5).map(|j| group(8, &[j], (j as u32 * 13)..((j as u32 + 1) * 13))).collect();
+        let m = figure9();
+        let a = distribute_with(groups, &m, 0.10, LeafSplit::Interleave(2));
+        let sizes: Vec<usize> = (0..4).map(|c| a.core_size(c)).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 65);
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(max - min <= 17, "sizes {sizes:?}"); // one piece of slack
+    }
+
+    #[test]
+    fn contiguous_cut_never_reorders_program_order() {
+        // With all-disjoint tags and equal sizes, the selected partition
+        // must still cover everything exactly once.
+        let groups: Vec<IterationGroup> =
+            (0..12).map(|j| group(16, &[j], (j as u32 * 4)..((j as u32 + 1) * 4))).collect();
+        let parts = partition_groups(groups, &[1, 1, 1], 0.10, 16);
+        let mut all: Vec<u32> = parts
+            .iter()
+            .flatten()
+            .flat_map(|g| g.iterations().to_vec())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..48).collect::<Vec<u32>>());
+    }
+}

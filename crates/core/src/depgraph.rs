@@ -1,0 +1,328 @@
+//! The iteration-group dependence graph (Section 3.5.2).
+//!
+//! An edge `a → b` means some iteration in group `b` depends on some
+//! iteration in group `a` (so `a` must be scheduled no later than the round
+//! before `b`). The graph can be cyclic — iterations of `a` may depend on
+//! iterations of `b` and vice versa — and the paper removes all cycles by
+//! merging the involved nodes before scheduling; [`condense`] implements
+//! that with Tarjan's strongly-connected-components algorithm.
+
+use std::collections::BTreeSet;
+
+use ctam_loopir::DependenceInfo;
+
+use crate::group::IterationGroup;
+use crate::space::IterationSpace;
+use crate::tag::Tag;
+
+/// A dependence graph over a flat list of iteration groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupDepGraph {
+    /// `succs[g]`: groups that depend on `g`.
+    succs: Vec<BTreeSet<usize>>,
+    /// `preds[g]`: groups `g` depends on.
+    preds: Vec<BTreeSet<usize>>,
+}
+
+impl GroupDepGraph {
+    /// Builds the graph: for every iteration `I` of every group's units and
+    /// every dependence distance `d`, if `I + d` is in the domain and lands
+    /// in a different group, add an edge from `I`'s group to `I + d`'s
+    /// group.
+    pub fn build(
+        groups: &[IterationGroup],
+        space: &IterationSpace,
+        dep: &DependenceInfo,
+    ) -> Self {
+        let mut owner = vec![usize::MAX; space.n_units()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &u in g.iterations() {
+                owner[u as usize] = gi;
+            }
+        }
+        let mut succs = vec![BTreeSet::new(); groups.len()];
+        let mut preds = vec![BTreeSet::new(); groups.len()];
+        if !dep.distances().is_empty() {
+            for (gi, g) in groups.iter().enumerate() {
+                for &u in g.iterations() {
+                    for &i in space.unit_members(u as usize) {
+                        let point = space.point(i as usize);
+                        for d in dep.distances() {
+                            let sink: Vec<i64> =
+                                point.iter().zip(d).map(|(p, q)| p + q).collect();
+                            if let Some(j) = space.index_of(&sink) {
+                                let gj = owner[space.unit_of(j)];
+                                if gj != usize::MAX && gj != gi {
+                                    succs[gi].insert(gj);
+                                    preds[gj].insert(gi);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Self { succs, preds }
+    }
+
+    /// An edgeless graph over `n` groups (the fully-parallel case).
+    pub fn edgeless(n: usize) -> Self {
+        Self {
+            succs: vec![BTreeSet::new(); n],
+            preds: vec![BTreeSet::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+
+    /// True if the graph has no edges (any schedule is legal).
+    pub fn is_edgeless(&self) -> bool {
+        self.succs.iter().all(BTreeSet::is_empty)
+    }
+
+    /// Groups that `g` depends on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn preds(&self, g: usize) -> &BTreeSet<usize> {
+        &self.preds[g]
+    }
+
+    /// Groups that depend on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is out of range.
+    pub fn succs(&self, g: usize) -> &BTreeSet<usize> {
+        &self.succs[g]
+    }
+
+    /// True if an edge `src → dst` exists.
+    pub fn has_edge(&self, src: usize, dst: usize) -> bool {
+        self.succs[src].contains(&dst)
+    }
+
+    /// Adds an edge `src → dst` (`dst` depends on `src`). Useful for
+    /// constructing dependence structure that does not come from a loop nest
+    /// (e.g. inter-nest ordering, or tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range or `src == dst`.
+    pub fn add_edge(&mut self, src: usize, dst: usize) {
+        assert!(src < self.len() && dst < self.len(), "node out of range");
+        assert_ne!(src, dst, "self-dependences are not edges");
+        self.succs[src].insert(dst);
+        self.preds[dst].insert(src);
+    }
+
+    /// Tarjan's SCC algorithm (iterative), returning the component id of
+    /// each node; components are numbered in reverse topological order.
+    fn sccs(&self) -> Vec<usize> {
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut comp = vec![usize::MAX; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut next_comp = 0usize;
+        // Explicit DFS: (node, iterator position over succs).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+            let succs: Vec<usize> = self.succs[root].iter().copied().collect();
+            index[root] = next_index;
+            low[root] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root] = true;
+            call.push((root, succs, 0));
+            while let Some((v, vsuccs, pos)) = call.pop() {
+                if pos < vsuccs.len() {
+                    let w = vsuccs[pos];
+                    call.push((v, vsuccs, pos + 1));
+                    if index[w] == usize::MAX {
+                        index[w] = next_index;
+                        low[w] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w] = true;
+                        let wsuccs: Vec<usize> = self.succs[w].iter().copied().collect();
+                        call.push((w, wsuccs, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    // Post-visit of v.
+                    if let Some(&(parent, _, _)) = call.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack invariant");
+                            on_stack[w] = false;
+                            comp[w] = next_comp;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        next_comp += 1;
+                    }
+                }
+            }
+        }
+        comp
+    }
+
+    /// True if the graph is acyclic.
+    pub fn is_acyclic(&self) -> bool {
+        let comp = self.sccs();
+        let n_comps = comp.iter().max().map_or(0, |&m| m + 1);
+        n_comps == self.len()
+    }
+}
+
+/// Condenses dependence cycles: groups in one strongly connected component
+/// are merged into a single group (iterations concatenated and sorted, tags
+/// OR-ed), and the graph is rebuilt over the merged groups. The result is
+/// acyclic, as the paper requires before round-based scheduling.
+pub fn condense(
+    groups: Vec<IterationGroup>,
+    space: &IterationSpace,
+    dep: &DependenceInfo,
+) -> (Vec<IterationGroup>, GroupDepGraph) {
+    let graph = GroupDepGraph::build(&groups, space, dep);
+    let comp = graph.sccs();
+    let n_comps = comp.iter().max().map_or(0, |&m| m + 1);
+    if n_comps == groups.len() {
+        return (groups, graph);
+    }
+    let n_bits = groups.first().map_or(0, |g| g.tag().n_bits());
+    let mut merged_iters: Vec<Vec<u32>> = vec![Vec::new(); n_comps];
+    let mut merged_tags: Vec<Tag> = vec![Tag::empty(n_bits); n_comps];
+    for (gi, g) in groups.into_iter().enumerate() {
+        let c = comp[gi];
+        merged_tags[c].or_assign(g.tag());
+        merged_iters[c].extend_from_slice(g.iterations());
+    }
+    let mut out: Vec<IterationGroup> = merged_tags
+        .into_iter()
+        .zip(merged_iters)
+        .map(|(tag, mut iters)| {
+            iters.sort_unstable();
+            IterationGroup::new(tag, iters)
+        })
+        .collect();
+    out.sort_by_key(|g| g.iterations()[0]);
+    let graph = GroupDepGraph::build(&out, space, dep);
+    debug_assert!(graph.is_acyclic(), "condensation must yield a DAG");
+    (out, graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::BlockMap;
+    use crate::group::group_iterations;
+    use ctam_loopir::{dependence, ArrayRef, LoopNest, Program};
+    use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+
+    /// A[i] = A[i-1]: a chain dependence with distance 1.
+    fn chain(n: i64) -> (Program, IterationSpace, DependenceInfo, BlockMap) {
+        let mut p = Program::new("chain");
+        let a = p.add_array("A", &[n as u64], 8);
+        let d = IntegerSet::builder(1).bounds(0, 1, n - 1).build();
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(a, AffineMap::identity(1)))
+                .with_ref(ArrayRef::read(
+                    a,
+                    AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 1)]),
+                )),
+        );
+        let dep = dependence::analyze(&p, id);
+        let space = IterationSpace::build(&p, id);
+        let bm = BlockMap::new(&p, 64); // 8 elements per block
+        (p, space, dep, bm)
+    }
+
+    #[test]
+    fn chain_dependences_produce_chain_graph() {
+        let (_, space, dep, bm) = chain(32);
+        let groups = group_iterations(&space, &bm);
+        let graph = GroupDepGraph::build(&groups, &space, &dep);
+        // Blocks are consecutive: group k feeds group k+1 at the boundary.
+        assert!(graph.is_acyclic());
+        assert!(!graph.is_edgeless());
+        for g in 0..graph.len() - 1 {
+            assert!(
+                graph.has_edge(g, g + 1),
+                "expected boundary edge {g} -> {}",
+                g + 1
+            );
+        }
+    }
+
+    #[test]
+    fn edgeless_for_parallel_nest() {
+        let (_, space, _, bm) = chain(32);
+        let groups = group_iterations(&space, &bm);
+        let dep0 = {
+            // Pretend the nest is parallel: no distances.
+            let mut p = Program::new("par");
+            let a = p.add_array("A", &[8], 8);
+            let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+            let id = p.add_nest(
+                LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
+            );
+            dependence::analyze(&p, id)
+        };
+        let graph = GroupDepGraph::build(&groups, &space, &dep0);
+        assert!(graph.is_edgeless());
+    }
+
+    #[test]
+    fn condense_merges_mutual_dependences() {
+        // Craft two groups that depend on each other: interleave iterations
+        // of a chain across two groups.
+        let (_, space, dep, _) = chain(16);
+        let n_bits = 4;
+        // 15 iterations (indices 0..=14); split odd/even indices so the
+        // distance-1 chain zig-zags between the two groups.
+        let odd_idx: Vec<u32> = (1..15).step_by(2).map(|i| i as u32).collect();
+        let even_idx: Vec<u32> = (2..15).step_by(2).map(|i| i as u32).collect();
+        let g0 = IterationGroup::new(Tag::from_bits(n_bits, [0]), odd_idx);
+        let g1 = IterationGroup::new(Tag::from_bits(n_bits, [1]), even_idx);
+        let graph = GroupDepGraph::build(&[g0.clone(), g1.clone()], &space, &dep);
+        assert!(graph.has_edge(0, 1) && graph.has_edge(1, 0), "mutual edges");
+        assert!(!graph.is_acyclic());
+        let (merged, graph2) = condense(vec![g0, g1], &space, &dep);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].size(), 14);
+        assert!(graph2.is_acyclic());
+        // Merged tag is the OR.
+        assert!(merged[0].tag().get(0) && merged[0].tag().get(1));
+    }
+
+    #[test]
+    fn condense_keeps_acyclic_graphs_intact() {
+        let (_, space, dep, bm) = chain(32);
+        let groups = group_iterations(&space, &bm);
+        let before = groups.len();
+        let (after, graph) = condense(groups, &space, &dep);
+        assert_eq!(after.len(), before);
+        assert!(graph.is_acyclic());
+    }
+}

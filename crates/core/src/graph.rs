@@ -1,0 +1,98 @@
+//! The iteration-group affinity graph (Figure 6's `BuildGraph` step).
+//!
+//! Nodes are iteration groups; the weight of edge `(i, j)` is the number of
+//! common 1-bits between the two groups' tags — the degree of data-block
+//! sharing. The hierarchical clustering step consumes these weights as its
+//! merge criterion.
+
+use crate::group::IterationGroup;
+
+/// A dense, symmetric affinity graph over iteration groups.
+#[derive(Debug, Clone)]
+pub struct AffinityGraph {
+    n: usize,
+    /// Row-major `n x n` weights; diagonal holds each group's popcount.
+    weights: Vec<u32>,
+}
+
+impl AffinityGraph {
+    /// Builds the graph from group tags.
+    pub fn build(groups: &[IterationGroup]) -> Self {
+        let n = groups.len();
+        let mut weights = vec![0u32; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let w = groups[i].tag().dot(groups[j].tag());
+                weights[i * n + j] = w;
+                weights[j * n + i] = w;
+            }
+        }
+        Self { n, weights }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The weight of edge `(i, j)` (symmetric; `(i, i)` is the group's own
+    /// block count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn weight(&self, i: usize, j: usize) -> u32 {
+        assert!(i < self.n && j < self.n, "node index out of range");
+        self.weights[i * self.n + j]
+    }
+
+    /// Neighbors of `i` with non-zero weight, descending by weight (ties by
+    /// index), excluding `i` itself.
+    pub fn neighbors_by_weight(&self, i: usize) -> Vec<(usize, u32)> {
+        let mut out: Vec<(usize, u32)> = (0..self.n)
+            .filter(|&j| j != i && self.weight(i, j) > 0)
+            .map(|j| (j, self.weight(i, j)))
+            .collect();
+        out.sort_by_key(|&(j, w)| (std::cmp::Reverse(w), j));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tag::Tag;
+
+    fn g(bits: &[usize]) -> IterationGroup {
+        IterationGroup::new(Tag::from_bits(8, bits.iter().copied()), vec![0])
+    }
+
+    #[test]
+    fn weights_are_tag_dots() {
+        let groups = vec![g(&[0, 1, 2]), g(&[2, 3]), g(&[5])];
+        let graph = AffinityGraph::build(&groups);
+        assert_eq!(graph.weight(0, 1), 1);
+        assert_eq!(graph.weight(1, 0), 1);
+        assert_eq!(graph.weight(0, 2), 0);
+        assert_eq!(graph.weight(0, 0), 3);
+    }
+
+    #[test]
+    fn neighbors_sorted_by_weight() {
+        let groups = vec![g(&[0, 1, 2, 3]), g(&[0]), g(&[0, 1, 2]), g(&[7])];
+        let graph = AffinityGraph::build(&groups);
+        let nb = graph.neighbors_by_weight(0);
+        assert_eq!(nb, vec![(2, 3), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let graph = AffinityGraph::build(&[]);
+        assert!(graph.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! A concretized iteration space: enumerated points with their resolved
+//! element accesses, the working set the CTAM pass operates on.
+
+use std::collections::HashMap;
+
+use ctam_loopir::{ElementAccess, NestId, Program};
+use ctam_poly::Point;
+
+use crate::blocks::BlockMap;
+use crate::tag::Tag;
+
+/// The enumerated iterations of one loop nest, with per-iteration element
+/// accesses cached (the "profile" the paper's block-size selection and
+/// tagging steps consume).
+///
+/// # Mapping units
+///
+/// The paper distributes the iterations of *the parallelized loop* — the
+/// outermost loop without carried dependencies — and each such iteration
+/// carries its whole inner sweep. The space therefore partitions its points
+/// into **units**: maximal runs of points sharing the first `unit_prefix`
+/// index values. [`Self::build`] uses singleton units (every point its own
+/// unit); [`Self::build_units`] groups by an index prefix. All mapping
+/// machinery ([`crate::group`], [`crate::cluster`], [`crate::schedule`])
+/// works on unit ids; traces expand units back to points.
+#[derive(Debug, Clone)]
+pub struct IterationSpace {
+    nest: NestId,
+    points: Vec<Point>,
+    accesses: Vec<Vec<ElementAccess>>,
+    point_index: HashMap<Point, usize>,
+    /// `units[u]`: the full-iteration indices of unit `u`, in lex order.
+    units: Vec<Vec<u32>>,
+    /// Inverse map: full iteration -> unit.
+    unit_of: Vec<u32>,
+    /// Number of leading index positions that define a unit.
+    unit_prefix: usize,
+}
+
+impl IterationSpace {
+    /// Enumerates `nest` of `program` and resolves every reference; every
+    /// point is its own mapping unit.
+    pub fn build(program: &Program, nest: NestId) -> Self {
+        let depth = program.nest(nest).depth();
+        Self::build_units(program, nest, depth)
+    }
+
+    /// Like [`Self::build`], but mapping units are maximal runs of points
+    /// sharing their first `unit_prefix` indices — e.g. `unit_prefix == 1`
+    /// distributes outermost-loop iterations whole, as the paper's
+    /// parallelization strategy does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit_prefix` exceeds the nest depth.
+    pub fn build_units(program: &Program, nest: NestId, unit_prefix: usize) -> Self {
+        let depth = program.nest(nest).depth();
+        assert!(unit_prefix <= depth, "unit prefix deeper than the nest");
+        let points = program.nest(nest).iterations();
+        let accesses: Vec<Vec<ElementAccess>> = points
+            .iter()
+            .map(|p| program.nest_accesses(nest, p))
+            .collect();
+        let point_index = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), i))
+            .collect();
+        let mut units: Vec<Vec<u32>> = Vec::new();
+        let mut unit_of = Vec::with_capacity(points.len());
+        for (i, p) in points.iter().enumerate() {
+            let starts_new = match points.get(i.wrapping_sub(1)) {
+                Some(prev) if i > 0 => prev[..unit_prefix] != p[..unit_prefix],
+                _ => true,
+            };
+            if starts_new {
+                units.push(Vec::new());
+            }
+            let u = units.len() - 1;
+            units[u].push(i as u32);
+            unit_of.push(u as u32);
+        }
+        Self {
+            nest,
+            points,
+            accesses,
+            point_index,
+            units,
+            unit_of,
+            unit_prefix,
+        }
+    }
+
+    /// Number of mapping units.
+    pub fn n_units(&self) -> usize {
+        self.units.len()
+    }
+
+    /// The prefix length that defines units.
+    pub fn unit_prefix(&self) -> usize {
+        self.unit_prefix
+    }
+
+    /// The full-iteration indices of unit `u`, in lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn unit_members(&self, u: usize) -> &[u32] {
+        &self.units[u]
+    }
+
+    /// The unit containing full iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn unit_of(&self, i: usize) -> usize {
+        self.unit_of[i] as usize
+    }
+
+    /// The tag of unit `u`: the union of its members' tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn unit_tag(&self, u: usize, blocks: &BlockMap) -> Tag {
+        let mut t = Tag::empty(blocks.n_blocks());
+        for &i in &self.units[u] {
+            for a in &self.accesses[i as usize] {
+                t.set(blocks.block_of(a.array, a.element));
+            }
+        }
+        t
+    }
+
+    /// The nest this space was built from.
+    pub fn nest(&self) -> NestId {
+        self.nest
+    }
+
+    /// Number of iterations.
+    pub fn n_iterations(&self) -> usize {
+        self.points.len()
+    }
+
+    /// All iteration points in lexicographic order.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The point of iteration `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn point(&self, i: usize) -> &Point {
+        &self.points[i]
+    }
+
+    /// The element accesses of iteration `i`, in body order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn accesses(&self, i: usize) -> &[ElementAccess] {
+        &self.accesses[i]
+    }
+
+    /// Index of an iteration point, if it is in the domain.
+    pub fn index_of(&self, point: &[i64]) -> Option<usize> {
+        self.point_index.get(point).copied()
+    }
+
+    /// The largest number of distinct elements any single iteration touches
+    /// — the profile quantity behind block-size selection.
+    pub fn max_refs_per_iteration(&self) -> usize {
+        self.accesses
+            .iter()
+            .map(|a| {
+                let mut els: Vec<_> = a.iter().map(|e| (e.array, e.element)).collect();
+                els.sort_unstable();
+                els.dedup();
+                els.len()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The tag of iteration `i` under `blocks`: one bit per accessed data
+    /// block (Section 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn tag_of(&self, i: usize, blocks: &BlockMap) -> Tag {
+        let mut t = Tag::empty(blocks.n_blocks());
+        for a in &self.accesses[i] {
+            t.set(blocks.block_of(a.array, a.element));
+        }
+        t
+    }
+
+    /// Tags of every iteration.
+    pub fn tags(&self, blocks: &BlockMap) -> Vec<Tag> {
+        (0..self.n_iterations())
+            .map(|i| self.tag_of(i, blocks))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_loopir::{ArrayRef, LoopNest};
+    use ctam_poly::{AffineMap, IntegerSet};
+
+    fn simple() -> (Program, NestId) {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[64], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 63).build();
+        let id = p.add_nest(
+            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
+        );
+        (p, id)
+    }
+
+    #[test]
+    fn build_caches_points_and_accesses() {
+        let (p, id) = simple();
+        let s = IterationSpace::build(&p, id);
+        assert_eq!(s.n_iterations(), 64);
+        assert_eq!(s.accesses(5)[0].element, 5);
+        assert_eq!(s.index_of(&[10]), Some(10));
+        assert_eq!(s.index_of(&[64]), None);
+    }
+
+    #[test]
+    fn tags_track_blocks() {
+        let (p, id) = simple();
+        let s = IterationSpace::build(&p, id);
+        // 64 elements x 8B = 512B; 128B blocks -> 4 blocks of 16 elements.
+        let bm = BlockMap::new(&p, 128);
+        assert_eq!(bm.n_blocks(), 4);
+        let t0 = s.tag_of(0, &bm);
+        let t16 = s.tag_of(16, &bm);
+        assert!(t0.get(0) && !t0.get(1));
+        assert!(t16.get(1) && !t16.get(0));
+        assert_eq!(s.tags(&bm).len(), 64);
+    }
+
+    #[test]
+    fn max_refs_counts_distinct_elements() {
+        let (p, id) = simple();
+        let s = IterationSpace::build(&p, id);
+        assert_eq!(s.max_refs_per_iteration(), 1);
+    }
+
+    fn grid(n: i64) -> (Program, NestId) {
+        let mut p = Program::new("g");
+        let a = p.add_array("A", &[n as u64, n as u64], 8);
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, n - 1)
+            .bounds(1, 0, n - 1)
+            .build();
+        let id = p.add_nest(
+            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(2))),
+        );
+        (p, id)
+    }
+
+    #[test]
+    fn singleton_units_by_default() {
+        let (p, id) = grid(4);
+        let s = IterationSpace::build(&p, id);
+        assert_eq!(s.n_units(), 16);
+        assert_eq!(s.unit_members(3), &[3]);
+        assert_eq!(s.unit_of(7), 7);
+    }
+
+    #[test]
+    fn prefix_units_group_rows() {
+        let (p, id) = grid(4);
+        let s = IterationSpace::build_units(&p, id, 1);
+        assert_eq!(s.n_units(), 4);
+        assert_eq!(s.unit_members(1), &[4, 5, 6, 7]);
+        assert_eq!(s.unit_of(6), 1);
+        // Unit tag is the union of member tags.
+        let bm = BlockMap::new(&p, 64); // 8 elements per block
+        let t = s.unit_tag(0, &bm);
+        // Row 0 = elements 0..4: block 0 only.
+        assert!(t.get(0) && !t.get(1));
+        let t1 = s.unit_tag(2, &bm);
+        // Row 2 = elements 8..12: wait, row-major 4x4 -> elements 8..11,
+        // block 1 (elements 8..15).
+        assert!(t1.get(1));
+    }
+
+    #[test]
+    fn zero_prefix_is_one_unit() {
+        let (p, id) = grid(3);
+        let s = IterationSpace::build_units(&p, id, 0);
+        assert_eq!(s.n_units(), 1);
+        assert_eq!(s.unit_members(0).len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "deeper than the nest")]
+    fn overlong_prefix_rejected() {
+        let (p, id) = grid(3);
+        let _ = IterationSpace::build_units(&p, id, 3);
+    }
+}

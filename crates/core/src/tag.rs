@@ -1,0 +1,235 @@
+//! Iteration tags: bit-vectors over data blocks (Section 3.3).
+//!
+//! The tag of an iteration (or iteration group, or cluster) has bit `j` set
+//! iff the iteration accesses data block `β_j`. The paper's operators map to
+//! bitset operations: the *bitwise sum* of tags is OR, the *dot product* —
+//! the clustering affinity measure — is `popcount(AND)`, and local
+//! scheduling also uses the Hamming distance.
+
+use std::fmt;
+
+/// A fixed-width bitset over the data blocks of a program.
+///
+/// # Example
+///
+/// ```
+/// use ctam::tag::Tag;
+///
+/// let mut a = Tag::empty(12);
+/// a.set(0);
+/// a.set(2);
+/// let mut b = Tag::empty(12);
+/// b.set(2);
+/// b.set(3);
+/// assert_eq!(a.dot(&b), 1);          // share block 2
+/// assert_eq!(a.or(&b).popcount(), 3); // union = {0, 2, 3}
+/// assert_eq!(a.hamming(&b), 2);       // differ on blocks 0 and 3
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag {
+    n_bits: usize,
+    words: Vec<u64>,
+}
+
+impl Tag {
+    /// The all-zeros tag over `n_bits` blocks.
+    pub fn empty(n_bits: usize) -> Self {
+        Self {
+            n_bits,
+            words: vec![0; n_bits.div_ceil(64)],
+        }
+    }
+
+    /// Builds a tag from the given set bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any bit is `>= n_bits`.
+    pub fn from_bits<I: IntoIterator<Item = usize>>(n_bits: usize, bits: I) -> Self {
+        let mut t = Self::empty(n_bits);
+        for b in bits {
+            t.set(b);
+        }
+        t
+    }
+
+    /// Number of blocks the tag ranges over.
+    pub fn n_bits(&self) -> usize {
+        self.n_bits
+    }
+
+    /// Sets bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= n_bits()`.
+    pub fn set(&mut self, bit: usize) {
+        assert!(bit < self.n_bits, "bit {bit} out of range {}", self.n_bits);
+        self.words[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    /// Tests bit `bit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= n_bits()`.
+    pub fn get(&self, bit: usize) -> bool {
+        assert!(bit < self.n_bits, "bit {bit} out of range {}", self.n_bits);
+        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Number of set bits (distinct blocks accessed).
+    pub fn popcount(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The paper's dot product: the number of common 1-bits — the degree of
+    /// data-block sharing between two tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn dot(&self, other: &Tag) -> u32 {
+        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// The paper's "bitwise sum": the union of accessed blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or(&self, other: &Tag) -> Tag {
+        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
+        Tag {
+            n_bits: self.n_bits,
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
+        }
+    }
+
+    /// In-place union.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn or_assign(&mut self, other: &Tag) {
+        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Hamming distance: blocks accessed by exactly one of the two tags
+    /// (the local-scheduling proximity measure of Section 3.5.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn hamming(&self, other: &Tag) -> u32 {
+        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Iterates the indices of set bits, ascending.
+    pub fn iter_bits(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.n_bits).filter(move |&b| self.get(b))
+    }
+}
+
+impl fmt::Debug for Tag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The paper writes tags as bit strings, e.g. σ_101010000000.
+        write!(f, "σ_")?;
+        for b in 0..self.n_bits.min(64) {
+            write!(f, "{}", u8::from(self.get(b)))?;
+        }
+        if self.n_bits > 64 {
+            write!(f, "…({} more)", self.n_bits - 64)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut t = Tag::empty(130);
+        for b in [0, 63, 64, 127, 129] {
+            assert!(!t.get(b));
+            t.set(b);
+            assert!(t.get(b));
+        }
+        assert_eq!(t.popcount(), 5);
+    }
+
+    #[test]
+    fn dot_counts_common_ones() {
+        let a = Tag::from_bits(8, [0, 1, 2, 3]);
+        let b = Tag::from_bits(8, [2, 3, 4, 5]);
+        assert_eq!(a.dot(&b), 2);
+        assert_eq!(b.dot(&a), 2); // symmetric
+        assert_eq!(a.dot(&a), a.popcount()); // idempotent-ish
+    }
+
+    #[test]
+    fn or_is_union() {
+        let a = Tag::from_bits(8, [0, 1]);
+        let b = Tag::from_bits(8, [1, 2]);
+        let u = a.or(&b);
+        assert_eq!(u, Tag::from_bits(8, [0, 1, 2]));
+        // OR is idempotent and commutative.
+        assert_eq!(u.or(&u), u);
+        assert_eq!(a.or(&b), b.or(&a));
+    }
+
+    #[test]
+    fn hamming_is_symmetric_difference_size() {
+        let a = Tag::from_bits(8, [0, 1]);
+        let b = Tag::from_bits(8, [1, 2, 3]);
+        assert_eq!(a.hamming(&b), 3);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    #[test]
+    fn iter_bits_ascending() {
+        let t = Tag::from_bits(70, [69, 3, 64]);
+        assert_eq!(t.iter_bits().collect::<Vec<_>>(), vec![3, 64, 69]);
+    }
+
+    #[test]
+    fn paper_example_tags_do_not_intersect() {
+        // σ_1100 and σ_1000 share the first block only.
+        let t1100 = Tag::from_bits(4, [0, 1]);
+        let t1000 = Tag::from_bits(4, [0]);
+        assert_eq!(t1100.dot(&t1000), 1);
+        assert_ne!(t1100, t1000);
+    }
+
+    #[test]
+    fn debug_renders_bit_string() {
+        let t = Tag::from_bits(4, [0, 2]);
+        assert_eq!(format!("{t:?}"), "σ_1010");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = Tag::empty(4).dot(&Tag::empty(5));
+    }
+}

@@ -1,0 +1,122 @@
+//! Array declarations.
+
+use std::fmt;
+
+/// Identifier of an array within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrayId(pub(crate) usize);
+
+impl ArrayId {
+    /// The raw index of the array in its program.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "array{}", self.0)
+    }
+}
+
+/// A rectangular array: `name[d0][d1]...` of `elem_bytes`-byte elements,
+/// laid out row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    name: String,
+    dims: Vec<u64>,
+    elem_bytes: u32,
+}
+
+impl ArrayDecl {
+    /// Declares an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any extent is zero, or `elem_bytes` is 0.
+    pub fn new(name: &str, dims: &[u64], elem_bytes: u32) -> Self {
+        assert!(!dims.is_empty(), "array must have at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "array extents must be positive");
+        assert!(elem_bytes > 0, "element size must be positive");
+        Self {
+            name: name.to_owned(),
+            dims: dims.to_vec(),
+            elem_bytes,
+        }
+    }
+
+    /// The array's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-dimension extents.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// Bytes per element.
+    pub fn elem_bytes(&self) -> u32 {
+        self.elem_bytes
+    }
+
+    /// Total number of elements.
+    pub fn n_elements(&self) -> u64 {
+        self.dims.iter().product()
+    }
+
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.n_elements() * u64::from(self.elem_bytes)
+    }
+
+    /// Row-major flat index of a multi-dimensional element index.
+    ///
+    /// Out-of-bounds indices are clamped into the array (subscripts produced
+    /// by boundary iterations of stencil kernels may step one element out;
+    /// clamping models the halo padding such codes allocate).
+    pub fn flatten(&self, index: &[i64]) -> u64 {
+        assert_eq!(index.len(), self.dims.len(), "subscript arity mismatch");
+        let mut flat: u64 = 0;
+        for (d, &i) in index.iter().enumerate() {
+            let extent = self.dims[d];
+            let clamped = i.clamp(0, extent as i64 - 1) as u64;
+            flat = flat * extent + clamped;
+        }
+        flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_flattening() {
+        let a = ArrayDecl::new("A", &[4, 5], 8);
+        assert_eq!(a.flatten(&[0, 0]), 0);
+        assert_eq!(a.flatten(&[0, 4]), 4);
+        assert_eq!(a.flatten(&[1, 0]), 5);
+        assert_eq!(a.flatten(&[3, 4]), 19);
+    }
+
+    #[test]
+    fn sizes() {
+        let a = ArrayDecl::new("A", &[10, 10], 4);
+        assert_eq!(a.n_elements(), 100);
+        assert_eq!(a.size_bytes(), 400);
+    }
+
+    #[test]
+    fn out_of_bounds_clamps() {
+        let a = ArrayDecl::new("A", &[4, 4], 8);
+        assert_eq!(a.flatten(&[-1, 0]), a.flatten(&[0, 0]));
+        assert_eq!(a.flatten(&[5, 3]), a.flatten(&[3, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_extent_rejected() {
+        let _ = ArrayDecl::new("A", &[0], 8);
+    }
+}

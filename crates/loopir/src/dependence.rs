@@ -1,0 +1,379 @@
+//! Dependence analysis: distance vectors, loop-carried dependence detection
+//! and outermost-parallel-loop selection.
+//!
+//! Two analyses are provided:
+//!
+//! * [`analyze_static`] — the classic compile-time test for *uniformly
+//!   generated* affine references (equal linear parts, constant offset
+//!   difference), which covers the stencil-style kernels that dominate the
+//!   paper's domain;
+//! * [`analyze_exact`] — an exact, enumeration-based analysis of the
+//!   concrete iteration domain, used as the fallback for irregular
+//!   (index-array) references the static test cannot see through.
+//!
+//! [`analyze`] picks the static test when it applies and falls back to the
+//! exact one otherwise, mirroring how the paper's infrastructure (Phoenix +
+//! Omega) resolves what it can statically and treats the rest conservatively.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::nest::{AccessKind, NestId, Subscript};
+use crate::program::Program;
+
+/// Comparison of one distance-vector component, for direction-vector style
+/// queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Component `< 0`.
+    Lt,
+    /// Component `== 0`.
+    Eq,
+    /// Component `> 0`.
+    Gt,
+}
+
+/// The dependence structure of one loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DependenceInfo {
+    depth: usize,
+    /// Distinct lexicographically-positive distance vectors
+    /// (`sink iteration - source iteration`), sorted.
+    distances: Vec<Vec<i64>>,
+    /// True if produced by [`analyze_exact`] (precise for the concrete
+    /// domain), false for the conservative static test.
+    exact: bool,
+}
+
+impl DependenceInfo {
+    /// The nest depth the vectors are over.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// The distance vectors, each lexicographically positive, sorted.
+    pub fn distances(&self) -> &[Vec<i64>] {
+        &self.distances
+    }
+
+    /// Whether the info came from the exact (enumeration) analysis.
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// True if no iteration depends on another — "fully parallel" in the
+    /// paper's Section 3.1 sense: any distribution of iterations is legal.
+    pub fn is_fully_parallel(&self) -> bool {
+        self.distances.is_empty()
+    }
+
+    /// Levels (0-based, outermost first) that carry at least one dependence:
+    /// level `l` carries `d` when `d[0..l]` is all zeros and `d[l] > 0`.
+    pub fn carried_levels(&self) -> BTreeSet<usize> {
+        self.distances
+            .iter()
+            .filter_map(|d| d.iter().position(|&x| x != 0))
+            .collect()
+    }
+
+    /// The outermost loop level with no carried dependence — the loop the
+    /// paper's parallelism-extraction step (after Anderson) would choose to
+    /// run in parallel. `None` if every level carries a dependence.
+    pub fn outermost_parallel(&self) -> Option<usize> {
+        let carried = self.carried_levels();
+        (0..self.depth).find(|l| !carried.contains(l))
+    }
+
+    /// The direction vector of one distance vector.
+    pub fn direction_of(d: &[i64]) -> Vec<Direction> {
+        d.iter()
+            .map(|&x| match x.signum() {
+                -1 => Direction::Lt,
+                0 => Direction::Eq,
+                _ => Direction::Gt,
+            })
+            .collect()
+    }
+}
+
+/// Returns the lexicographically positive version of `d`, or `None` if `d`
+/// is all zeros (an intra-iteration "dependence", which is not loop-carried).
+fn lex_positive(mut d: Vec<i64>) -> Option<Vec<i64>> {
+    match d.iter().find(|&&x| x != 0) {
+        None => None,
+        Some(&first) => {
+            if first < 0 {
+                for x in &mut d {
+                    *x = -*x;
+                }
+            }
+            Some(d)
+        }
+    }
+}
+
+/// Static, conservative dependence test for uniformly generated affine
+/// references. Returns `None` when the nest contains reference pairs the
+/// test cannot analyze (indirect subscripts, or affine pairs on the same
+/// array with different linear parts or rows that are not single-variable
+/// `±1` rows).
+pub fn analyze_static(program: &Program, nest: NestId) -> Option<DependenceInfo> {
+    let n = program.nest(nest);
+    let depth = n.depth();
+    let mut distances: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for (i, a) in n.refs().iter().enumerate() {
+        for b in &n.refs()[i..] {
+            if a.array() != b.array() {
+                continue;
+            }
+            if a.kind() == AccessKind::Read && b.kind() == AccessKind::Read {
+                continue;
+            }
+            let (Subscript::Affine(ma), Subscript::Affine(mb)) = (a.subscript(), b.subscript())
+            else {
+                return None; // indirect: not statically analyzable
+            };
+            if ma.n_out() != mb.n_out() {
+                return None;
+            }
+            // Uniformly generated: equal linear parts.
+            let uniform = ma
+                .exprs()
+                .iter()
+                .zip(mb.exprs())
+                .all(|(ea, eb)| ea.coeffs() == eb.coeffs());
+            if !uniform {
+                return None;
+            }
+            // Every row must pin exactly one variable with coefficient +/-1,
+            // and collectively the rows must pin every variable.
+            let mut delta = vec![None; depth]; // I_a - I_b per variable
+            let mut consistent = true;
+            for (ea, eb) in ma.exprs().iter().zip(mb.exprs()) {
+                let nz: Vec<usize> = (0..depth).filter(|&v| ea.coeff(v) != 0).collect();
+                match nz.as_slice() {
+                    [] => {
+                        // Constant subscript row: elements differ unless the
+                        // offsets match.
+                        if ea.constant_term() != eb.constant_term() {
+                            consistent = false;
+                        }
+                    }
+                    [v] if ea.coeff(*v).abs() == 1 => {
+                        // c*(Ia[v] - Ib[v]) = offB - offA
+                        let rhs = eb.constant_term() - ea.constant_term();
+                        let val = rhs * ea.coeff(*v); // c is +/-1 so this divides
+                        match delta[*v] {
+                            None => delta[*v] = Some(val),
+                            Some(prev) if prev == val => {}
+                            Some(_) => consistent = false,
+                        }
+                    }
+                    _ => return None, // coupled or scaled row: fall back
+                }
+            }
+            if !consistent {
+                continue; // provably no dependence for this pair
+            }
+            if delta.iter().any(Option::is_none) {
+                return None; // under-constrained: fall back to exact
+            }
+            let d: Vec<i64> = delta.into_iter().map(|x| x.expect("checked")).collect();
+            if let Some(d) = lex_positive(d) {
+                distances.insert(d);
+            }
+        }
+    }
+    Some(DependenceInfo {
+        depth,
+        distances: distances.into_iter().collect(),
+        exact: false,
+    })
+}
+
+/// Exact dependence analysis by enumerating the concrete iteration domain:
+/// collects, for every element, the iterations that touch it, and records
+/// the distinct source→sink distance vectors among pairs where at least one
+/// side writes.
+///
+/// Precise (it sees through indirect subscripts) but costs
+/// `O(iterations × refs)` time and memory; intended for the moderate domain
+/// sizes of the evaluation.
+pub fn analyze_exact(program: &Program, nest: NestId) -> DependenceInfo {
+    let n = program.nest(nest);
+    let depth = n.depth();
+    // element (array, flat) -> list of (iteration index, writes?)
+    let iterations = n.iterations();
+    let mut touched: HashMap<(usize, u64), Vec<(usize, bool)>> = HashMap::new();
+    for (it_idx, point) in iterations.iter().enumerate() {
+        for acc in program.nest_accesses(nest, point) {
+            let writes = acc.kind == AccessKind::Write;
+            touched
+                .entry((acc.array.index(), acc.element))
+                .or_default()
+                .push((it_idx, writes));
+        }
+    }
+    let mut distances: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for users in touched.values() {
+        for (i, &(ia, wa)) in users.iter().enumerate() {
+            for &(ib, wb) in &users[i + 1..] {
+                if !(wa || wb) || ia == ib {
+                    continue;
+                }
+                let d: Vec<i64> = iterations[ib]
+                    .iter()
+                    .zip(&iterations[ia])
+                    .map(|(x, y)| x - y)
+                    .collect();
+                if let Some(d) = lex_positive(d) {
+                    distances.insert(d);
+                }
+            }
+        }
+    }
+    DependenceInfo {
+        depth,
+        distances: distances.into_iter().collect(),
+        exact: true,
+    }
+}
+
+/// Static analysis when possible, exact analysis otherwise.
+pub fn analyze(program: &Program, nest: NestId) -> DependenceInfo {
+    analyze_static(program, nest).unwrap_or_else(|| analyze_exact(program, nest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::{ArrayRef, LoopNest};
+    use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+
+    /// Figure 5 of the paper: `B[j] = B[j] + B[j+2k] + B[j-2k]` with k = 2.
+    fn fig5() -> (Program, NestId) {
+        let k = 2i64;
+        let mut p = Program::new("fig5");
+        let b = p.add_array("B", &[48], 8);
+        let d = IntegerSet::builder(1)
+            .names(["j"])
+            .bounds(0, 2 * k, 48 - 2 * k - 1)
+            .build();
+        let sub = |off: i64| {
+            AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, off)])
+        };
+        let nest = LoopNest::new("fig5", d)
+            .with_ref(ArrayRef::write(b, sub(0)))
+            .with_ref(ArrayRef::read(b, sub(0)))
+            .with_ref(ArrayRef::read(b, sub(2 * k)))
+            .with_ref(ArrayRef::read(b, sub(-2 * k)));
+        let id = p.add_nest(nest);
+        (p, id)
+    }
+
+    #[test]
+    fn fig5_static_distances() {
+        let (p, id) = fig5();
+        let info = analyze_static(&p, id).expect("fig5 is uniformly generated");
+        assert_eq!(info.distances(), &[vec![4]]);
+        assert!(!info.is_fully_parallel());
+        assert_eq!(info.outermost_parallel(), None);
+    }
+
+    #[test]
+    fn fig5_static_and_exact_agree() {
+        let (p, id) = fig5();
+        let s = analyze_static(&p, id).unwrap();
+        let e = analyze_exact(&p, id);
+        assert_eq!(s.distances(), e.distances());
+    }
+
+    #[test]
+    fn independent_columns_are_parallel_outer() {
+        // A[i][j] = A[i][j-1]: carried at level 1 (j), parallel at level 0.
+        let mut p = Program::new("cols");
+        let a = p.add_array("A", &[8, 8], 8);
+        let d = IntegerSet::builder(2).bounds(0, 0, 7).bounds(1, 1, 7).build();
+        let w = AffineMap::identity(2);
+        let r = AffineMap::new(
+            2,
+            vec![
+                AffineExpr::var(2, 0),
+                AffineExpr::var(2, 1) - AffineExpr::constant(2, 1),
+            ],
+        );
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(a, w))
+                .with_ref(ArrayRef::read(a, r)),
+        );
+        let info = analyze(&p, id);
+        assert_eq!(info.distances(), &[vec![0, 1]]);
+        assert_eq!(info.carried_levels(), BTreeSet::from([1]));
+        assert_eq!(info.outermost_parallel(), Some(0));
+    }
+
+    #[test]
+    fn fully_parallel_nest() {
+        // C[i] = A[i] + B[i]: no dependence.
+        let mut p = Program::new("add");
+        let a = p.add_array("A", &[16], 8);
+        let b = p.add_array("B", &[16], 8);
+        let c = p.add_array("C", &[16], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 15).build();
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(c, AffineMap::identity(1)))
+                .with_ref(ArrayRef::read(a, AffineMap::identity(1)))
+                .with_ref(ArrayRef::read(b, AffineMap::identity(1))),
+        );
+        let info = analyze(&p, id);
+        assert!(info.is_fully_parallel());
+        assert_eq!(info.outermost_parallel(), Some(0));
+    }
+
+    #[test]
+    fn indirect_refs_fall_back_to_exact() {
+        let mut p = Program::new("gather");
+        let x = p.add_array("x", &[32], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let id = p.add_nest(
+            LoopNest::new("n", d).with_ref(ArrayRef::new(
+                x,
+                Subscript::Indirect {
+                    selector: AffineExpr::var(1, 0),
+                    table: vec![0u64, 1, 2, 3, 0, 1, 2, 3].into(),
+                },
+                AccessKind::Write,
+            )),
+        );
+        assert!(analyze_static(&p, id).is_none());
+        let info = analyze(&p, id);
+        assert!(info.is_exact());
+        // Iterations j and j+4 write the same element.
+        assert_eq!(info.distances(), &[vec![4]]);
+    }
+
+    #[test]
+    fn reads_never_conflict() {
+        let mut p = Program::new("ro");
+        let a = p.add_array("A", &[8], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let zero =
+            AffineMap::new(1, vec![AffineExpr::constant(1, 0)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::read(a, zero.clone()))
+                .with_ref(ArrayRef::read(a, zero)),
+        );
+        let info = analyze(&p, id);
+        assert!(info.is_fully_parallel());
+    }
+
+    #[test]
+    fn direction_vectors() {
+        assert_eq!(
+            DependenceInfo::direction_of(&[0, 2, -1]),
+            vec![Direction::Eq, Direction::Gt, Direction::Lt]
+        );
+    }
+}

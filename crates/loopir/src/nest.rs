@@ -1,0 +1,223 @@
+//! Loop nests and array references.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ctam_poly::{AffineExpr, AffineMap, IntegerSet, Point};
+
+use crate::array::ArrayId;
+
+/// Identifier of a loop nest within a [`crate::Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NestId(pub(crate) usize);
+
+impl NestId {
+    /// The raw index of the nest in its program.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Whether a reference reads or writes its array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// The reference loads.
+    Read,
+    /// The reference stores.
+    Write,
+}
+
+/// How a reference computes the accessed element from the iteration vector.
+#[derive(Clone)]
+pub enum Subscript {
+    /// Affine subscripts: the iteration vector is mapped to a
+    /// multi-dimensional element index (e.g. `A[i1+1][i2-1]`).
+    Affine(AffineMap),
+    /// Indirect (index-array) subscripts, as in sparse and pointer-chasing
+    /// codes: the iteration selects a row of a precomputed table via an
+    /// affine `selector`, and the table entry is the flat element index
+    /// (e.g. `x[col[j]]` in SpMV).
+    Indirect {
+        /// Affine expression computing the table row from the iteration.
+        selector: AffineExpr,
+        /// The index table; the selector value is wrapped modulo its length.
+        table: Arc<[u64]>,
+    },
+}
+
+impl fmt::Debug for Subscript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subscript::Affine(m) => write!(f, "Affine({m:?})"),
+            Subscript::Indirect { selector, table } => {
+                write!(f, "Indirect(sel={selector:?}, |table|={})", table.len())
+            }
+        }
+    }
+}
+
+/// One array reference in a loop body.
+#[derive(Debug, Clone)]
+pub struct ArrayRef {
+    array: ArrayId,
+    subscript: Subscript,
+    kind: AccessKind,
+}
+
+impl ArrayRef {
+    /// Builds a reference.
+    pub fn new(array: ArrayId, subscript: Subscript, kind: AccessKind) -> Self {
+        Self {
+            array,
+            subscript,
+            kind,
+        }
+    }
+
+    /// Convenience: an affine read.
+    pub fn read(array: ArrayId, map: AffineMap) -> Self {
+        Self::new(array, Subscript::Affine(map), AccessKind::Read)
+    }
+
+    /// Convenience: an affine write.
+    pub fn write(array: ArrayId, map: AffineMap) -> Self {
+        Self::new(array, Subscript::Affine(map), AccessKind::Write)
+    }
+
+    /// The referenced array.
+    pub fn array(&self) -> ArrayId {
+        self.array
+    }
+
+    /// The subscript function.
+    pub fn subscript(&self) -> &Subscript {
+        &self.subscript
+    }
+
+    /// Read or write.
+    pub fn kind(&self) -> AccessKind {
+        self.kind
+    }
+}
+
+/// One concrete element access produced by evaluating a reference at an
+/// iteration point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementAccess {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// Flat (row-major) element index within the array. For affine
+    /// subscripts this is produced by the *program* (which knows array
+    /// shapes); see [`crate::Program::nest_accesses`].
+    pub element: u64,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+/// A loop nest: an iteration domain plus the references executed by each
+/// iteration.
+///
+/// The domain's dimensionality is the nest depth; every affine subscript and
+/// indirect selector must be over that many dimensions.
+#[derive(Debug, Clone)]
+pub struct LoopNest {
+    name: String,
+    domain: IntegerSet,
+    refs: Vec<ArrayRef>,
+}
+
+impl LoopNest {
+    /// Builds an empty nest over `domain`.
+    pub fn new(name: &str, domain: IntegerSet) -> Self {
+        Self {
+            name: name.to_owned(),
+            domain,
+            refs: Vec::new(),
+        }
+    }
+
+    /// Adds a reference (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the subscript's input dimensionality differs from the
+    /// nest depth.
+    pub fn with_ref(mut self, r: ArrayRef) -> Self {
+        match &r.subscript {
+            Subscript::Affine(m) => assert_eq!(
+                m.n_in(),
+                self.domain.dim(),
+                "subscript arity differs from nest depth"
+            ),
+            Subscript::Indirect { selector, .. } => assert_eq!(
+                selector.dim(),
+                self.domain.dim(),
+                "selector arity differs from nest depth"
+            ),
+        }
+        self.refs.push(r);
+        self
+    }
+
+    /// The nest's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The iteration domain.
+    pub fn domain(&self) -> &IntegerSet {
+        &self.domain
+    }
+
+    /// Nest depth (number of loops).
+    pub fn depth(&self) -> usize {
+        self.domain.dim()
+    }
+
+    /// The body's references.
+    pub fn refs(&self) -> &[ArrayRef] {
+        &self.refs
+    }
+
+    /// Enumerates the iteration points in lexicographic (program) order.
+    pub fn iterations(&self) -> Vec<Point> {
+        self.domain.iter().collect()
+    }
+
+    /// Number of iterations.
+    pub fn n_iterations(&self) -> usize {
+        self.domain.point_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_poly::AffineExpr;
+
+    #[test]
+    fn nest_enumerates_domain() {
+        let d = IntegerSet::builder(2).bounds(0, 0, 2).bounds(1, 0, 1).build();
+        let n = LoopNest::new("n", d);
+        assert_eq!(n.n_iterations(), 6);
+        assert_eq!(n.depth(), 2);
+        assert_eq!(n.iterations()[0], vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_rejected() {
+        let d = IntegerSet::builder(2).bounds(0, 0, 2).bounds(1, 0, 1).build();
+        let bad = AffineMap::identity(3);
+        let _ = LoopNest::new("n", d).with_ref(ArrayRef::read(ArrayId(0), bad));
+    }
+
+    #[test]
+    fn indirect_subscript_debug_is_compact() {
+        let s = Subscript::Indirect {
+            selector: AffineExpr::var(1, 0),
+            table: vec![1u64, 2, 3].into(),
+        };
+        assert!(format!("{s:?}").contains("|table|=3"));
+    }
+}

@@ -1,0 +1,88 @@
+//! The abstract syntax tree of the loop-nest DSL.
+
+/// A scalar expression: sums of (optionally scaled) loop indices, integer
+/// constants, and array references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AstExpr {
+    /// An integer literal.
+    Number(i64),
+    /// A loop index (resolved during lowering).
+    Var(String),
+    /// An array reference `A[e0][e1]...`.
+    Ref(AstRef),
+    /// `lhs + rhs`
+    Add(Box<AstExpr>, Box<AstExpr>),
+    /// `lhs - rhs`
+    Sub(Box<AstExpr>, Box<AstExpr>),
+    /// `lhs * rhs` (one side must lower to a constant).
+    Mul(Box<AstExpr>, Box<AstExpr>),
+}
+
+/// An array reference with subscript expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstRef {
+    /// The array's name.
+    pub array: String,
+    /// One subscript per dimension.
+    pub subscripts: Vec<AstExpr>,
+    /// 1-based position of the array name (for error reporting).
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// A statement: `target = value;` or `target += value;`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstStmt {
+    /// The written reference.
+    pub target: AstRef,
+    /// True for `+=` (the target is also read).
+    pub accumulate: bool,
+    /// The right-hand side.
+    pub value: AstExpr,
+}
+
+/// One loop dimension: `name = lo .. hi` with affine bounds over outer
+/// indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstLoop {
+    /// The index name.
+    pub var: String,
+    /// Inclusive lower bound.
+    pub lo: AstExpr,
+    /// Inclusive upper bound.
+    pub hi: AstExpr,
+}
+
+/// A loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstNest {
+    /// The nest's name.
+    pub name: String,
+    /// Loops, outermost first.
+    pub loops: Vec<AstLoop>,
+    /// Body statements.
+    pub body: Vec<AstStmt>,
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstArray {
+    /// The array's name.
+    pub name: String,
+    /// Per-dimension extents.
+    pub dims: Vec<u64>,
+    /// Bytes per element.
+    pub elem_bytes: u32,
+}
+
+/// A whole program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AstProgram {
+    /// The program's name.
+    pub name: String,
+    /// Declared arrays, in order.
+    pub arrays: Vec<AstArray>,
+    /// Loop nests, in order.
+    pub nests: Vec<AstNest>,
+}

@@ -1,0 +1,301 @@
+//! Tokenizer for the loop-nest DSL.
+
+use super::ParseError;
+
+/// The kinds of token the DSL uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`program`, `array`, `for`, names).
+    Ident(String),
+    /// A non-negative integer literal.
+    Number(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `=`
+    Assign,
+    /// `+=`
+    PlusAssign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+/// A token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// A simple hand-rolled lexer. `//` comments run to end of line.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'/') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Tokenizes the whole input.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError`] on an unexpected character or an out-of-range number.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, column) = (self.line, self.column);
+            let Some(b) = self.peek() else {
+                out.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    column,
+                });
+                return Ok(out);
+            };
+            let kind = match b {
+                b'{' => {
+                    self.bump();
+                    TokenKind::LBrace
+                }
+                b'}' => {
+                    self.bump();
+                    TokenKind::RBrace
+                }
+                b'[' => {
+                    self.bump();
+                    TokenKind::LBracket
+                }
+                b']' => {
+                    self.bump();
+                    TokenKind::RBracket
+                }
+                b'(' => {
+                    self.bump();
+                    TokenKind::LParen
+                }
+                b')' => {
+                    self.bump();
+                    TokenKind::RParen
+                }
+                b'+' => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        TokenKind::PlusAssign
+                    } else {
+                        TokenKind::Plus
+                    }
+                }
+                b'-' => {
+                    self.bump();
+                    TokenKind::Minus
+                }
+                b'*' => {
+                    self.bump();
+                    TokenKind::Star
+                }
+                b':' => {
+                    self.bump();
+                    TokenKind::Colon
+                }
+                b';' => {
+                    self.bump();
+                    TokenKind::Semi
+                }
+                b',' => {
+                    self.bump();
+                    TokenKind::Comma
+                }
+                b'=' => {
+                    self.bump();
+                    TokenKind::Assign
+                }
+                b'.' => {
+                    self.bump();
+                    if self.peek() == Some(b'.') {
+                        self.bump();
+                        TokenKind::DotDot
+                    } else {
+                        return Err(ParseError::new("expected '..'", line, column));
+                    }
+                }
+                b'0'..=b'9' => {
+                    let mut value: i64 = 0;
+                    while let Some(d @ b'0'..=b'9') = self.peek() {
+                        self.bump();
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(i64::from(d - b'0')))
+                            .ok_or_else(|| {
+                                ParseError::new("integer literal overflows", line, column)
+                            })?;
+                    }
+                    TokenKind::Number(value)
+                }
+                b'A'..=b'Z' | b'a'..=b'z' | b'_' => {
+                    let start = self.pos;
+                    while let Some(c) = self.peek() {
+                        if c.is_ascii_alphanumeric() || c == b'_' {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("ASCII identifier bytes")
+                        .to_owned();
+                    TokenKind::Ident(text)
+                }
+                other => {
+                    return Err(ParseError::new(
+                        format!("unexpected character {:?}", other as char),
+                        line,
+                        column,
+                    ));
+                }
+            };
+            out.push(Token { kind, line, column });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_declaration() {
+        assert_eq!(
+            kinds("array A[4] : 8;"),
+            vec![
+                TokenKind::Ident("array".into()),
+                TokenKind::Ident("A".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(4),
+                TokenKind::RBracket,
+                TokenKind::Colon,
+                TokenKind::Number(8),
+                TokenKind::Semi,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_plus_and_plus_assign() {
+        assert_eq!(
+            kinds("+ +="),
+            vec![TokenKind::Plus, TokenKind::PlusAssign, TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn ranges_and_comments() {
+        assert_eq!(
+            kinds("0 .. 7 // trailing words\n,"),
+            vec![
+                TokenKind::Number(0),
+                TokenKind::DotDot,
+                TokenKind::Number(7),
+                TokenKind::Comma,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let toks = Lexer::new("a\n  b").tokenize().unwrap();
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(Lexer::new("a ? b").tokenize().is_err());
+        assert!(Lexer::new("a . b").tokenize().is_err());
+    }
+}

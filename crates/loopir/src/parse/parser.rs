@@ -1,0 +1,345 @@
+//! Recursive-descent parser for the loop-nest DSL.
+
+use super::ast::{AstArray, AstExpr, AstLoop, AstNest, AstProgram, AstRef, AstStmt};
+use super::lexer::{Token, TokenKind};
+use super::ParseError;
+
+/// The parser; consume with [`Parser::parse_program`].
+#[derive(Debug)]
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    /// Builds a parser over a token stream (must end with `Eof`).
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Self { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        let t = self.peek();
+        ParseError::new(message, t.line, t.column)
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.error_here(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<(String, usize, usize), ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok((name, t.line, t.column))
+            }
+            _ => Err(self.error_here(format!("expected {what}, found {:?}", t.kind))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let (name, line, column) = self.expect_ident(&format!("'{kw}'"))?;
+        if name == kw {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected '{kw}', found '{name}'"),
+                line,
+                column,
+            ))
+        }
+    }
+
+    fn expect_number(&mut self, what: &str) -> Result<i64, ParseError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => Err(self.error_here(format!("expected {what}, found {:?}", t.kind))),
+        }
+    }
+
+    /// Parses `program NAME { arrays... nests... }`.
+    pub fn parse_program(mut self) -> Result<AstProgram, ParseError> {
+        self.expect_keyword("program")?;
+        let (name, ..) = self.expect_ident("program name")?;
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut arrays = Vec::new();
+        let mut nests = Vec::new();
+        loop {
+            match &self.peek().kind {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Ident(kw) if kw == "array" => arrays.push(self.parse_array()?),
+                TokenKind::Ident(kw) if kw == "for" => nests.push(self.parse_nest()?),
+                _ => {
+                    return Err(
+                        self.error_here("expected 'array', 'for', or '}' at top level")
+                    )
+                }
+            }
+        }
+        self.expect(&TokenKind::Eof, "end of input")?;
+        Ok(AstProgram {
+            name,
+            arrays,
+            nests,
+        })
+    }
+
+    /// `array NAME[d0][d1]... : elem_bytes ;`
+    fn parse_array(&mut self) -> Result<AstArray, ParseError> {
+        self.expect_keyword("array")?;
+        let (name, ..) = self.expect_ident("array name")?;
+        let mut dims = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            let d = self.expect_number("array extent")?;
+            if d <= 0 {
+                return Err(self.error_here("array extents must be positive"));
+            }
+            dims.push(d as u64);
+            self.expect(&TokenKind::RBracket, "']'")?;
+        }
+        if dims.is_empty() {
+            return Err(self.error_here("array needs at least one [extent]"));
+        }
+        self.expect(&TokenKind::Colon, "':' before element size")?;
+        let elem = self.expect_number("element size in bytes")?;
+        if elem <= 0 || elem > u32::MAX as i64 {
+            return Err(self.error_here("element size must be a positive u32"));
+        }
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(AstArray {
+            name,
+            dims,
+            elem_bytes: elem as u32,
+        })
+    }
+
+    /// `for NAME (i = lo .. hi, ...) { stmts }`
+    fn parse_nest(&mut self) -> Result<AstNest, ParseError> {
+        self.expect_keyword("for")?;
+        let (name, ..) = self.expect_ident("nest name")?;
+        self.expect(&TokenKind::LParen, "'('")?;
+        let mut loops = Vec::new();
+        loop {
+            let (var, ..) = self.expect_ident("loop index")?;
+            self.expect(&TokenKind::Assign, "'='")?;
+            let lo = self.parse_expr()?;
+            self.expect(&TokenKind::DotDot, "'..'")?;
+            let hi = self.parse_expr()?;
+            loops.push(AstLoop { var, lo, hi });
+            match self.bump().kind {
+                TokenKind::Comma => continue,
+                TokenKind::RParen => break,
+                _ => return Err(self.error_here("expected ',' or ')' in loop header")),
+            }
+        }
+        self.expect(&TokenKind::LBrace, "'{'")?;
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            body.push(self.parse_stmt()?);
+        }
+        self.bump(); // consume '}'
+        if body.is_empty() {
+            return Err(self.error_here("loop body cannot be empty"));
+        }
+        Ok(AstNest { name, loops, body })
+    }
+
+    /// `REF = expr ;` or `REF += expr ;`
+    fn parse_stmt(&mut self) -> Result<AstStmt, ParseError> {
+        let target = self.parse_ref()?;
+        let accumulate = match self.bump().kind {
+            TokenKind::Assign => false,
+            TokenKind::PlusAssign => true,
+            _ => return Err(self.error_here("expected '=' or '+=' after reference")),
+        };
+        let value = self.parse_expr()?;
+        self.expect(&TokenKind::Semi, "';'")?;
+        Ok(AstStmt {
+            target,
+            accumulate,
+            value,
+        })
+    }
+
+    fn parse_ref(&mut self) -> Result<AstRef, ParseError> {
+        let (array, line, column) = self.expect_ident("array name")?;
+        let mut subscripts = Vec::new();
+        while self.peek().kind == TokenKind::LBracket {
+            self.bump();
+            subscripts.push(self.parse_expr()?);
+            self.expect(&TokenKind::RBracket, "']'")?;
+        }
+        if subscripts.is_empty() {
+            return Err(ParseError::new(
+                format!("reference to '{array}' needs at least one subscript"),
+                line,
+                column,
+            ));
+        }
+        Ok(AstRef {
+            array,
+            subscripts,
+            line,
+            column,
+        })
+    }
+
+    /// `term (('+' | '-') term)*`
+    fn parse_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::Plus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = AstExpr::Add(Box::new(lhs), Box::new(rhs));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    let rhs = self.parse_term()?;
+                    lhs = AstExpr::Sub(Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    /// `atom ('*' atom)*`
+    fn parse_term(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.parse_atom()?;
+        while self.peek().kind == TokenKind::Star {
+            self.bump();
+            let rhs = self.parse_atom()?;
+            lhs = AstExpr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    /// number | `-` atom | identifier | reference | `( expr )`
+    fn parse_atom(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(AstExpr::Number(v))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                let inner = self.parse_atom()?;
+                Ok(AstExpr::Sub(Box::new(AstExpr::Number(0)), Box::new(inner)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen, "')'")?;
+                Ok(e)
+            }
+            TokenKind::Ident(_) => {
+                // A bare index, or a reference if '[' follows.
+                let save = self.pos;
+                let (name, line, column) = self.expect_ident("identifier")?;
+                if self.peek().kind == TokenKind::LBracket {
+                    self.pos = save;
+                    let _ = (line, column);
+                    Ok(AstExpr::Ref(self.parse_ref()?))
+                } else {
+                    Ok(AstExpr::Var(name))
+                }
+            }
+            other => Err(self.error_here(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::lexer::Lexer;
+    use super::*;
+
+    fn parse(src: &str) -> Result<AstProgram, ParseError> {
+        Parser::new(Lexer::new(src).tokenize()?).parse_program()
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse("program p { array A[4] : 8; for n (i = 0 .. 3) { A[i] = 1; } }")
+            .unwrap();
+        assert_eq!(p.name, "p");
+        assert_eq!(p.arrays.len(), 1);
+        assert_eq!(p.nests[0].loops.len(), 1);
+        assert_eq!(p.nests[0].body.len(), 1);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let p = parse(
+            "program p { array A[64] : 8; for n (i = 0 .. 3) { A[2 * i + 1] = 1; } }",
+        )
+        .unwrap();
+        // 2*i + 1 must parse as (2*i) + 1.
+        let sub = &p.nests[0].body[0].target.subscripts[0];
+        assert!(matches!(sub, AstExpr::Add(lhs, _) if matches!(**lhs, AstExpr::Mul(..))));
+    }
+
+    #[test]
+    fn negative_atoms() {
+        let p = parse(
+            "program p { array A[64] : 8; for n (i = 4 .. 7) { A[i - -1] = 1; } }",
+        )
+        .unwrap();
+        assert_eq!(p.nests[0].body.len(), 1);
+    }
+
+    #[test]
+    fn rhs_references_parse() {
+        let p = parse(
+            "program p { array A[8] : 8; array B[8] : 8;
+              for n (i = 0 .. 7) { A[i] = B[i] + B[i - 1] + 3; } }",
+        )
+        .unwrap();
+        fn count_refs(e: &AstExpr) -> usize {
+            match e {
+                AstExpr::Ref(_) => 1,
+                AstExpr::Add(a, b) | AstExpr::Sub(a, b) | AstExpr::Mul(a, b) => {
+                    count_refs(a) + count_refs(b)
+                }
+                _ => 0,
+            }
+        }
+        assert_eq!(count_refs(&p.nests[0].body[0].value), 2);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = parse("program p {\n  array A[0] : 8;\n}").expect_err("zero extent");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn empty_body_rejected() {
+        assert!(parse("program p { for n (i = 0 .. 3) { } }").is_err());
+    }
+}

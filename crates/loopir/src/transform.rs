@@ -1,0 +1,362 @@
+//! Conventional loop transformations: permutation and iteration-space
+//! tiling.
+//!
+//! These are the building blocks of the paper's `Base+` comparison point —
+//! "a comprehensive set of well-established locality optimizations including
+//! linear transformations and tiling" applied per core. Since `Base+` keeps
+//! the iteration-to-core assignment fixed and only changes the *order* in
+//! which each core executes its iterations, the tiling entry point here
+//! produces reordered iteration sequences rather than rewritten nests (the
+//! permutation entry point does both).
+
+use ctam_poly::{AffineExpr, AffineMap, ConstraintKind, IntegerSet, Point};
+
+use crate::nest::{ArrayRef, LoopNest, Subscript};
+
+/// Reorders the variables of an expression: new variable `n` is old variable
+/// `perm[n]`.
+fn permute_expr(e: &AffineExpr, perm: &[usize]) -> AffineExpr {
+    let coeffs: Vec<i64> = perm.iter().map(|&old| e.coeff(old)).collect();
+    AffineExpr::new(coeffs, e.constant_term())
+}
+
+/// Validates that `perm` is a permutation of `0..n`.
+fn check_perm(perm: &[usize], n: usize) {
+    assert_eq!(perm.len(), n, "permutation arity mismatch");
+    let mut seen = vec![false; n];
+    for &p in perm {
+        assert!(p < n && !seen[p], "not a permutation: {perm:?}");
+        seen[p] = true;
+    }
+}
+
+/// Loop permutation (interchange): returns a nest whose level `n` is the
+/// original level `perm[n]`.
+///
+/// The iteration *set* is unchanged; only the loop order (and thus the
+/// lexicographic enumeration order) changes. Legality with respect to
+/// dependencies is the caller's concern (check with
+/// [`crate::dependence::analyze`]).
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..depth`.
+pub fn permute(nest: &LoopNest, perm: &[usize]) -> LoopNest {
+    let depth = nest.depth();
+    check_perm(perm, depth);
+    let domain = nest.domain();
+    let mut b = IntegerSet::builder(depth).names(
+        perm.iter()
+            .map(|&old| domain.names()[old].clone())
+            .collect::<Vec<_>>(),
+    );
+    for c in domain.constraints() {
+        let e = permute_expr(c.expr(), perm);
+        b = match c.kind() {
+            ConstraintKind::Ge => b.ge(e),
+            ConstraintKind::Eq => b.eq(e),
+        };
+    }
+    let mut out = LoopNest::new(nest.name(), b.build());
+    for r in nest.refs() {
+        let sub = match r.subscript() {
+            Subscript::Affine(m) => Subscript::Affine(AffineMap::new(
+                depth,
+                m.exprs().iter().map(|e| permute_expr(e, perm)).collect(),
+            )),
+            Subscript::Indirect { selector, table } => Subscript::Indirect {
+                selector: permute_expr(selector, perm),
+                table: table.clone(),
+            },
+        };
+        out = out.with_ref(ArrayRef::new(r.array(), sub, r.kind()));
+    }
+    out
+}
+
+/// Enumerates the points of `domain` in *tiled* order: the space is cut into
+/// rectangular tiles of `tile_sizes` and tiles are visited lexicographically,
+/// each fully drained before the next — the order produced by classic
+/// iteration-space tiling (blocking).
+///
+/// # Panics
+///
+/// Panics if `tile_sizes.len() != domain.dim()` or any tile size is zero.
+pub fn tiled_order(domain: &IntegerSet, tile_sizes: &[u64]) -> Vec<Point> {
+    assert_eq!(
+        tile_sizes.len(),
+        domain.dim(),
+        "one tile size per dimension required"
+    );
+    assert!(tile_sizes.iter().all(|&t| t > 0), "tile sizes must be positive");
+    let mut points: Vec<Point> = domain.iter().collect();
+    points.sort_by_key(|p| {
+        let tile: Vec<i64> = p
+            .iter()
+            .zip(tile_sizes)
+            .map(|(&x, &t)| x.div_euclid(t as i64))
+            .collect();
+        (tile, p.clone())
+    });
+    points
+}
+
+/// Enumerates the points of `domain` in the lexicographic order of the
+/// permuted index vector — the execution order after loop permutation,
+/// without rewriting the nest.
+///
+/// # Panics
+///
+/// Panics if `perm` is not a permutation of `0..domain.dim()`.
+pub fn permuted_order(domain: &IntegerSet, perm: &[usize]) -> Vec<Point> {
+    check_perm(perm, domain.dim());
+    let mut points: Vec<Point> = domain.iter().collect();
+    points.sort_by_key(|p| perm.iter().map(|&d| p[d]).collect::<Vec<i64>>());
+    points
+}
+
+/// Strip-mines loop `dim` by `factor`: the nest gains one dimension, with a
+/// new *tile* loop `dim_T` immediately outside the original loop, such that
+/// `dim_T * factor <= dim <= dim_T * factor + factor - 1`. Combined with
+/// [`permute`], this is how classic iteration-space tiling is assembled
+/// from primitive transformations.
+///
+/// The rewritten nest executes exactly the original iterations (the tile
+/// index is uniquely determined by the element index), with subscripts
+/// untouched (they never see the tile dimension).
+///
+/// # Panics
+///
+/// Panics if `dim >= nest.depth()` or `factor < 1`.
+pub fn strip_mine(nest: &LoopNest, dim: usize, factor: i64) -> LoopNest {
+    let depth = nest.depth();
+    assert!(dim < depth, "no loop {dim} in a depth-{depth} nest");
+    assert!(factor >= 1, "strip-mine factor must be at least 1");
+    let new_depth = depth + 1;
+    // Old dim d maps to new dim: d < dim -> d ; d >= dim -> d + 1.
+    // New dim `dim` is the tile counter; new dim `dim + 1` is the old `dim`.
+    let remap = |d: usize| if d < dim { d } else { d + 1 };
+    let lift = |e: &AffineExpr| -> AffineExpr {
+        let mut coeffs = vec![0i64; new_depth];
+        for (d, &c) in e.coeffs().iter().enumerate() {
+            coeffs[remap(d)] = c;
+        }
+        AffineExpr::new(coeffs, e.constant_term())
+    };
+
+    let domain = nest.domain();
+    let mut names: Vec<String> = Vec::with_capacity(new_depth);
+    for (d, n) in domain.names().iter().enumerate() {
+        if d == dim {
+            names.push(format!("{n}_T"));
+        }
+        names.push(n.clone());
+    }
+    let mut b = IntegerSet::builder(new_depth).names(names);
+    for c in domain.constraints() {
+        let e = lift(c.expr());
+        b = match c.kind() {
+            ConstraintKind::Ge => b.ge(e),
+            ConstraintKind::Eq => b.eq(e),
+        };
+    }
+    // dim_T*factor <= dim  and  dim <= dim_T*factor + factor - 1.
+    let tile = AffineExpr::var(new_depth, dim);
+    let elem = AffineExpr::var(new_depth, dim + 1);
+    b = b.ge(elem.clone() - tile.clone() * factor);
+    b = b.ge(tile * factor + AffineExpr::constant(new_depth, factor - 1) - elem);
+
+    let mut out = LoopNest::new(nest.name(), b.build());
+    for r in nest.refs() {
+        let sub = match r.subscript() {
+            Subscript::Affine(m) => Subscript::Affine(AffineMap::new(
+                new_depth,
+                m.exprs().iter().map(&lift).collect(),
+            )),
+            Subscript::Indirect { selector, table } => Subscript::Indirect {
+                selector: lift(selector),
+                table: table.clone(),
+            },
+        };
+        out = out.with_ref(ArrayRef::new(r.array(), sub, r.kind()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::ArrayId;
+    use crate::nest::AccessKind;
+    use crate::program::Program;
+
+    fn rect(w: i64, h: i64) -> IntegerSet {
+        IntegerSet::builder(2)
+            .names(["i", "j"])
+            .bounds(0, 0, w - 1)
+            .bounds(1, 0, h - 1)
+            .build()
+    }
+
+    #[test]
+    fn permute_swaps_enumeration_order() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[4, 8], 8);
+        let nest = LoopNest::new("n", rect(4, 8))
+            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let swapped = permute(&nest, &[1, 0]);
+        // Same set of iterations (transposed coordinates), j now outer.
+        assert_eq!(swapped.n_iterations(), nest.n_iterations());
+        assert_eq!(swapped.iterations()[0], vec![0, 0]);
+        assert_eq!(swapped.iterations()[1], vec![0, 1]); // (j=0, i=1)
+        assert_eq!(swapped.domain().names(), &["j", "i"]);
+    }
+
+    #[test]
+    fn permute_rewrites_subscripts_consistently() {
+        // Element accessed by iteration (i,j) of the original must equal the
+        // element accessed by (j,i) of the permuted nest.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[8, 8], 8);
+        let m = AffineMap::new(
+            2,
+            vec![
+                AffineExpr::var(2, 0) + AffineExpr::constant(2, 1),
+                AffineExpr::var(2, 1),
+            ],
+        );
+        let nest = LoopNest::new("n", rect(6, 6)).with_ref(ArrayRef::new(
+            a,
+            Subscript::Affine(m),
+            AccessKind::Read,
+        ));
+        let orig = p.add_nest(nest.clone());
+        let perm = permute(&nest, &[1, 0]);
+        let permuted = p.add_nest(perm);
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(
+                    p.nest_accesses(orig, &[i, j])[0].element,
+                    p.nest_accesses(permuted, &[j, i])[0].element
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_order_is_a_permutation_of_the_domain() {
+        let d = rect(6, 6);
+        let tiled = tiled_order(&d, &[2, 3]);
+        assert_eq!(tiled.len(), 36);
+        let mut sorted = tiled.clone();
+        sorted.sort();
+        assert_eq!(sorted, d.iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiled_order_drains_tiles() {
+        let d = rect(4, 4);
+        let tiled = tiled_order(&d, &[2, 2]);
+        // First four points are exactly the (0,0) tile.
+        let first: Vec<_> = tiled[..4].to_vec();
+        assert_eq!(
+            first,
+            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
+        );
+    }
+
+    #[test]
+    fn permuted_order_matches_permuted_nest() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[8, 8], 8);
+        let nest = LoopNest::new("n", rect(5, 3))
+            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let order = permuted_order(nest.domain(), &[1, 0]);
+        let rewritten = permute(&nest, &[1, 0]);
+        // The rewritten nest enumerates (j, i); mapping back gives `order`.
+        let back: Vec<Point> = rewritten
+            .iterations()
+            .iter()
+            .map(|q| vec![q[1], q[0]])
+            .collect();
+        assert_eq!(order, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn bad_permutation_rejected() {
+        let nest = LoopNest::new("n", rect(2, 2));
+        let _ = permute(&nest, &[0, 0]);
+    }
+
+    #[test]
+    fn identity_permutation_is_noop_on_order() {
+        let d = rect(3, 3);
+        assert_eq!(permuted_order(&d, &[0, 1]), d.iter().collect::<Vec<_>>());
+        let _ = ArrayId(0); // silence unused import in some cfgs
+    }
+
+    #[test]
+    fn strip_mine_preserves_the_iteration_set() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[8, 8], 8);
+        let nest = LoopNest::new("n", rect(7, 5))
+            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let mined = strip_mine(&nest, 1, 2);
+        assert_eq!(mined.depth(), 3);
+        assert_eq!(mined.n_iterations(), nest.n_iterations());
+        // Projecting away the tile dimension recovers the original points.
+        let mut projected: Vec<Point> = mined
+            .iterations()
+            .iter()
+            .map(|q| vec![q[0], q[2]])
+            .collect();
+        projected.sort();
+        projected.dedup();
+        assert_eq!(projected, nest.iterations());
+    }
+
+    #[test]
+    fn strip_mine_enumerates_tiles_in_order() {
+        let nest = LoopNest::new("n", rect(1, 6));
+        let mined = strip_mine(&nest, 1, 3);
+        let pts = mined.iterations();
+        // (i, j_T, j): tile 0 holds j 0..2, tile 1 holds j 3..5.
+        assert_eq!(pts[0], vec![0, 0, 0]);
+        assert_eq!(pts[2], vec![0, 0, 2]);
+        assert_eq!(pts[3], vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn strip_mine_keeps_subscripts_on_element_indices() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[8, 8], 8);
+        let nest = LoopNest::new("n", rect(4, 4))
+            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let orig = p.add_nest(nest.clone());
+        let mined_id = p.add_nest(strip_mine(&nest, 0, 2));
+        // Iteration (i, j) of the original equals (i_T = i/2, i, j) mined.
+        for i in 0..4i64 {
+            for j in 0..4i64 {
+                assert_eq!(
+                    p.nest_accesses(orig, &[i, j])[0].element,
+                    p.nest_accesses(mined_id, &[i / 2, i, j])[0].element
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strip_mine_then_permute_builds_a_tiled_nest() {
+        // The classic recipe: strip-mine both loops, hoist both tile loops.
+        let nest = LoopNest::new("n", rect(4, 4));
+        let mined = strip_mine(&strip_mine(&nest, 0, 2), 2, 2);
+        // Dims now (i_T, i, j_T, j); permute to (i_T, j_T, i, j).
+        let tiled = permute(&mined, &[0, 2, 1, 3]);
+        assert_eq!(tiled.n_iterations(), 16);
+        let pts = tiled.iterations();
+        // First four iterations drain the (0,0) tile.
+        let tile0: Vec<(i64, i64)> = pts[..4].iter().map(|p| (p[2], p[3])).collect();
+        assert_eq!(tile0, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+}

@@ -1,0 +1,57 @@
+//! Polyhedral substrate for the CTAM reproduction.
+//!
+//! The PLDI'10 paper represents loop iterations, array elements, and the
+//! mappings between them as integer points in polyhedra, manipulated through
+//! the Omega Library. This crate is a self-contained, from-scratch
+//! re-implementation of the slice of Omega the paper relies on:
+//!
+//! * [`AffineExpr`] — integer affine expressions over a set of dimensions,
+//! * [`Constraint`] / [`IntegerSet`] — conjunctions of affine equalities and
+//!   inequalities describing iteration and data spaces,
+//! * [`AffineMap`] — affine mappings from iteration space to data space
+//!   (array subscript functions),
+//! * [`Relation`] — the paper's reference mappings `R` as integer relations
+//!   with domain constraints, supporting application, inversion and
+//!   composition,
+//! * Fourier–Motzkin elimination ([`eliminate_dim`],
+//!   [`project_onto_prefix`]) for emptiness tests, projections and bound
+//!   extraction,
+//! * point enumeration (lexicographic scan of all integer points of a set),
+//! * Omega-style code generation ([`generate_loop_nest`],
+//!   [`generate_union`]): re-emitting a loop nest that enumerates the
+//!   points of a set, used when generating per-core code.
+//!
+//! # Example
+//!
+//! The iteration space `K = {(i1, i2) | 0 <= i1 <= Q1-1 and 2 <= i2 <= Q2+1}`
+//! from Figure 4 of the paper, with `Q1 = 4`, `Q2 = 3`:
+//!
+//! ```
+//! use ctam_poly::{AffineExpr, IntegerSet};
+//!
+//! let set = IntegerSet::builder(2)
+//!     .names(["i1", "i2"])
+//!     .bounds(0, 0, 3)   // 0 <= i1 <= Q1-1 with Q1 = 4
+//!     .bounds(1, 2, 4)   // 2 <= i2 <= Q2+1 with Q2 = 3
+//!     .build();
+//! assert_eq!(set.point_count(), 4 * 3);
+//! assert!(set.contains(&[0, 2]));
+//! assert!(!set.contains(&[0, 5]));
+//! ```
+
+mod codegen;
+mod expr;
+mod fm;
+mod map;
+mod relation;
+mod set;
+
+pub use codegen::{generate_loop_nest, generate_union, CodegenOptions};
+pub use expr::AffineExpr;
+pub use fm::{eliminate_dim, project_onto_prefix, VarBounds};
+pub use map::AffineMap;
+pub use relation::Relation;
+pub use set::{Constraint, ConstraintKind, IntegerSet, PointIter, SetBuilder};
+
+/// A point in an integer space: one value per dimension.
+pub type Point = Vec<i64>;

@@ -1,0 +1,351 @@
+//! Integer relations: the paper's reference mappings `R` as first-class
+//! objects.
+//!
+//! Section 3.2 writes an array reference as
+//! `R = {(i1,i2) → (d1,d2) | (i1,i2) ∈ K ∧ (d1,d2) ∈ D ∧ d1 = i1+1 ∧ d2 = i2−1}`
+//! — a relation between the iteration space and the data space carrying its
+//! own domain constraints. [`Relation`] represents exactly that: an
+//! [`IntegerSet`] over `n_in + n_out` dimensions, with the usual relational
+//! algebra (domain, range, application, inversion, composition).
+//!
+//! Projections use Fourier–Motzkin elimination, which is exact over the
+//! rationals; for the relations this crate builds from affine maps (where
+//! outputs are *equalities* over inputs) the projections are exact over the
+//! integers too, since eliminating a variable bound by an equality is a
+//! substitution. Hand-built relations with inequality-only couplings may
+//! project to a superset; [`Relation::contains`] is always exact.
+
+use crate::expr::AffineExpr;
+use crate::map::AffineMap;
+use crate::set::{Constraint, ConstraintKind, IntegerSet};
+use crate::Point;
+
+/// A relation between an `n_in`-dimensional and an `n_out`-dimensional
+/// integer space.
+///
+/// # Example
+///
+/// ```
+/// use ctam_poly::{AffineExpr, AffineMap, IntegerSet, Relation};
+///
+/// // The Figure 4 reference: (i1, i2) -> (i1+1, i2-1) over a 2x3 domain.
+/// let domain = IntegerSet::builder(2).bounds(0, 0, 1).bounds(1, 2, 4).build();
+/// let map = AffineMap::new(2, vec![
+///     AffineExpr::var(2, 0) + AffineExpr::constant(2, 1),
+///     AffineExpr::var(2, 1) - AffineExpr::constant(2, 1),
+/// ]);
+/// let r = Relation::from_map(&domain, &map);
+/// assert!(r.contains(&[0, 2], &[1, 1]));
+/// assert_eq!(r.apply(&[1, 4]), vec![vec![2, 3]]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    n_in: usize,
+    n_out: usize,
+    /// Constraints over `(inputs, outputs)`, inputs first.
+    set: IntegerSet,
+}
+
+impl Relation {
+    /// Builds a relation from an explicit constraint set over
+    /// `n_in + n_out` dimensions (inputs first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set's dimensionality is not `n_in + n_out`.
+    pub fn new(n_in: usize, n_out: usize, set: IntegerSet) -> Self {
+        assert_eq!(set.dim(), n_in + n_out, "relation space mismatch");
+        Self { n_in, n_out, set }
+    }
+
+    /// The relation `{(I, M(I)) | I ∈ domain}` of an affine map restricted
+    /// to a domain — the paper's array-reference form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map.n_in() != domain.dim()`.
+    pub fn from_map(domain: &IntegerSet, map: &AffineMap) -> Self {
+        assert_eq!(map.n_in(), domain.dim(), "map/domain mismatch");
+        let n_in = map.n_in();
+        let n_out = map.n_out();
+        let dim = n_in + n_out;
+        let mut names: Vec<String> = domain.names().to_vec();
+        names.extend((0..n_out).map(|k| format!("d{k}")));
+        let mut b = IntegerSet::builder(dim).names(names);
+        for c in domain.constraints() {
+            let e = c.expr().extended(dim);
+            b = match c.kind() {
+                ConstraintKind::Ge => b.ge(e),
+                ConstraintKind::Eq => b.eq(e),
+            };
+        }
+        for (k, e) in map.exprs().iter().enumerate() {
+            // out_k == e(inputs)
+            let out_var = AffineExpr::var(dim, n_in + k);
+            b = b.eq(out_var - e.extended(dim));
+        }
+        Self {
+            n_in,
+            n_out,
+            set: b.build(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    /// Output dimensionality.
+    pub fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    /// The underlying constraint set over `(inputs, outputs)`.
+    pub fn as_set(&self) -> &IntegerSet {
+        &self.set
+    }
+
+    /// Exact membership test.
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatches.
+    pub fn contains(&self, input: &[i64], output: &[i64]) -> bool {
+        assert_eq!(input.len(), self.n_in, "input arity");
+        assert_eq!(output.len(), self.n_out, "output arity");
+        let mut p = input.to_vec();
+        p.extend_from_slice(output);
+        self.set.contains(&p)
+    }
+
+    /// All outputs related to `input`, in lexicographic order (exact; empty
+    /// if `input` is outside the domain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input.len() != n_in()`.
+    pub fn apply(&self, input: &[i64]) -> Vec<Point> {
+        assert_eq!(input.len(), self.n_in, "input arity");
+        // Pin the inputs with equalities and enumerate the rest.
+        let dim = self.set.dim();
+        let mut pinned = self.set.clone();
+        for (d, &v) in input.iter().enumerate() {
+            pinned = pinned.with_constraint(Constraint::eq(
+                AffineExpr::var(dim, d) - AffineExpr::constant(dim, v),
+            ));
+        }
+        pinned
+            .iter()
+            .map(|p| p[self.n_in..].to_vec())
+            .collect()
+    }
+
+    /// The set of inputs that relate to at least one output (rationally
+    /// projected; exact for equality-coupled relations, see the module
+    /// docs).
+    pub fn domain(&self) -> IntegerSet {
+        self.project_prefix_of(&self.set, self.n_in)
+    }
+
+    /// The set of outputs related to at least one input (same exactness
+    /// caveat as [`Self::domain`]).
+    pub fn range(&self) -> IntegerSet {
+        self.project_prefix_of(&self.inverse().set, self.n_out)
+    }
+
+    /// The inverse relation (outputs become inputs).
+    pub fn inverse(&self) -> Relation {
+        let dim = self.set.dim();
+        // Permutation sending old dim d to new position.
+        let new_pos = |d: usize| {
+            if d < self.n_in {
+                self.n_out + d
+            } else {
+                d - self.n_in
+            }
+        };
+        let mut names = vec![String::new(); dim];
+        for (d, n) in self.set.names().iter().enumerate() {
+            names[new_pos(d)] = n.clone();
+        }
+        let mut b = IntegerSet::builder(dim).names(names);
+        for c in self.set.constraints() {
+            let mut coeffs = vec![0i64; dim];
+            for d in 0..dim {
+                coeffs[new_pos(d)] = c.expr().coeff(d);
+            }
+            let e = AffineExpr::new(coeffs, c.expr().constant_term());
+            b = match c.kind() {
+                ConstraintKind::Ge => b.ge(e),
+                ConstraintKind::Eq => b.eq(e),
+            };
+        }
+        Relation {
+            n_in: self.n_out,
+            n_out: self.n_in,
+            set: b.build(),
+        }
+    }
+
+    /// Composition `self ∘ other`: first `other`, then `self`, i.e.
+    /// `{(x, z) | ∃y. (x, y) ∈ other ∧ (y, z) ∈ self}`. The existential is
+    /// eliminated by Fourier–Motzkin (see the module docs for exactness).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other.n_out() != self.n_in()`.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(other.n_out, self.n_in, "composition arity mismatch");
+        let (x, y, z) = (other.n_in, other.n_out, self.n_out);
+        let dim = x + y + z; // combined space (x, y, z)
+        let mut combined: Vec<AffineExpr> = Vec::new();
+        let mut equalities: Vec<AffineExpr> = Vec::new();
+        // other's constraints live on (x, y) -> embed at offset 0.
+        for c in other.set.constraints() {
+            let e = embed(c.expr(), dim, 0);
+            match c.kind() {
+                ConstraintKind::Ge => combined.push(e),
+                ConstraintKind::Eq => equalities.push(e),
+            }
+        }
+        // self's constraints live on (y, z) -> embed at offset x.
+        for c in self.set.constraints() {
+            let e = embed(c.expr(), dim, x);
+            match c.kind() {
+                ConstraintKind::Ge => combined.push(e),
+                ConstraintKind::Eq => equalities.push(e),
+            }
+        }
+        // Normalize equalities into two inequalities and eliminate the y
+        // block (dims x..x+y).
+        let mut sys: Vec<AffineExpr> = combined;
+        for e in equalities {
+            sys.push(e.clone());
+            sys.push(-e);
+        }
+        for d in (x..x + y).rev() {
+            sys = crate::fm::eliminate_dim(&sys, d);
+        }
+        // Re-pack onto (x, z).
+        let out_dim = x + z;
+        let mut b = IntegerSet::builder(out_dim);
+        for e in sys {
+            let mut coeffs = vec![0i64; out_dim];
+            coeffs[..x].copy_from_slice(&e.coeffs()[..x]);
+            coeffs[x..x + z].copy_from_slice(&e.coeffs()[x + y..x + y + z]);
+            b = b.ge(AffineExpr::new(coeffs, e.constant_term()));
+        }
+        Relation {
+            n_in: x,
+            n_out: z,
+            set: b.build(),
+        }
+    }
+
+    /// FM-projects `set` onto its first `keep` dimensions.
+    fn project_prefix_of(&self, set: &IntegerSet, keep: usize) -> IntegerSet {
+        let ge = crate::fm::normalize_to_ge(set.constraints());
+        let projected = crate::fm::project_onto_prefix(&ge, keep, set.dim());
+        let mut b =
+            IntegerSet::builder(keep).names(set.names()[..keep].to_vec());
+        for e in projected {
+            let coeffs = e.coeffs()[..keep].to_vec();
+            b = b.ge(AffineExpr::new(coeffs, e.constant_term()));
+        }
+        b.build()
+    }
+}
+
+/// Embeds an expression over `e.dim()` dims into a `dim`-dimensional space
+/// at `offset`.
+fn embed(e: &AffineExpr, dim: usize, offset: usize) -> AffineExpr {
+    let mut coeffs = vec![0i64; dim];
+    for (d, &c) in e.coeffs().iter().enumerate() {
+        coeffs[offset + d] = c;
+    }
+    AffineExpr::new(coeffs, e.constant_term())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig4_relation() -> Relation {
+        let domain = IntegerSet::builder(2)
+            .names(["i1", "i2"])
+            .bounds(0, 0, 3)
+            .bounds(1, 2, 5)
+            .build();
+        let map = AffineMap::new(
+            2,
+            vec![
+                AffineExpr::var(2, 0) + AffineExpr::constant(2, 1),
+                AffineExpr::var(2, 1) - AffineExpr::constant(2, 1),
+            ],
+        );
+        Relation::from_map(&domain, &map)
+    }
+
+    #[test]
+    fn membership_matches_the_map() {
+        let r = fig4_relation();
+        assert!(r.contains(&[0, 2], &[1, 1]));
+        assert!(!r.contains(&[0, 2], &[0, 1]));
+        // Outside the domain: not related even if the arithmetic matches.
+        assert!(!r.contains(&[9, 2], &[10, 1]));
+    }
+
+    #[test]
+    fn apply_yields_exactly_one_image_for_a_map() {
+        let r = fig4_relation();
+        assert_eq!(r.apply(&[3, 5]), vec![vec![4, 4]]);
+        assert!(r.apply(&[4, 2]).is_empty(), "outside the domain");
+    }
+
+    #[test]
+    fn domain_and_range_roundtrip() {
+        let r = fig4_relation();
+        let dom = r.domain();
+        assert_eq!(dom.point_count(), 4 * 4);
+        assert!(dom.contains(&[3, 5]));
+        let rng = r.range();
+        // Outputs are (i1+1, i2-1): 1..=4 x 1..=4.
+        assert!(rng.contains(&[1, 1]) && rng.contains(&[4, 4]));
+        assert!(!rng.contains(&[0, 1]));
+    }
+
+    #[test]
+    fn inverse_swaps_direction() {
+        let r = fig4_relation();
+        let inv = r.inverse();
+        assert!(inv.contains(&[1, 1], &[0, 2]));
+        assert_eq!(inv.apply(&[4, 4]), vec![vec![3, 5]]);
+    }
+
+    #[test]
+    fn compose_chains_two_shifts() {
+        // f: x -> x+1 on 0..=9 ; g: x -> 2x on 0..=9. (g∘f)(x) = 2x+2.
+        let d = IntegerSet::builder(1).bounds(0, 0, 9).build();
+        let f = Relation::from_map(
+            &d,
+            &AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, 1)]),
+        );
+        let g = Relation::from_map(&d, &AffineMap::new(1, vec![AffineExpr::var(1, 0) * 2]));
+        let gf = g.compose(&f);
+        assert_eq!(gf.apply(&[3]), vec![vec![8]]);
+        // f's output 10 is outside g's domain: input 9 relates to nothing.
+        assert!(gf.apply(&[9]).is_empty());
+    }
+
+    #[test]
+    fn inverse_of_inverse_is_identity_on_membership() {
+        let r = fig4_relation();
+        let rr = r.inverse().inverse();
+        for i1 in 0..4 {
+            for i2 in 2..6 {
+                assert!(rr.contains(&[i1, i2], &[i1 + 1, i2 - 1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Property-based tests for the polyhedral substrate.
+//!
+//! The central invariant: point enumeration agrees exactly with brute-force
+//! membership scans, for arbitrary small constraint systems.
+
+use ctam_poly::{
+    generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, Constraint, IntegerSet,
+    Relation,
+};
+use proptest::prelude::*;
+
+const BOX_LO: i64 = -4;
+const BOX_HI: i64 = 5;
+
+/// A random affine constraint over `dim` dims with small coefficients.
+fn arb_constraint(dim: usize) -> impl Strategy<Value = Constraint> {
+    (
+        proptest::collection::vec(-3i64..=3, dim),
+        -10i64..=10,
+        prop::bool::ANY,
+    )
+        .prop_map(move |(coeffs, k, is_eq)| {
+            let e = AffineExpr::new(coeffs, k);
+            if is_eq {
+                Constraint::eq(e)
+            } else {
+                Constraint::ge(e)
+            }
+        })
+}
+
+/// A random bounded set: a bounding box plus 0..4 extra constraints.
+fn arb_set(dim: usize) -> impl Strategy<Value = IntegerSet> {
+    proptest::collection::vec(arb_constraint(dim), 0..4).prop_map(move |cs| {
+        let mut b = IntegerSet::builder(dim);
+        for d in 0..dim {
+            b = b.bounds(d, BOX_LO, BOX_HI);
+        }
+        let mut set = b.build();
+        for c in cs {
+            set = set.with_constraint(c);
+        }
+        set
+    })
+}
+
+fn brute_force(set: &IntegerSet) -> Vec<Vec<i64>> {
+    let dim = set.dim();
+    let mut out = Vec::new();
+    let mut p = vec![BOX_LO; dim];
+    loop {
+        if set.contains(&p) {
+            out.push(p.clone());
+        }
+        // odometer over the box
+        let mut d = dim;
+        loop {
+            if d == 0 {
+                return out;
+            }
+            d -= 1;
+            if p[d] < BOX_HI {
+                p[d] += 1;
+                for x in &mut p[d + 1..] {
+                    *x = BOX_LO;
+                }
+                break;
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumeration_matches_brute_force_2d(set in arb_set(2)) {
+        let mut brute = brute_force(&set);
+        brute.sort();
+        let enumerated: Vec<_> = set.iter().collect();
+        // lexicographic iteration implies sorted output
+        let mut sorted = enumerated.clone();
+        sorted.sort();
+        prop_assert_eq!(&enumerated, &sorted);
+        prop_assert_eq!(enumerated, brute);
+    }
+
+    #[test]
+    fn enumeration_matches_brute_force_3d(set in arb_set(3)) {
+        let brute = brute_force(&set);
+        let enumerated: Vec<_> = set.iter().collect();
+        prop_assert_eq!(enumerated, brute);
+    }
+
+    #[test]
+    fn is_empty_agrees_with_brute_force(set in arb_set(2)) {
+        prop_assert_eq!(set.is_empty(), brute_force(&set).is_empty());
+    }
+
+    #[test]
+    fn intersection_is_subset_of_both(a in arb_set(2), b in arb_set(2)) {
+        let i = a.intersect(&b);
+        for p in i.iter() {
+            prop_assert!(a.contains(&p));
+            prop_assert!(b.contains(&p));
+        }
+    }
+
+    #[test]
+    fn bounding_box_contains_all_points(set in arb_set(2)) {
+        if let Some(bb) = set.bounding_box() {
+            for p in set.iter() {
+                for (d, &(lo, hi)) in bb.iter().enumerate() {
+                    prop_assert!(lo <= p[d] && p[d] <= hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn codegen_succeeds_on_nonempty_boxed_sets(set in arb_set(2)) {
+        // Any non-empty subset of a finite box must yield a loop nest.
+        if !set.is_empty() {
+            let code = generate_loop_nest(&set, &CodegenOptions::default());
+            prop_assert!(code.is_some());
+        }
+    }
+}
+
+/// A random affine map over 2 inputs with small coefficients.
+fn arb_map() -> impl Strategy<Value = AffineMap> {
+    proptest::collection::vec((-3i64..=3, -3i64..=3, -6i64..=6), 1..3).prop_map(|rows| {
+        AffineMap::new(
+            2,
+            rows.into_iter()
+                .map(|(a, b, k)| AffineExpr::new(vec![a, b], k))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn relation_from_map_agrees_with_the_map(set in arb_set(2), map in arb_map()) {
+        let r = Relation::from_map(&set, &map);
+        for p in set.iter().take(20) {
+            let image = map.apply(&p);
+            prop_assert!(r.contains(&p, &image));
+            prop_assert_eq!(r.apply(&p), vec![image]);
+        }
+    }
+
+    #[test]
+    fn relation_inverse_roundtrips_membership(set in arb_set(2), map in arb_map()) {
+        let r = Relation::from_map(&set, &map);
+        let inv = r.inverse();
+        for p in set.iter().take(20) {
+            let image = map.apply(&p);
+            prop_assert!(inv.contains(&image, &p));
+        }
+    }
+
+    #[test]
+    fn relation_domain_covers_the_set(set in arb_set(2), map in arb_map()) {
+        // The FM-projected domain must contain every actual domain point
+        // (it may rationally over-approximate, never under-approximate).
+        let r = Relation::from_map(&set, &map);
+        let dom = r.domain();
+        for p in set.iter().take(20) {
+            prop_assert!(dom.contains(&p));
+        }
+    }
+
+    #[test]
+    fn relation_compose_matches_pointwise_composition(set in arb_set(2)) {
+        // Two total maps over the same box: compose must match apply∘apply
+        // on common points.
+        let f = AffineMap::new(2, vec![
+            AffineExpr::new(vec![1, 0], 1),
+            AffineExpr::new(vec![0, 1], -1),
+        ]);
+        let universe = IntegerSet::builder(2)
+            .bounds(0, -20, 20)
+            .bounds(1, -20, 20)
+            .build();
+        let rf = Relation::from_map(&set, &f);
+        let rg = Relation::from_map(&universe, &f);
+        let composed = rg.compose(&rf);
+        for p in set.iter().take(20) {
+            let expected = f.apply(&f.apply(&p));
+            prop_assert!(composed.contains(&p, &expected));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! The machine catalog of the PLDI'10 evaluation.
+//!
+//! [`harpertown`], [`nehalem`] and [`dunnington`] encode Table 1 and
+//! Figure 1 of the paper exactly (point latencies are taken from the middle
+//! of the ranges the paper reports; off-chip latencies are converted from
+//! nanoseconds to cycles at the machine's clock).
+//!
+//! [`arch_i`] and [`arch_ii`] are the deeper hypothetical hierarchies of
+//! Figure 12. The paper does not publish their exact parameters; we
+//! reconstruct them from the constraints it does give — Arch-I has four
+//! on-chip levels (Figure 20 references "L1+L2+L3+L4") and is "more complex"
+//! than Dunnington; Arch-II is "more complex than Arch-I" — as binary-fanout
+//! trees with plausibly scaled capacities and latencies. See DESIGN.md.
+//!
+//! [`dunnington_scaled`] grows Dunnington a socket (6 cores) at a time, the
+//! way Figure 17's core-count study does.
+
+use crate::machine::{Machine, NodeId};
+use crate::params::CacheParams;
+use crate::{KB, MB};
+
+/// Intel Harpertown: 8 cores, 2 sockets, two on-chip levels; each 6MB L2 is
+/// shared by a pair of cores (Figure 1a, Table 1).
+pub fn harpertown() -> Machine {
+    // ~100ns off-chip at 3.2GHz = 320 cycles.
+    let mut b = Machine::builder("Harpertown", 3.2, 320);
+    let l1 = CacheParams::new(32 * KB, 8, 64, 3);
+    let l2 = CacheParams::new(6 * MB, 24, 64, 15);
+    for _socket in 0..2 {
+        for _die in 0..2 {
+            let l2n = b.cache(NodeId::ROOT, 2, l2);
+            b.core_with_l1(l2n, l1);
+            b.core_with_l1(l2n, l1);
+        }
+    }
+    b.build()
+}
+
+/// Intel Nehalem: 8 cores, 2 sockets, three on-chip levels; private 256KB
+/// L2s and one 8MB L3 per socket (Figure 1b, Table 1).
+pub fn nehalem() -> Machine {
+    // ~60ns off-chip at 2.9GHz = 174 cycles.
+    let mut b = Machine::builder("Nehalem", 2.9, 174);
+    let l1 = CacheParams::new(32 * KB, 8, 64, 4);
+    let l2 = CacheParams::new(256 * KB, 8, 64, 10);
+    let l3 = CacheParams::new(8 * MB, 16, 64, 35); // paper: 30-40 cycles
+    for _socket in 0..2 {
+        let l3n = b.cache(NodeId::ROOT, 3, l3);
+        for _core in 0..4 {
+            let l2n = b.cache(l3n, 2, l2);
+            b.core_with_l1(l2n, l1);
+        }
+    }
+    b.build()
+}
+
+/// Intel Dunnington: 12 cores, 2 sockets, three on-chip levels; each 3MB L2
+/// shared by a pair of cores, one 12MB L3 per socket (Figure 1c, Table 1).
+pub fn dunnington() -> Machine {
+    dunnington_scaled(2).with_name("Dunnington")
+}
+
+/// Dunnington grown to `n_sockets` sockets of 6 cores each — the Figure 17
+/// core-count study uses 2 (12 cores), 3 (18) and 4 (24) sockets.
+///
+/// # Panics
+///
+/// Panics if `n_sockets == 0`.
+pub fn dunnington_scaled(n_sockets: usize) -> Machine {
+    assert!(n_sockets > 0, "need at least one socket");
+    // ~50ns off-chip at 2.4GHz = 120 cycles.
+    let mut b = Machine::builder(
+        &format!("Dunnington-{}c", n_sockets * 6),
+        2.4,
+        120,
+    );
+    let l1 = CacheParams::new(32 * KB, 8, 64, 4);
+    let l2 = CacheParams::new(3 * MB, 12, 64, 10);
+    let l3 = CacheParams::new(12 * MB, 16, 64, 36); // paper: 32-40 cycles
+    for _socket in 0..n_sockets {
+        let l3n = b.cache(NodeId::ROOT, 3, l3);
+        for _pair in 0..3 {
+            let l2n = b.cache(l3n, 2, l2);
+            b.core_with_l1(l2n, l1);
+            b.core_with_l1(l2n, l1);
+        }
+    }
+    b.build()
+}
+
+/// Arch-I (Figure 12a, reconstructed): 16 cores, four on-chip levels.
+/// Two sockets; per socket an L4 over two L3s, each L3 over two L2s, each L2
+/// shared by a pair of cores.
+pub fn arch_i() -> Machine {
+    let mut b = Machine::builder("Arch-I", 2.4, 140);
+    let l1 = CacheParams::new(32 * KB, 8, 64, 4);
+    let l2 = CacheParams::new(MB, 8, 64, 10);
+    let l3 = CacheParams::new(4 * MB, 16, 64, 22);
+    let l4 = CacheParams::new(16 * MB, 16, 64, 40);
+    for _socket in 0..2 {
+        let l4n = b.cache(NodeId::ROOT, 4, l4);
+        for _l3 in 0..2 {
+            let l3n = b.cache(l4n, 3, l3);
+            for _l2 in 0..2 {
+                let l2n = b.cache(l3n, 2, l2);
+                b.core_with_l1(l2n, l1);
+                b.core_with_l1(l2n, l1);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Arch-II (Figure 12b, reconstructed): 32 cores, five on-chip levels — one
+/// binary fan-out level deeper than Arch-I.
+pub fn arch_ii() -> Machine {
+    let mut b = Machine::builder("Arch-II", 2.4, 160);
+    let l1 = CacheParams::new(32 * KB, 8, 64, 4);
+    let l2 = CacheParams::new(MB, 8, 64, 10);
+    let l3 = CacheParams::new(4 * MB, 16, 64, 22);
+    let l4 = CacheParams::new(12 * MB, 16, 64, 36);
+    let l5 = CacheParams::new(32 * MB, 16, 64, 48);
+    for _socket in 0..2 {
+        let l5n = b.cache(NodeId::ROOT, 5, l5);
+        for _l4 in 0..2 {
+            let l4n = b.cache(l5n, 4, l4);
+            for _l3 in 0..2 {
+                let l3n = b.cache(l4n, 3, l3);
+                for _l2 in 0..2 {
+                    let l2n = b.cache(l3n, 2, l2);
+                    b.core_with_l1(l2n, l1);
+                    b.core_with_l1(l2n, l1);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// The three commercial machines of Table 1, in the paper's order.
+pub fn commercial_machines() -> Vec<Machine> {
+    vec![harpertown(), nehalem(), dunnington()]
+}
+
+/// Looks a machine up by (case-insensitive) name. Knows the three
+/// commercial machines plus `arch-i` and `arch-ii`.
+pub fn by_name(name: &str) -> Option<Machine> {
+    match name.to_ascii_lowercase().as_str() {
+        "harpertown" => Some(harpertown()),
+        "nehalem" => Some(nehalem()),
+        "dunnington" => Some(dunnington()),
+        "arch-i" | "arch_i" | "archi" => Some(arch_i()),
+        "arch-ii" | "arch_ii" | "archii" => Some(arch_ii()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::NodeKind;
+
+    #[test]
+    fn table1_core_counts() {
+        assert_eq!(harpertown().n_cores(), 8);
+        assert_eq!(nehalem().n_cores(), 8);
+        assert_eq!(dunnington().n_cores(), 12);
+    }
+
+    #[test]
+    fn harpertown_has_two_levels_only() {
+        assert_eq!(harpertown().levels(), vec![1, 2]);
+    }
+
+    #[test]
+    fn nehalem_l2_is_private() {
+        let m = nehalem();
+        for (_, cores) in m.shared_domains(2) {
+            assert_eq!(cores.len(), 1);
+        }
+        // First *shared* level is therefore L3.
+        assert_eq!(m.first_shared_level(), Some(3));
+    }
+
+    #[test]
+    fn dunnington_l2_shared_by_pairs() {
+        let m = dunnington();
+        let domains = m.shared_domains(2);
+        assert_eq!(domains.len(), 6);
+        for (_, cores) in domains {
+            assert_eq!(cores.len(), 2);
+        }
+        assert_eq!(m.first_shared_level(), Some(2));
+    }
+
+    #[test]
+    fn dunnington_sockets_hold_six_cores() {
+        let m = dunnington();
+        let l3s = m.shared_domains(3);
+        assert_eq!(l3s.len(), 2);
+        for (_, cores) in l3s {
+            assert_eq!(cores.len(), 6);
+        }
+    }
+
+    #[test]
+    fn table1_cache_parameters_encoded() {
+        let m = harpertown();
+        let l2 = m.caches_at(2)[0];
+        let NodeKind::Cache { params, .. } = m.kind(l2) else {
+            panic!("expected cache");
+        };
+        assert_eq!(params.size_bytes(), 6 * MB);
+        assert_eq!(params.associativity(), 24);
+        assert_eq!(params.latency(), 15);
+
+        let n = nehalem();
+        let NodeKind::Cache { params, .. } = n.kind(n.caches_at(2)[0]) else {
+            panic!("expected cache");
+        };
+        assert_eq!(params.size_bytes(), 256 * KB);
+    }
+
+    #[test]
+    fn memory_latencies_match_table1_conversion() {
+        assert_eq!(harpertown().memory_latency(), 320); // 100ns * 3.2GHz
+        assert_eq!(nehalem().memory_latency(), 174); // 60ns * 2.9GHz
+        assert_eq!(dunnington().memory_latency(), 120); // 50ns * 2.4GHz
+    }
+
+    #[test]
+    fn scaled_dunnington_grows_by_socket() {
+        assert_eq!(dunnington_scaled(3).n_cores(), 18);
+        assert_eq!(dunnington_scaled(4).n_cores(), 24);
+        assert_eq!(dunnington_scaled(4).shared_domains(3).len(), 4);
+    }
+
+    #[test]
+    fn arch_i_has_four_onchip_levels() {
+        let m = arch_i();
+        assert_eq!(m.levels(), vec![1, 2, 3, 4]);
+        assert_eq!(m.n_cores(), 16);
+    }
+
+    #[test]
+    fn arch_ii_is_deeper_than_arch_i() {
+        let m = arch_ii();
+        assert_eq!(m.levels().len(), arch_i().levels().len() + 1);
+        assert_eq!(m.n_cores(), 32);
+    }
+
+    #[test]
+    fn by_name_roundtrip() {
+        for m in commercial_machines() {
+            assert_eq!(by_name(m.name()).unwrap().n_cores(), m.n_cores());
+        }
+        assert!(by_name("pentium").is_none());
+    }
+
+    #[test]
+    fn truncated_arch_i_views_for_fig20() {
+        let full = arch_i();
+        let l12 = full.truncated(2);
+        assert_eq!(l12.levels(), vec![1, 2]);
+        assert_eq!(l12.n_cores(), full.n_cores());
+        let l123 = full.truncated(3);
+        assert_eq!(l123.levels(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Cache topology descriptions for multicore machines.
+//!
+//! The PLDI'10 paper's central input is the *cache hierarchy tree* of the
+//! target machine: a tree whose root is the last-level cache (or off-chip
+//! memory when there are several last-level caches), whose internal nodes are
+//! shared caches, and whose leaves are cores behind private L1s. This crate
+//! provides:
+//!
+//! * [`CacheParams`] — capacity/associativity/line/latency of one cache,
+//! * [`Machine`] — an arena-backed cache hierarchy tree with affinity
+//!   queries ([`Machine::affinity_level`], [`Machine::shared_domains`], …),
+//! * [`MachineBuilder`] — construction of arbitrary topologies,
+//! * [`catalog`] — the machines of the paper's evaluation: Harpertown,
+//!   Nehalem, Dunnington (Table 1), the deeper Arch-I/Arch-II of Figure 12,
+//!   plus the scaled/halved variants used in the sensitivity studies,
+//! * [`spec`] — a one-line textual topology format
+//!   (`"toy 2GHz 100c: 2x[L2 1M 8w 12c: 2x[L1 32K 8w 3c]]"`),
+//! * topology transformations: [`Machine::halved_capacities`] (Figure 19)
+//!   and [`Machine::truncated`] (Figure 20's L1+L2 / L1+L2+L3 mapper views).
+//!
+//! # Example
+//!
+//! ```
+//! use ctam_topology::catalog;
+//!
+//! let dun = catalog::dunnington();
+//! assert_eq!(dun.n_cores(), 12);
+//! // Cores 0 and 1 share an L2 in Dunnington (Figure 1c).
+//! assert_eq!(dun.affinity_level(0.into(), 1.into()), Some(2));
+//! // Cores 0 and 2 only share the socket-level L3.
+//! assert_eq!(dun.affinity_level(0.into(), 2.into()), Some(3));
+//! // Cores on different sockets share nothing on-chip.
+//! assert_eq!(dun.affinity_level(0.into(), 6.into()), None);
+//! ```
+
+pub mod catalog;
+mod machine;
+mod params;
+pub mod spec;
+
+pub use machine::{CoreId, Machine, MachineBuilder, NodeId, NodeKind};
+pub use params::CacheParams;
+
+/// Kibibyte multiplier for cache sizes.
+pub const KB: u64 = 1024;
+/// Mebibyte multiplier for cache sizes.
+pub const MB: u64 = 1024 * 1024;

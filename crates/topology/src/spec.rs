@@ -1,0 +1,321 @@
+//! A compact textual format for cache topologies.
+//!
+//! Machines like Figure 1's can be written on one line, in the spirit of
+//! `hwloc`'s synthetic topology strings:
+//!
+//! ```text
+//! Dunnington 2.4GHz 120c: 2x[L3 12M 16w 36c: 3x[L2 3M 12w 10c: 2x[L1 32K 8w 4c]]]
+//! ```
+//!
+//! reads as: clock 2.4 GHz, memory latency 120 cycles, two sockets each with
+//! an L3 (12 MiB, 16-way, 36-cycle), each over three L2s (3 MiB, 12-way,
+//! 10-cycle), each over two private L1s (32 KiB, 8-way, 4-cycle). Every
+//! innermost cache gets one core. Line size defaults to 64 bytes; append
+//! e.g. `128b` to a cache to override it.
+//!
+//! # Example
+//!
+//! ```
+//! use ctam_topology::spec::parse_machine;
+//!
+//! let m = parse_machine(
+//!     "toy 2.0GHz 100c: 2x[L2 1M 8w 12c: 2x[L1 32K 8w 3c]]",
+//! ).unwrap();
+//! assert_eq!(m.n_cores(), 4);
+//! assert_eq!(m.first_shared_level(), Some(2));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::machine::{Machine, MachineBuilder, NodeId};
+use crate::params::CacheParams;
+use crate::{KB, MB};
+
+/// A topology-spec parse error with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the spec string.
+    pub offset: usize,
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl Error for SpecError {}
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn error(&self, message: impl Into<String>) -> SpecError {
+        SpecError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> Result<(), SpecError> {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{token}'")))
+        }
+    }
+
+    fn try_eat(&mut self, token: &str) -> bool {
+        self.skip_ws();
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, SpecError> {
+        self.skip_ws();
+        let digits: String = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.is_empty() {
+            return Err(self.error("expected a number"));
+        }
+        self.pos += digits.len();
+        digits
+            .parse()
+            .map_err(|_| self.error("number out of range"))
+    }
+
+    fn decimal(&mut self) -> Result<f64, SpecError> {
+        self.skip_ws();
+        let text: String = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if text.is_empty() {
+            return Err(self.error("expected a decimal number"));
+        }
+        self.pos += text.len();
+        text.parse()
+            .map_err(|_| self.error("malformed decimal number"))
+    }
+
+    fn word(&mut self) -> Result<&'a str, SpecError> {
+        self.skip_ws();
+        let len = self
+            .rest()
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_' || *c == '-')
+            .map(char::len_utf8)
+            .sum();
+        if len == 0 {
+            return Err(self.error("expected a name"));
+        }
+        let w = &self.rest()[..len];
+        self.pos += len;
+        Ok(w)
+    }
+}
+
+/// One cache description from the spec.
+struct SpecCache {
+    level: u8,
+    params: CacheParams,
+}
+
+/// Parses `L<level> <size>(K|M) <assoc>w <latency>c [<line>b]`.
+fn parse_cache(c: &mut Cursor<'_>) -> Result<SpecCache, SpecError> {
+    c.eat("L")?;
+    let level = c.number()?;
+    if level == 0 || level > 16 {
+        return Err(c.error("cache level must be in 1..=16"));
+    }
+    let size_num = c.number()?;
+    let size = if c.try_eat("M") {
+        size_num * MB
+    } else if c.try_eat("K") {
+        size_num * KB
+    } else {
+        return Err(c.error("cache size needs a K or M suffix"));
+    };
+    let assoc = c.number()?;
+    c.eat("w")?;
+    let latency = c.number()?;
+    c.eat("c")?;
+    let line = {
+        let save = c.pos;
+        match c.number() {
+            Ok(n) if c.try_eat("b") => n,
+            _ => {
+                c.pos = save;
+                64
+            }
+        }
+    };
+    if assoc == 0 || assoc > u64::from(u32::MAX) || latency > u64::from(u32::MAX) {
+        return Err(c.error("associativity/latency out of range"));
+    }
+    if !(line.is_power_of_two() && line <= u64::from(u32::MAX))
+        || size == 0
+        || size % (assoc * line) != 0
+    {
+        return Err(c.error("invalid cache geometry (size must be a multiple of assoc*line)"));
+    }
+    Ok(SpecCache {
+        level: level as u8,
+        params: CacheParams::new(size, assoc as u32, line as u32, latency as u32),
+    })
+}
+
+/// Parses `<count>x[cache (: group)?]` recursively under `parent`.
+fn parse_group(
+    c: &mut Cursor<'_>,
+    b: &mut MachineBuilder,
+    parent: NodeId,
+) -> Result<(), SpecError> {
+    c.skip_ws();
+    let count = if c.rest().starts_with(|ch: char| ch.is_ascii_digit()) {
+        let n = c.number()?;
+        c.eat("x")?;
+        n
+    } else {
+        1
+    };
+    if count == 0 || count > 1024 {
+        return Err(c.error("replication count must be in 1..=1024"));
+    }
+    c.eat("[")?;
+    let start = c.pos;
+    for _ in 0..count {
+        c.pos = start; // re-parse the same body for each replica
+        let cache = parse_cache(c)?;
+        let node = b.cache(parent, cache.level, cache.params);
+        if c.try_eat(":") {
+            parse_group(c, b, node)?;
+        } else {
+            // Innermost cache: one core behind it.
+            b.raw_core(node);
+        }
+        c.eat("]")?;
+    }
+    Ok(())
+}
+
+/// Parses a one-line machine spec:
+/// `NAME <clock>GHz <memory-latency>c: <groups>`.
+///
+/// # Errors
+///
+/// [`SpecError`] pointing at the first offending byte.
+pub fn parse_machine(spec: &str) -> Result<Machine, SpecError> {
+    let mut c = Cursor { src: spec, pos: 0 };
+    let name = c.word()?.to_owned();
+    let clock = c.decimal()?;
+    c.eat("GHz")?;
+    let mem = c.number()?;
+    c.eat("c")?;
+    c.eat(":")?;
+    if clock <= 0.0 || mem > u64::from(u32::MAX) {
+        return Err(c.error("clock/memory latency out of range"));
+    }
+    let mut b = Machine::builder(&name, clock, mem as u32);
+    loop {
+        parse_group(&mut c, &mut b, NodeId::ROOT)?;
+        c.skip_ws();
+        if c.rest().is_empty() {
+            break;
+        }
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    const DUNNINGTON: &str =
+        "Dunnington 2.4GHz 120c: 2x[L3 12M 16w 36c: 3x[L2 3M 12w 10c: 2x[L1 32K 8w 4c]]]";
+
+    #[test]
+    fn dunnington_spec_matches_the_catalog() {
+        let parsed = parse_machine(DUNNINGTON).unwrap();
+        let built = catalog::dunnington();
+        assert_eq!(parsed.n_cores(), built.n_cores());
+        assert_eq!(parsed.levels(), built.levels());
+        assert_eq!(parsed.total_cache_bytes(), built.total_cache_bytes());
+        assert_eq!(parsed.memory_latency(), built.memory_latency());
+        for a in 0..parsed.n_cores() {
+            for b in 0..parsed.n_cores() {
+                assert_eq!(
+                    parsed.affinity_level(a.into(), b.into()),
+                    built.affinity_level(a.into(), b.into()),
+                    "cores {a},{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn harpertown_two_level_spec() {
+        let m = parse_machine(
+            "Harpertown 3.2GHz 320c: 4x[L2 6M 24w 15c: 2x[L1 32K 8w 3c]]",
+        )
+        .unwrap();
+        assert_eq!(m.n_cores(), 8);
+        assert_eq!(m.levels(), vec![1, 2]);
+    }
+
+    #[test]
+    fn custom_line_size() {
+        let m = parse_machine("w 1.0GHz 100c: 1x[L1 32K 8w 3c 128b]").unwrap();
+        let crate::machine::NodeKind::Cache { params, .. } = m.kind(m.caches_at(1)[0])
+        else {
+            panic!("expected a cache");
+        };
+        assert_eq!(params.line_bytes(), 128);
+    }
+
+    #[test]
+    fn errors_point_into_the_string() {
+        let err = parse_machine("m 2.0GHz 100c: 2x[L2 5M 7w 10c]").unwrap_err();
+        assert!(err.message.contains("geometry"), "{err}");
+        assert!(err.offset > 0);
+        assert!(parse_machine("m 2.0GHz: 1x[L1 32K 8w 3c]").is_err());
+        assert!(parse_machine("m 2.0GHz 100c: 0x[L1 32K 8w 3c]").is_err());
+    }
+
+    #[test]
+    fn multiple_top_level_groups() {
+        // An asymmetric machine: one fat socket, one thin.
+        let m = parse_machine(
+            "asym 2.0GHz 100c: 1x[L2 2M 8w 12c: 4x[L1 32K 8w 3c]] 1x[L2 2M 8w 12c: 2x[L1 32K 8w 3c]]",
+        )
+        .unwrap();
+        assert_eq!(m.n_cores(), 6);
+        assert_eq!(m.shared_domains(2).len(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests over randomly built cache topologies.
+
+use ctam_topology::{CacheParams, CoreId, Machine, NodeId, KB, MB};
+use proptest::prelude::*;
+
+/// A random 2-or-3-level machine: `sockets × groups × cores_per_group`.
+fn arb_machine() -> impl Strategy<Value = Machine> {
+    (1usize..=3, 1usize..=3, 1usize..=3, prop::bool::ANY).prop_map(
+        |(sockets, groups, cores, with_l3)| {
+            let mut b = Machine::builder("prop", 2.0, 100);
+            let l1 = CacheParams::new(32 * KB, 8, 64, 3);
+            let l2 = CacheParams::new(MB, 8, 64, 10);
+            let l3 = CacheParams::new(8 * MB, 16, 64, 30);
+            for _ in 0..sockets {
+                if with_l3 {
+                    let l3n = b.cache(NodeId::ROOT, 3, l3);
+                    for _ in 0..groups {
+                        let l2n = b.cache(l3n, 2, l2);
+                        for _ in 0..cores {
+                            b.core_with_l1(l2n, l1);
+                        }
+                    }
+                } else {
+                    for _ in 0..groups {
+                        let l2n = b.cache(NodeId::ROOT, 2, l2);
+                        for _ in 0..cores {
+                            b.core_with_l1(l2n, l1);
+                        }
+                    }
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn affinity_is_symmetric(m in arb_machine()) {
+        for a in 0..m.n_cores() {
+            for b in 0..m.n_cores() {
+                prop_assert_eq!(
+                    m.affinity_level(CoreId::from(a), CoreId::from(b)),
+                    m.affinity_level(CoreId::from(b), CoreId::from(a))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_domains_partition_cores_at_every_level(m in arb_machine()) {
+        for level in m.levels() {
+            let mut seen: Vec<CoreId> = m
+                .shared_domains(level)
+                .into_iter()
+                .flat_map(|(_, cs)| cs)
+                .collect();
+            seen.sort();
+            let all: Vec<CoreId> = m.cores().collect();
+            prop_assert_eq!(seen, all, "level {}", level);
+        }
+    }
+
+    #[test]
+    fn lookup_paths_ascend_strictly(m in arb_machine()) {
+        for c in m.cores() {
+            let path = m.lookup_path(c);
+            let levels: Vec<u8> = path
+                .iter()
+                .map(|&n| match m.kind(n) {
+                    ctam_topology::NodeKind::Cache { level, .. } => level,
+                    _ => unreachable!("paths hold caches"),
+                })
+                .collect();
+            prop_assert!(levels.windows(2).all(|w| w[0] < w[1]), "{levels:?}");
+            prop_assert_eq!(levels.first(), Some(&1), "paths start at the private L1");
+        }
+    }
+
+    #[test]
+    fn halving_halves_capacity_and_preserves_structure(m in arb_machine()) {
+        let h = m.halved_capacities();
+        prop_assert_eq!(h.n_cores(), m.n_cores());
+        prop_assert_eq!(h.levels(), m.levels());
+        prop_assert_eq!(h.total_cache_bytes() * 2, m.total_cache_bytes());
+    }
+
+    #[test]
+    fn truncation_preserves_cores_and_lower_levels(m in arb_machine()) {
+        for max in m.levels() {
+            let t = m.truncated(max);
+            prop_assert_eq!(t.n_cores(), m.n_cores());
+            prop_assert!(t.levels().iter().all(|&l| l <= max));
+            // Affinity at surviving levels is unchanged.
+            for a in 0..m.n_cores() {
+                for b in 0..m.n_cores() {
+                    let orig = m.affinity_level(CoreId::from(a), CoreId::from(b));
+                    let trunc = t.affinity_level(CoreId::from(a), CoreId::from(b));
+                    match orig {
+                        Some(l) if l <= max => prop_assert_eq!(trunc, Some(l)),
+                        _ => prop_assert!(trunc.is_none() || trunc.unwrap() <= max),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_shared_level_actually_shares(m in arb_machine()) {
+        if let Some(l) = m.first_shared_level() {
+            prop_assert!(m
+                .shared_domains(l)
+                .iter()
+                .any(|(_, cs)| cs.len() > 1));
+            // No shallower level shares.
+            for shallower in m.levels().into_iter().filter(|&x| x < l) {
+                prop_assert!(m
+                    .shared_domains(shallower)
+                    .iter()
+                    .all(|(_, cs)| cs.len() == 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The twelve applications of the PLDI'10 evaluation (Table 2), modelled as
+//! synthetic loop-nest kernels.
+//!
+//! The paper evaluates on SPEC OMP (`applu`, `galgel`, `equake`), NAS
+//! (`cg`, `sp`), PARSEC (`bodytrack`, `facesim`, `freqmine`), SPEC 2006
+//! (`namd`, `povray`) and two locally maintained codes (`mesa`, `H.264`).
+//! We cannot ship those programs, and the CTAM pass never looks at their
+//! semantics anyway — it sees *loop nests with array references*. Each
+//! kernel here reproduces the dominant iteration/data access structure of
+//! its namesake (stencil sweeps, sparse matrix-vector products, particle
+//! gathers, neighbor lists, raster scans, motion-estimation windows, …) so
+//! that the spectrum of sharing patterns the paper's suite spans — regular
+//! vs. irregular, dense vs. sparse, private-heavy vs. sharing-heavy — is
+//! covered. Irregular index tables are generated with a fixed-seed PRNG, so
+//! every build of a workload is bit-identical.
+//!
+//! # Example
+//!
+//! ```
+//! use ctam_workloads::{all, by_name, SizeClass};
+//!
+//! let suite = all(SizeClass::Test);
+//! assert_eq!(suite.len(), 12);
+//! let galgel = by_name("galgel", SizeClass::Test).unwrap();
+//! assert!(galgel.program.nests().count() >= 1);
+//! ```
+
+mod apps;
+mod registry;
+pub mod util;
+
+pub use registry::{all, by_name, names, table2, Workload};
+
+/// Problem-size class: `Test` builds in milliseconds for unit tests,
+/// `Small` is the default for the benchmark harness, `Reference` stresses
+/// the simulator (slow in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeClass {
+    /// Tiny instances for unit tests.
+    Test,
+    /// The benchmark-harness default.
+    Small,
+    /// Large instances.
+    Reference,
+}
+
+impl SizeClass {
+    /// A per-class scale factor the kernels multiply their base extents by.
+    pub fn scale(&self) -> u64 {
+        match self {
+            SizeClass::Test => 1,
+            SizeClass::Small => 2,
+            SizeClass::Reference => 4,
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The workload registry (Table 2 of the paper).
+
+use ctam_loopir::Program;
+
+use crate::apps;
+use crate::SizeClass;
+
+/// One application of the evaluation suite.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Application name as it appears in the paper.
+    pub name: &'static str,
+    /// Source suite (SpecOMP / NAS / Parsec / Spec2006 / local).
+    pub suite: &'static str,
+    /// True for the benchmarks that arrive already parallel; sequential
+    /// ones go through the parallelism-extraction step first (Section 4.1).
+    pub parallel: bool,
+    /// One-line description of the modelled access structure.
+    pub description: &'static str,
+    /// The kernel.
+    pub program: Program,
+}
+
+impl Workload {
+    /// Total declared data in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.program.total_data_bytes()
+    }
+
+    /// Total iterations across all nests.
+    pub fn total_iterations(&self) -> usize {
+        self.program.nests().map(|(_, n)| n.n_iterations()).sum()
+    }
+}
+
+/// The canonical application order of the paper's figures.
+pub fn names() -> [&'static str; 12] {
+    [
+        "applu",
+        "galgel",
+        "equake",
+        "cg",
+        "sp",
+        "bodytrack",
+        "facesim",
+        "freqmine",
+        "namd",
+        "povray",
+        "mesa",
+        "H.264",
+    ]
+}
+
+/// Builds every workload at the given size.
+pub fn all(size: SizeClass) -> Vec<Workload> {
+    vec![
+        apps::applu::build(size),
+        apps::galgel::build(size),
+        apps::equake::build(size),
+        apps::cg::build(size),
+        apps::sp::build(size),
+        apps::bodytrack::build(size),
+        apps::facesim::build(size),
+        apps::freqmine::build(size),
+        apps::namd::build(size),
+        apps::povray::build(size),
+        apps::mesa::build(size),
+        apps::h264::build(size),
+    ]
+}
+
+/// Builds one workload by (case-insensitive) name.
+pub fn by_name(name: &str, size: SizeClass) -> Option<Workload> {
+    match name.to_ascii_lowercase().as_str() {
+        "applu" => Some(apps::applu::build(size)),
+        "galgel" => Some(apps::galgel::build(size)),
+        "equake" => Some(apps::equake::build(size)),
+        "cg" => Some(apps::cg::build(size)),
+        "sp" => Some(apps::sp::build(size)),
+        "bodytrack" => Some(apps::bodytrack::build(size)),
+        "facesim" => Some(apps::facesim::build(size)),
+        "freqmine" => Some(apps::freqmine::build(size)),
+        "namd" => Some(apps::namd::build(size)),
+        "povray" => Some(apps::povray::build(size)),
+        "mesa" => Some(apps::mesa::build(size)),
+        "h.264" | "h264" => Some(apps::h264::build(size)),
+        _ => None,
+    }
+}
+
+/// Renders a Table 2-style listing of the suite.
+pub fn table2(size: SizeClass) -> String {
+    let mut out = String::from(
+        "Table 2: applications (name, suite, input kind, data size, iterations)\n",
+    );
+    for w in all(size) {
+        out.push_str(&format!(
+            "  {:<10} {:<9} {:<10} {:>8} KB {:>8} iters — {}\n",
+            w.name,
+            w.suite,
+            if w.parallel { "parallel" } else { "sequential" },
+            w.data_bytes() / 1024,
+            w.total_iterations(),
+            w.description,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_workloads_in_paper_order() {
+        let suite = all(SizeClass::Test);
+        assert_eq!(suite.len(), 12);
+        let got: Vec<&str> = suite.iter().map(|w| w.name).collect();
+        assert_eq!(got, names());
+    }
+
+    #[test]
+    fn suites_match_table2() {
+        let suite = all(SizeClass::Test);
+        let count = |s: &str| suite.iter().filter(|w| w.suite == s).count();
+        assert_eq!(count("SpecOMP"), 3);
+        assert_eq!(count("NAS"), 2);
+        assert_eq!(count("Parsec"), 3);
+        assert_eq!(count("Spec2006"), 2);
+        assert_eq!(count("local"), 2);
+        // 8 parallel, 4 sequential, as in the paper.
+        assert_eq!(suite.iter().filter(|w| w.parallel).count(), 8);
+    }
+
+    #[test]
+    fn by_name_finds_everyone() {
+        for n in names() {
+            assert!(by_name(n, SizeClass::Test).is_some(), "{n}");
+        }
+        assert!(by_name("doom", SizeClass::Test).is_none());
+    }
+
+    #[test]
+    fn table2_renders_all_rows() {
+        let t = table2(SizeClass::Test);
+        for n in names() {
+            assert!(t.contains(n), "missing {n} in:\n{t}");
+        }
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let a = all(SizeClass::Test);
+        let b = all(SizeClass::Test);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.total_iterations(), y.total_iterations());
+            assert_eq!(x.data_bytes(), y.data_bytes());
+        }
+    }
+}

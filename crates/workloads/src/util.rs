@@ -1,0 +1,139 @@
+//! Deterministic generators for the irregular access patterns of the suite.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded PRNG; the seed is derived from the kernel name so each workload
+/// is reproducible independently of build order.
+pub fn rng_for(name: &str) -> SmallRng {
+    let mut seed = 0xC7A5_2010u64; // CTAM, PLDI 2010
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(u64::from(b));
+    }
+    SmallRng::seed_from_u64(seed)
+}
+
+/// A banded neighbor table: entry `(i, k)` is a random index within
+/// `band` of `i`, clamped to `[0, n)`. Models neighbor lists (molecular
+/// dynamics) and banded sparse matrices.
+pub fn banded_table(n: u64, k: usize, band: i64, rng: &mut SmallRng) -> Vec<u64> {
+    let mut out = Vec::with_capacity(n as usize * k);
+    for i in 0..n as i64 {
+        for _ in 0..k {
+            let off = rng.gen_range(-band..=band);
+            out.push((i + off).clamp(0, n as i64 - 1) as u64);
+        }
+    }
+    out
+}
+
+/// A skewed (approximately Zipfian) table of `len` indices into
+/// `[0, universe)`: low indices are exponentially more likely. Models hot
+/// structures shared by everyone (FP-growth tree roots, scene hierarchies).
+pub fn skewed_table(len: usize, universe: u64, rng: &mut SmallRng) -> Vec<u64> {
+    (0..len)
+        .map(|_| {
+            // Repeated halving: P(index < universe/2^k) decays geometrically.
+            let mut hi = universe;
+            while hi > 1 && rng.gen_bool(0.75) {
+                hi /= 2;
+            }
+            rng.gen_range(0..hi.max(1))
+        })
+        .collect()
+}
+
+/// A region-local table: iteration `i` draws `k` indices uniformly from the
+/// region `[region_of(i) * region_size, +region_size)` of the universe,
+/// where consecutive `per_region` iterations share a region. Models spatial
+/// coherence (rays hitting nearby geometry, particles near one image area).
+pub fn region_table(
+    n_iters: u64,
+    per_region: u64,
+    k: usize,
+    region_size: u64,
+    universe: u64,
+    rng: &mut SmallRng,
+) -> Vec<u64> {
+    assert!(per_region > 0 && region_size > 0, "regions must be non-empty");
+    let n_regions = universe.div_ceil(region_size);
+    let mut out = Vec::with_capacity(n_iters as usize * k);
+    for i in 0..n_iters {
+        let region = (i / per_region) % n_regions;
+        let base = region * region_size;
+        let end = (base + region_size).min(universe);
+        for _ in 0..k {
+            out.push(rng.gen_range(base..end));
+        }
+    }
+    out
+}
+
+/// A uniformly random table of `len` indices into `[0, universe)`.
+pub fn uniform_table(len: usize, universe: u64, rng: &mut SmallRng) -> Vec<u64> {
+    (0..len).map(|_| rng.gen_range(0..universe)).collect()
+}
+
+/// A banded table around explicit per-iteration centers: entry `(i, k)` is
+/// a random index within `band` of `centers[i]`, clamped to `[0, universe)`.
+/// Used to model codes whose *iteration order* is a permutation of the
+/// *spatial order* (multicolor assembly, red-black orderings, resampled
+/// particles): pass the iteration→space permutation as `centers`.
+pub fn banded_table_around(
+    centers: &[u64],
+    k: usize,
+    band: i64,
+    universe: u64,
+    rng: &mut SmallRng,
+) -> Vec<u64> {
+    let mut out = Vec::with_capacity(centers.len() * k);
+    for &c in centers {
+        for _ in 0..k {
+            let off = rng.gen_range(-band..=band);
+            out.push((c as i64 + off).clamp(0, universe as i64 - 1) as u64);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<u64> = uniform_table(8, 100, &mut rng_for("x"));
+        let b: Vec<u64> = uniform_table(8, 100, &mut rng_for("x"));
+        let c: Vec<u64> = uniform_table(8, 100, &mut rng_for("y"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn banded_entries_stay_in_band() {
+        let t = banded_table(64, 4, 5, &mut rng_for("band"));
+        assert_eq!(t.len(), 64 * 4);
+        for (idx, &v) in t.iter().enumerate() {
+            let i = (idx / 4) as i64;
+            assert!((v as i64 - i).abs() <= 5 || v == 0 || v == 63);
+        }
+    }
+
+    #[test]
+    fn skewed_is_skewed() {
+        let t = skewed_table(4000, 1024, &mut rng_for("skew"));
+        let low = t.iter().filter(|&&v| v < 256).count();
+        assert!(low > t.len() / 2, "lower quarter should dominate: {low}");
+        assert!(t.iter().all(|&v| v < 1024));
+    }
+
+    #[test]
+    fn region_entries_stay_in_region() {
+        let t = region_table(32, 8, 2, 100, 1000, &mut rng_for("reg"));
+        for (idx, &v) in t.iter().enumerate() {
+            let i = (idx / 2) as u64;
+            let region = (i / 8) % 10;
+            assert!(v >= region * 100 && v < region * 100 + 100);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Inspect *why* a mapping is good: static quality metrics (replication,
+//! sharing cost, balance) for Base vs TopologyAware on one workload,
+//! alongside the simulated outcome.
+//!
+//! Run with `cargo run --release --example mapping_inspector [workload]`.
+
+use ctam::blocks::BlockMap;
+use ctam::cluster::distribute;
+use ctam::group::group_iterations;
+use ctam::metrics::MappingMetrics;
+use ctam::pipeline::{evaluate, CtamParams, Strategy};
+use ctam::space::IterationSpace;
+use ctam_loopir::dependence;
+use ctam_topology::catalog;
+use ctam_workloads::{by_name, SizeClass};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "povray".into());
+    let w = by_name(&name, SizeClass::Test)
+        .ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let machine = catalog::dunnington();
+    println!("{} on {}\n", w.name, machine.name());
+
+    let (nest, _) = w.program.nests().next().expect("workloads have nests");
+    let dep = dependence::analyze(&w.program, nest);
+    let depth = w.program.nest(nest).depth();
+    let prefix = dep.outermost_parallel().map_or(depth, |l| (l + 1).min(depth));
+    let space = IterationSpace::build_units(&w.program, nest, prefix);
+    let blocks = BlockMap::new(&w.program, 2048);
+    let groups = group_iterations(&space, &blocks);
+    println!(
+        "{} units, {} blocks, {} iteration groups",
+        space.n_units(),
+        blocks.n_blocks(),
+        groups.len()
+    );
+
+    // Static view: Base's contiguous chunks vs topology-aware distribution.
+    let base = ctam::baselines::base_assignment(&space, &blocks, machine.n_cores());
+    let topo = distribute(groups, &machine, 0.10);
+    println!("\nBase chunks:\n{}", MappingMetrics::compute(&base, &machine));
+    println!("TopologyAware:\n{}", MappingMetrics::compute(&topo, &machine));
+
+    // Dynamic view: the simulated outcome.
+    let params = CtamParams::default();
+    let rb = evaluate(&w.program, &machine, Strategy::Base, &params)?;
+    let rt = evaluate(&w.program, &machine, Strategy::TopologyAware, &params)?;
+    println!(
+        "simulated: Base {} cycles, TopologyAware {} cycles ({:+.1}%)",
+        rb.cycles(),
+        rt.cycles(),
+        100.0 * (rt.cycles() as f64 / rb.cycles() as f64 - 1.0)
+    );
+
+    // Cache-independent view: the average per-core LRU miss ratio of each
+    // mapping's access stream at L1 capacity (reuse-distance analysis).
+    let l1_lines = ctam::metrics::l1_capacity(&machine).unwrap_or(32 * 1024) / 64;
+    let avg_miss = |r: &ctam::pipeline::EvalResult| -> f64 {
+        let mut total = 0.0;
+        let mut cores = 0.0;
+        for mapping in &r.mappings {
+            let mut per_core: Vec<Vec<u64>> = vec![Vec::new(); machine.n_cores()];
+            for round in mapping.schedule.rounds() {
+                for (c, gs) in round.iter().enumerate() {
+                    for g in gs {
+                        for &u in g.iterations() {
+                            for &i in mapping.space.unit_members(u as usize) {
+                                for a in mapping.space.accesses(i as usize) {
+                                    per_core[c]
+                                        .push(w.program.address_of(a.array, a.element) / 64);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for lines in per_core.iter().filter(|l| !l.is_empty()) {
+                total += ctam_cachesim::analysis::lru_miss_ratio(lines, l1_lines);
+                cores += 1.0;
+            }
+        }
+        total / f64::max(cores, 1.0)
+    };
+    println!(
+        "per-core L1-capacity LRU miss ratio: Base {:.1}%, TopologyAware {:.1}%",
+        100.0 * avg_miss(&rb),
+        100.0 * avg_miss(&rt)
+    );
+    Ok(())
+}

@@ -1,0 +1,99 @@
+//! Omega-style code generation: after the pass assigns iteration groups to
+//! cores, each core needs *code* that enumerates its iterations — the role
+//! of the Omega Library's `codegen` in the paper (Section 3.4). This
+//! example maps a triangular nest and prints the per-core loop nests.
+//!
+//! Run with `cargo run --release --example omega_codegen`.
+
+use ctam::blocks::BlockMap;
+use ctam::cluster::distribute;
+use ctam::group::group_iterations;
+use ctam::space::IterationSpace;
+use ctam_loopir::{ArrayRef, LoopNest, Program};
+use ctam_poly::{
+    generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, IntegerSet,
+};
+use ctam_topology::{CacheParams, Machine, NodeId, KB, MB};
+
+fn main() {
+    // A triangular iteration space over a 64x64 array: 0<=i<64, 0<=j<=i.
+    let mut program = Program::new("tri");
+    let a = program.add_array("A", &[64, 64], 8);
+    let domain = IntegerSet::builder(2)
+        .names(["i", "j"])
+        .bounds(0, 0, 63)
+        .lower(1, 0)
+        .le_var(1, 0)
+        .build();
+    let nest = program.add_nest(
+        LoopNest::new("tri", domain.clone()).with_ref(ArrayRef::read(
+            a,
+            AffineMap::new(2, vec![AffineExpr::var(2, 0), AffineExpr::var(2, 1)]),
+        )),
+    );
+
+    // The original nest, re-emitted by codegen.
+    println!("// original nest:");
+    println!(
+        "{}\n",
+        generate_loop_nest(&domain, &CodegenOptions::default()).expect("bounded set")
+    );
+
+    // Map it onto a 4-core machine and emit per-core code: each core's
+    // groups become row-interval loop nests.
+    let mut b = Machine::builder("quad", 2.0, 120);
+    let l1 = CacheParams::new(32 * KB, 8, 64, 3);
+    for _ in 0..2 {
+        let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(2 * MB, 8, 64, 12));
+        b.core_with_l1(l2, l1);
+        b.core_with_l1(l2, l1);
+    }
+    let machine = b.build();
+
+    let space = IterationSpace::build_units(&program, nest, 1); // rows
+    let blocks = BlockMap::new(&program, 2048);
+    let groups = group_iterations(&space, &blocks);
+    let assignment = distribute(groups, &machine, 0.10);
+
+    for (core, groups) in assignment.per_core().iter().enumerate() {
+        println!("// ---- core {core} ----");
+        for g in groups {
+            // Each group is a set of whole rows; emit one nest per maximal
+            // run of consecutive rows.
+            let rows: Vec<i64> = g
+                .iterations()
+                .iter()
+                .map(|&u| space.point(space.unit_members(u as usize)[0] as usize)[0])
+                .collect();
+            let mut start = rows[0];
+            let mut prev = rows[0];
+            let mut spans = Vec::new();
+            for &r in &rows[1..] {
+                if r != prev + 1 {
+                    spans.push((start, prev));
+                    start = r;
+                }
+                prev = r;
+            }
+            spans.push((start, prev));
+            for (lo, hi) in spans {
+                let set = IntegerSet::builder(2)
+                    .names(["i", "j"])
+                    .bounds(0, lo, hi)
+                    .lower(1, 0)
+                    .le_var(1, 0)
+                    .build();
+                let code = generate_loop_nest(
+                    &set,
+                    &CodegenOptions {
+                        body: "A[{args}] += 1;".to_owned(),
+                        indent: 2,
+                    },
+                )
+                .expect("bounded set");
+                println!("{code}");
+            }
+        }
+        println!();
+    }
+}

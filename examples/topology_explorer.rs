@@ -1,0 +1,39 @@
+//! Explore the machine catalog: Table 1's machines, the deeper Figure 12
+//! hierarchies, affinity queries, and the derived views used by the
+//! sensitivity studies.
+//!
+//! Run with `cargo run --release --example topology_explorer`.
+
+use ctam_topology::catalog;
+
+fn main() {
+    for m in [
+        catalog::harpertown(),
+        catalog::nehalem(),
+        catalog::dunnington(),
+        catalog::arch_i(),
+        catalog::arch_ii(),
+    ] {
+        println!("{}", m.describe());
+        let fmt = |l: Option<u8>| l.map_or("off-chip".to_owned(), |l| format!("L{l}"));
+        let c0 = 0.into();
+        println!(
+            "  affinity of core0 with core1 / core2 / far core: {} / {} / {}",
+            fmt(m.affinity_level(c0, 1.into())),
+            fmt(m.affinity_level(c0, 2.into())),
+            fmt(m.affinity_level(c0, (m.n_cores() - 1).into())),
+        );
+        println!(
+            "  first shared level: {}, total on-chip cache: {} KB\n",
+            fmt(m.first_shared_level()),
+            m.total_cache_bytes() / 1024
+        );
+    }
+
+    // The derived views of the sensitivity studies.
+    let dun = catalog::dunnington();
+    println!("--- derived views ---\n");
+    println!("{}", dun.halved_capacities().describe());
+    println!("{}", catalog::arch_i().truncated(2).describe());
+    println!("{}", catalog::dunnington_scaled(4).describe());
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the CTAM reproduction workspace.
+//!
+//! This crate exists to host the repository-level [examples](https://github.com/ctam-rs/ctam/tree/main/examples)
+//! and cross-crate integration tests. It re-exports every workspace crate so
+//! that examples can `use ctam_repro::...` or the individual crates directly.
+//!
+//! The actual functionality lives in:
+//!
+//! * [`ctam`] — the paper's contribution: cache-topology-aware iteration
+//!   distribution and scheduling.
+//! * [`ctam_poly`] — polyhedral substrate (integer sets, affine maps, codegen).
+//! * [`ctam_topology`] — cache hierarchy trees and the machine catalog.
+//! * [`ctam_cachesim`] — multicore multi-level cache simulator.
+//! * [`ctam_loopir`] — loop-nest IR and dependence analysis.
+//! * [`ctam_workloads`] — the twelve applications of the paper's evaluation.
+
+pub use ctam;
+pub use ctam_cachesim;
+pub use ctam_loopir;
+pub use ctam_poly;
+pub use ctam_topology;
+pub use ctam_workloads;

@@ -1,0 +1,129 @@
+//! End-to-end integration: every workload of the suite maps and simulates
+//! on every commercial machine, under every applicable strategy, with the
+//! bookkeeping invariants intact.
+
+use ctam::pipeline::{evaluate, evaluate_ported, CtamParams, Strategy};
+use ctam_topology::catalog;
+use ctam_workloads::{all, by_name, SizeClass};
+
+/// Total memory accesses a workload must generate: iterations × references,
+/// summed over nests.
+fn expected_accesses(w: &ctam_workloads::Workload) -> u64 {
+    w.program
+        .nests()
+        .map(|(_, n)| n.n_iterations() as u64 * n.refs().len() as u64)
+        .sum()
+}
+
+#[test]
+fn every_workload_runs_everywhere() {
+    let params = CtamParams::default();
+    for machine in catalog::commercial_machines() {
+        for w in all(SizeClass::Test) {
+            for strategy in [Strategy::Base, Strategy::BasePlus, Strategy::TopologyAware] {
+                let r = evaluate(&w.program, &machine, strategy, &params)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", w.name, machine.name()));
+                assert_eq!(
+                    r.report.n_accesses(),
+                    expected_accesses(&w),
+                    "{} on {} under {strategy} lost accesses",
+                    w.name,
+                    machine.name()
+                );
+                assert!(r.cycles() > 0);
+            }
+        }
+    }
+}
+
+#[test]
+fn scheduling_strategies_preserve_accesses() {
+    let params = CtamParams::default();
+    let machine = catalog::dunnington();
+    for w in all(SizeClass::Test) {
+        for strategy in [Strategy::Local, Strategy::Combined] {
+            let r = evaluate(&w.program, &machine, strategy, &params)
+                .unwrap_or_else(|e| panic!("{} under {strategy}: {e}", w.name));
+            assert_eq!(r.report.n_accesses(), expected_accesses(&w), "{}", w.name);
+        }
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic_across_runs() {
+    let params = CtamParams::default();
+    let machine = catalog::nehalem();
+    for name in ["galgel", "equake", "freqmine"] {
+        let w1 = by_name(name, SizeClass::Test).unwrap();
+        let w2 = by_name(name, SizeClass::Test).unwrap();
+        let a = evaluate(&w1.program, &machine, Strategy::Combined, &params).unwrap();
+        let b = evaluate(&w2.program, &machine, Strategy::Combined, &params).unwrap();
+        assert_eq!(a.cycles(), b.cycles(), "{name}");
+        assert_eq!(a.report, b.report, "{name}");
+    }
+}
+
+#[test]
+fn porting_preserves_accesses_across_core_counts() {
+    let params = CtamParams::default();
+    let dun = catalog::dunnington();
+    let harp = catalog::harpertown();
+    for name in ["applu", "bodytrack"] {
+        let w = by_name(name, SizeClass::Test).unwrap();
+        let r = evaluate_ported(&w.program, &dun, &harp, Strategy::TopologyAware, &params)
+            .unwrap();
+        assert_eq!(r.report.n_accesses(), expected_accesses(&w), "{name}");
+        assert_eq!(r.report.per_core_cycles().len(), 8);
+    }
+}
+
+#[test]
+fn mapper_views_run_on_the_full_machine() {
+    // Figure 20's setup: mapping against a truncated view, executing on the
+    // full hierarchy.
+    let params = CtamParams::default();
+    let full = catalog::arch_i();
+    let view = full.truncated(2);
+    let w = by_name("cg", SizeClass::Test).unwrap();
+    let r = evaluate_ported(&w.program, &view, &full, Strategy::TopologyAware, &params)
+        .unwrap();
+    assert_eq!(r.report.n_accesses(), expected_accesses(&w));
+}
+
+#[test]
+fn block_size_changes_grouping_not_coverage() {
+    let machine = catalog::dunnington();
+    let w = by_name("applu", SizeClass::Test).unwrap();
+    let mut group_counts = Vec::new();
+    for block in [512u64, 2048, 8192] {
+        let params = CtamParams {
+            block_bytes: Some(block),
+            ..CtamParams::default()
+        };
+        let r = evaluate(&w.program, &machine, Strategy::TopologyAware, &params).unwrap();
+        assert_eq!(r.report.n_accesses(), expected_accesses(&w));
+        group_counts.push(r.mappings[0].n_groups);
+    }
+    // Smaller blocks give finer grouping.
+    assert!(
+        group_counts[0] >= group_counts[1] && group_counts[1] >= group_counts[2],
+        "{group_counts:?}"
+    );
+}
+
+#[test]
+fn deeper_and_scaled_machines_work() {
+    let params = CtamParams::default();
+    let w = by_name("povray", SizeClass::Test).unwrap();
+    for machine in [
+        catalog::arch_i(),
+        catalog::arch_ii(),
+        catalog::dunnington_scaled(3),
+        catalog::dunnington_scaled(4),
+        catalog::dunnington().halved_capacities(),
+    ] {
+        let r = evaluate(&w.program, &machine, Strategy::TopologyAware, &params)
+            .unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
+        assert_eq!(r.report.n_accesses(), expected_accesses(&w), "{}", machine.name());
+    }
+}
