@@ -14,9 +14,7 @@ use ctam::blocks::BlockMap;
 use ctam::cluster::{partition_groups, Assignment};
 use ctam::depgraph::GroupDepGraph;
 use ctam::group::group_iterations;
-use ctam::pipeline::{
-    append_schedule_trace, map_nest, CtamParams, NestMapping, Strategy,
-};
+use ctam::pipeline::{append_schedule_trace, map_nest, CtamParams, NestMapping, Strategy};
 use ctam::schedule::schedule_dependence_only;
 use ctam::space::IterationSpace;
 use ctam_cachesim::trace::MulticoreTrace;
@@ -32,7 +30,9 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
     for (nest, _) in w.program.nests() {
         let dep = dependence::analyze(&w.program, nest);
         let depth = w.program.nest(nest).depth();
-        let prefix = dep.outermost_parallel().map_or(depth, |l| (l + 1).min(depth));
+        let prefix = dep
+            .outermost_parallel()
+            .map_or(depth, |l| (l + 1).min(depth));
         let space = IterationSpace::build_units(&w.program, nest, prefix);
         let blocks = BlockMap::new(&w.program, 2048);
         let groups = group_iterations(&space, &blocks);
@@ -43,7 +43,9 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
         if !graph.is_acyclic() {
             return u64::MAX; // skip pathological cases
         }
-        let schedule = schedule_dependence_only(assignment, &graph);
+        let Ok(schedule) = schedule_dependence_only(assignment, &graph) else {
+            return u64::MAX;
+        };
         let mapping = NestMapping {
             schedule,
             space,
@@ -56,7 +58,9 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
         append_schedule_trace(&mut trace, &w.program, &mapping);
         first = false;
     }
-    sim.run(&trace).expect("trace matches machine").total_cycles()
+    sim.run(&trace)
+        .expect("trace matches machine")
+        .total_cycles()
 }
 
 fn main() {
@@ -75,8 +79,7 @@ fn main() {
     );
     for w in all(size) {
         let base =
-            ctam_bench::runner::cycles(&w, &machine, Strategy::Base, &CtamParams::default())
-                as f64;
+            ctam_bench::runner::cycles(&w, &machine, Strategy::Base, &CtamParams::default()) as f64;
         let full = ctam_bench::runner::cycles(
             &w,
             &machine,
@@ -84,7 +87,11 @@ fn main() {
             &CtamParams::default(),
         ) as f64;
         let flat = flat_cycles(&w, &sim, machine.n_cores());
-        let flat = if flat == u64::MAX { f64::NAN } else { flat as f64 };
+        let flat = if flat == u64::MAX {
+            f64::NAN
+        } else {
+            flat as f64
+        };
         let no_balance = ctam_bench::runner::cycles(
             &w,
             &machine,
@@ -113,7 +120,13 @@ fn main() {
     // Exercise map_nest to keep the public surface covered in this target.
     let w = &all(SizeClass::Test)[0];
     let (nest, _) = w.program.nests().next().unwrap();
-    let m = map_nest(&w.program, nest, &machine, Strategy::TopologyAware, &CtamParams::default())
-        .expect("mapping succeeds");
+    let m = map_nest(
+        &w.program,
+        nest,
+        &machine,
+        Strategy::TopologyAware,
+        &CtamParams::default(),
+    )
+    .expect("mapping succeeds");
     let _ = m.block_bytes;
 }

@@ -3,5 +3,8 @@
 //! to change the problem size (default: small).
 fn main() {
     let size = ctam_bench::runner::size_from_env();
-    println!("{}", ctam_bench::experiments::fig20_levels_and_optimal(size));
+    println!(
+        "{}",
+        ctam_bench::experiments::fig20_levels_and_optimal(size)
+    );
 }

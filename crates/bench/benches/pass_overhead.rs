@@ -28,19 +28,15 @@ fn pass_overhead(c: &mut Criterion) {
     for name in apps {
         let w = by_name(name, SizeClass::Test).expect("known app");
         for strategy in [Strategy::Base, Strategy::TopologyAware, Strategy::Combined] {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), w.name),
-                &w,
-                |b, w| {
-                    b.iter(|| {
-                        for (nest, _) in w.program.nests() {
-                            let m = map_nest(&w.program, nest, &machine, strategy, &params)
-                                .expect("mapping succeeds");
-                            std::hint::black_box(m.n_groups);
-                        }
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), w.name), &w, |b, w| {
+                b.iter(|| {
+                    for (nest, _) in w.program.nests() {
+                        let m = map_nest(&w.program, nest, &machine, strategy, &params)
+                            .expect("mapping succeeds");
+                        std::hint::black_box(m.n_groups);
+                    }
+                });
+            });
         }
     }
     group.finish();

@@ -37,15 +37,17 @@ fn main() {
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
             // Reconstruct the trace from the mappings and run it with the
             // prefetcher enabled.
-            let mut trace =
-                ctam_cachesim::trace::MulticoreTrace::new(machine.n_cores());
+            let mut trace = ctam_cachesim::trace::MulticoreTrace::new(machine.n_cores());
             for (i, m) in r.mappings.iter().enumerate() {
                 if i > 0 {
                     trace.push_barrier_all();
                 }
                 ctam::pipeline::append_schedule_trace(&mut trace, &w.program, m);
             }
-            sim_pf.run(&trace).expect("trace matches machine").total_cycles()
+            sim_pf
+                .run(&trace)
+                .expect("trace matches machine")
+                .total_cycles()
         };
         let base = run(Strategy::Base) as f64;
         fig.push_row(

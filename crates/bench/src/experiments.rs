@@ -46,7 +46,10 @@ pub fn fig02_motivation(size: SizeClass) -> FigureData {
         "Figure 2",
         "galgel: rows = version (tuned for), columns = machine executed on; \
          normalized per column to the best version (lower is better, best = 1.0)",
-        machines.iter().map(|m| format!("on {}", m.name())).collect(),
+        machines
+            .iter()
+            .map(|m| format!("on {}", m.name()))
+            .collect(),
     );
     // cycles[version][host]
     let raw: Vec<Vec<f64>> = machines
@@ -54,9 +57,7 @@ pub fn fig02_motivation(size: SizeClass) -> FigureData {
         .map(|tuned| {
             machines
                 .iter()
-                .map(|host| {
-                    ported_cycles(&galgel, tuned, host, Strategy::TopologyAware, &p) as f64
-                })
+                .map(|host| ported_cycles(&galgel, tuned, host, Strategy::TopologyAware, &p) as f64)
                 .collect()
         })
         .collect();
@@ -126,9 +127,7 @@ pub fn tab_miss_reductions(size: SizeClass) -> FigureData {
         let base = report(&w, &m, Strategy::Base, &p);
         let plus = report(&w, &m, Strategy::BasePlus, &p);
         let topo = report(&w, &m, Strategy::TopologyAware, &p);
-        let miss = |r: &ctam_cachesim::SimReport, l: u8| {
-            r.level_stats(l).map_or(0, |s| s.misses)
-        };
+        let miss = |r: &ctam_cachesim::SimReport, l: u8| r.level_stats(l).map_or(0, |s| s.misses);
         fig.push_row(
             w.name,
             vec![
@@ -170,8 +169,7 @@ pub fn fig14_cross_machine(size: SizeClass) -> FigureData {
         let values = pairs
             .iter()
             .map(|&(v, h)| {
-                ported_cycles(&w, &machines[v], &machines[h], Strategy::TopologyAware, &p)
-                    as f64
+                ported_cycles(&w, &machines[v], &machines[h], Strategy::TopologyAware, &p) as f64
                     / native[h]
             })
             .collect();
@@ -190,11 +188,7 @@ pub fn fig15_scheduling(size: SizeClass) -> FigureData {
     let mut fig = FigureData::new(
         "Figure 15 (Dunnington)",
         "cycles normalized to Base: distribution alone, local scheduling alone, combined",
-        vec![
-            "TopologyAware".into(),
-            "Local".into(),
-            "Combined".into(),
-        ],
+        vec!["TopologyAware".into(), "Local".into(), "Combined".into()],
     );
     for w in all(size) {
         let base = cycles(&w, &m, Strategy::Base, &p) as f64;
@@ -281,7 +275,10 @@ pub fn fig17_core_scaling(size: SizeClass) -> FigureData {
         "% improvement over Base (geomean over apps), per core count",
         vec!["12 cores".into(), "18 cores".into(), "24 cores".into()],
     );
-    let machines: Vec<Machine> = [2, 3, 4].iter().map(|&s| catalog::dunnington_scaled(s)).collect();
+    let machines: Vec<Machine> = [2, 3, 4]
+        .iter()
+        .map(|&s| catalog::dunnington_scaled(s))
+        .collect();
     let p = params();
     for strategy in [Strategy::BasePlus, Strategy::TopologyAware] {
         let values = machines
@@ -358,7 +355,9 @@ pub fn fig19_small_caches(size: SizeClass) -> FigureData {
 /// iteration groups (needed for the exponential Optimal search of
 /// Figure 20).
 pub fn coarse_block_bytes(w: &Workload, max_groups: usize) -> u64 {
-    let mut block = (w.data_bytes() / max_groups as u64).next_power_of_two().max(2048);
+    let mut block = (w.data_bytes() / max_groups as u64)
+        .next_power_of_two()
+        .max(2048);
     loop {
         let bm = BlockMap::new(&w.program, block);
         let groups: usize = w

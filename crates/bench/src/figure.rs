@@ -83,7 +83,13 @@ impl fmt::Display for FigureData {
             .chain([9])
             .max()
             .unwrap_or(9);
-        let col_w = self.columns.iter().map(|c| c.len()).chain([8]).max().unwrap_or(8);
+        let col_w = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
         write!(f, "{:<label_w$}", "")?;
         for c in &self.columns {
             write!(f, "  {c:>col_w$}")?;
@@ -106,11 +112,7 @@ mod tests {
 
     #[test]
     fn table_renders_aligned() {
-        let mut fig = FigureData::new(
-            "Figure X",
-            "test",
-            vec!["a".into(), "b".into()],
-        );
+        let mut fig = FigureData::new("Figure X", "test", vec!["a".into(), "b".into()]);
         fig.push_row("row1", vec![1.0, 2.0]);
         fig.push_row("longer-row", vec![0.5, 0.25]);
         let s = fig.to_string();

@@ -8,6 +8,9 @@
 //! The [`experiments`] module holds the experiment definitions; [`figure`]
 //! the tabular output type; [`runner`] the shared evaluation plumbing.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod figure;
 pub mod runner;

@@ -45,7 +45,12 @@ pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
 ///
 /// Panics on pipeline errors — experiment configurations are fixed, so an
 /// error is a harness bug, not an input condition.
-pub fn cycles(workload: &Workload, machine: &Machine, strategy: Strategy, params: &CtamParams) -> u64 {
+pub fn cycles(
+    workload: &Workload,
+    machine: &Machine,
+    strategy: Strategy,
+    params: &CtamParams,
+) -> u64 {
     evaluate(&workload.program, machine, strategy, params)
         .unwrap_or_else(|e| panic!("{} on {} ({strategy}): {e}", workload.name, machine.name()))
         .cycles()

@@ -41,6 +41,9 @@
 //! assert_eq!(report.level_stats(1).unwrap().misses, 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod cache;
 pub mod report;

@@ -114,7 +114,11 @@ impl MulticoreTrace {
     pub fn barrier_counts(&self) -> Vec<usize> {
         self.per_core
             .iter()
-            .map(|c| c.iter().filter(|e| matches!(e, TraceEvent::Barrier)).count())
+            .map(|c| {
+                c.iter()
+                    .filter(|e| matches!(e, TraceEvent::Barrier))
+                    .count()
+            })
             .collect()
     }
 }

@@ -7,17 +7,15 @@ use ctam_topology::{catalog, CacheParams};
 use proptest::prelude::*;
 
 fn arb_trace(n_cores: usize) -> impl Strategy<Value = MulticoreTrace> {
-    proptest::collection::vec(
-        (0..n_cores, 0u64..4096, prop::bool::ANY),
-        1..200,
+    proptest::collection::vec((0..n_cores, 0u64..4096, prop::bool::ANY), 1..200).prop_map(
+        move |accesses| {
+            let mut t = MulticoreTrace::new(n_cores);
+            for (core, addr, write) in accesses {
+                t.push_access(core, addr * 8, if write { Op::Write } else { Op::Read });
+            }
+            t
+        },
     )
-    .prop_map(move |accesses| {
-        let mut t = MulticoreTrace::new(n_cores);
-        for (core, addr, write) in accesses {
-            t.push_access(core, addr * 8, if write { Op::Write } else { Op::Read });
-        }
-        t
-    })
 }
 
 proptest! {

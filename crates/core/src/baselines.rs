@@ -49,11 +49,7 @@ fn union_tag(space: &IterationSpace, blocks: &BlockMap, units: &[u32]) -> Tag {
 /// The `Base` mapping: contiguous chunks of the program-order unit
 /// sequence, one single-group chunk per core, original order within — what
 /// a static OpenMP schedule of the parallelized loop produces.
-pub fn base_assignment(
-    space: &IterationSpace,
-    blocks: &BlockMap,
-    n_cores: usize,
-) -> Assignment {
+pub fn base_assignment(space: &IterationSpace, blocks: &BlockMap, n_cores: usize) -> Assignment {
     let per_core = chunk_ranges(space.n_units(), n_cores)
         .into_iter()
         .map(|r| {
@@ -165,11 +161,7 @@ pub fn base_plus_assignment(
 /// within each core so that the Figure 7 scheduler ([`crate::schedule`]) can
 /// reorganize them. Distribution across cores stays default; only the
 /// within-core structure is data-centric.
-pub fn local_assignment(
-    space: &IterationSpace,
-    blocks: &BlockMap,
-    n_cores: usize,
-) -> Assignment {
+pub fn local_assignment(space: &IterationSpace, blocks: &BlockMap, n_cores: usize) -> Assignment {
     // Group the whole space once, then cut each group by chunk ownership.
     let chunks = chunk_ranges(space.n_units(), n_cores);
     let owner_of = |i: u32| -> usize {
@@ -205,9 +197,8 @@ mod tests {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[256], 8);
         let d = IntegerSet::builder(1).bounds(0, 0, 255).build();
-        let id = p.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
-        );
+        let id =
+            p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
         let s = IterationSpace::build(&p, id);
         let bm = BlockMap::new(&p, 256);
         (p, s, bm)
@@ -253,10 +244,12 @@ mod tests {
     fn base_plus_2d_tiles_reorder() {
         let mut prog = Program::new("t2");
         let a = prog.add_array("A", &[16, 16], 8);
-        let d = IntegerSet::builder(2).bounds(0, 0, 15).bounds(1, 0, 15).build();
-        let id = prog.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(2))),
-        );
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 15)
+            .bounds(1, 0, 15)
+            .build();
+        let id = prog
+            .add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(2))));
         let s = IterationSpace::build(&prog, id);
         let bm = BlockMap::new(&prog, 256);
         let m = catalog::harpertown();
@@ -265,10 +258,13 @@ mod tests {
         // t=4, the first 8 iterations are the (0,0) tile's rows 0-1 part:
         // (0,0..4) then (1,0..4).
         let order = plus.per_core()[0][0].iterations();
-        let pts: Vec<&ctam_poly::Point> =
-            order.iter().map(|&i| s.point(i as usize)).collect();
+        let pts: Vec<&ctam_poly::Point> = order.iter().map(|&i| s.point(i as usize)).collect();
         assert_eq!(pts[0], &vec![0, 0]);
-        assert_eq!(pts[4], &vec![1, 0], "tile must drain before next column block");
+        assert_eq!(
+            pts[4],
+            &vec![1, 0],
+            "tile must drain before next column block"
+        );
     }
 
     #[test]
@@ -281,10 +277,7 @@ mod tests {
         for c in 0..8 {
             for g in &a.per_core()[c] {
                 // Every group stays within the core's chunk.
-                assert!(g
-                    .iterations()
-                    .iter()
-                    .all(|&i| (i as usize) / 32 == c));
+                assert!(g.iterations().iter().all(|&i| (i as usize) / 32 == c));
             }
         }
     }

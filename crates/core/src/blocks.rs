@@ -96,8 +96,7 @@ impl BlockMap {
     /// Panics if the array id is out of range or the element is outside the
     /// array.
     pub fn block_of(&self, array: ArrayId, element: u64) -> usize {
-        let local =
-            (element * u64::from(self.elem_bytes[array.index()])) / self.block_bytes;
+        let local = (element * u64::from(self.elem_bytes[array.index()])) / self.block_bytes;
         let local = local as usize;
         assert!(
             local < self.blocks_per_array[array.index()],
@@ -184,7 +183,7 @@ mod tests {
     #[test]
     fn choose_block_size_respects_l1() {
         let m = catalog::dunnington(); // 32KB L1
-        // A light iteration: default 2KB stands.
+                                       // A light iteration: default 2KB stands.
         assert_eq!(choose_block_size(&m, 4), 2048);
         // A heavy iteration touching 64 blocks: 32KB/64 = 512B.
         assert_eq!(choose_block_size(&m, 64), 512);

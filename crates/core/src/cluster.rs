@@ -177,6 +177,15 @@ pub fn distribute_with(
     leaf_split: LeafSplit,
 ) -> Assignment {
     assert!(balance_threshold >= 0.0, "threshold must be non-negative");
+    #[cfg(debug_assertions)]
+    let expected_units: Vec<u32> = {
+        let mut units: Vec<u32> = groups
+            .iter()
+            .flat_map(|g| g.iterations().iter().copied())
+            .collect();
+        units.sort_unstable();
+        units
+    };
     let n_bits = groups.first().map_or(0, |g| g.tag().n_bits());
     let mut per_core: Vec<Vec<IterationGroup>> = vec![Vec::new(); machine.n_cores()];
     // Per-level imbalance compounds multiplicatively down the tree; divide
@@ -196,11 +205,9 @@ pub fn distribute_with(
             .map(|&k| machine.cores_under(k).len().max(1))
             .collect();
         let mut best: Option<(u64, Vec<Vec<IterationGroup>>)> = None;
-        for candidate in
-            partition_candidates(groups.clone(), &capacities, level_threshold, n_bits)
+        for candidate in partition_candidates(groups.clone(), &capacities, level_threshold, n_bits)
         {
-            let mut trial: Vec<Vec<IterationGroup>> =
-                vec![Vec::new(); machine.n_cores()];
+            let mut trial: Vec<Vec<IterationGroup>> = vec![Vec::new(); machine.n_cores()];
             for (child, cluster) in root_children.iter().zip(candidate) {
                 distribute_rec(
                     machine,
@@ -246,6 +253,22 @@ pub fn distribute_with(
     for groups in &mut per_core {
         groups.sort_by_key(|g| g.iterations()[0]);
     }
+    // Debug-build self-check: distribution is a pure partition — every input
+    // unit lands on exactly one core, none invented, none lost. Property
+    // tests exercise this for free; release builds skip it.
+    #[cfg(debug_assertions)]
+    {
+        let mut placed: Vec<u32> = per_core
+            .iter()
+            .flatten()
+            .flat_map(|g| g.iterations().iter().copied())
+            .collect();
+        placed.sort_unstable();
+        debug_assert_eq!(
+            placed, expected_units,
+            "distribution must permute the input units"
+        );
+    }
     Assignment { per_core }
 }
 
@@ -263,8 +286,9 @@ pub fn split_for_balance(
     if total == 0 {
         return groups;
     }
-    let limit =
-        ((total as f64 / n_cores as f64) * (1.0 + threshold)).ceil().max(1.0) as usize;
+    let limit = ((total as f64 / n_cores as f64) * (1.0 + threshold))
+        .ceil()
+        .max(1.0) as usize;
     let mut out = Vec::with_capacity(groups.len());
     for mut g in groups.drain(..) {
         while g.size() > limit {
@@ -303,7 +327,15 @@ fn distribute_rec(
     let children = machine.children(node).to_vec();
     match children.len() {
         0 => unreachable!("validated machines have cores under every cache"),
-        1 => distribute_rec(machine, children[0], groups, threshold, n_bits, leaf_split, out),
+        1 => distribute_rec(
+            machine,
+            children[0],
+            groups,
+            threshold,
+            n_bits,
+            leaf_split,
+            out,
+        ),
         _ => {
             let capacities: Vec<usize> = children
                 .iter()
@@ -316,10 +348,7 @@ fn distribute_rec(
             if let LeafSplit::Interleave(n) = leaf_split {
                 if split_depth(machine, node) <= usize::from(n) {
                     let cores = machine.cores_under(node);
-                    for (core, part) in cores
-                        .iter()
-                        .zip(interleave_split(groups, cores.len()))
-                    {
+                    for (core, part) in cores.iter().zip(interleave_split(groups, cores.len())) {
                         out[core.index()] = part;
                     }
                     return;
@@ -348,9 +377,7 @@ fn interleave_split(groups: Vec<IterationGroup>, k: usize) -> Vec<Vec<IterationG
     for g in pieces {
         // Round-robin with a size guard: take the least-loaded core among
         // the next in rotation, so uneven piece sizes cannot pile up.
-        let c = (0..k)
-            .min_by_key(|&c| (sizes[c], c))
-            .expect("k >= 1 cores");
+        let c = (0..k).min_by_key(|&c| (sizes[c], c)).expect("k >= 1 cores");
         sizes[c] += g.size();
         out[c].push(g);
     }
@@ -411,7 +438,7 @@ pub(crate) fn partition_candidates(
 ) -> Vec<Vec<Vec<IterationGroup>>> {
     let target = capacities.len();
     let mut candidates: Vec<Vec<Vec<IterationGroup>>> = Vec::new();
-    if target > 2 && target % 2 == 0 && capacities.windows(2).all(|w| w[0] == w[1]) {
+    if target > 2 && target.is_multiple_of(2) && capacities.windows(2).all(|w| w[0] == w[1]) {
         // Halve the per-level threshold so the two nested levels compound
         // to roughly the requested imbalance.
         let t = threshold / 2.0;
@@ -423,7 +450,12 @@ pub(crate) fn partition_candidates(
         }
         candidates.push(out);
     }
-    candidates.push(partition_direct(groups.clone(), capacities, threshold, n_bits));
+    candidates.push(partition_direct(
+        groups.clone(),
+        capacities,
+        threshold,
+        n_bits,
+    ));
     // Order-based cuts (both re-balanced like the greedy candidates; they
     // may need to split a dominant group): program order, and data order —
     // groups sorted by the first block they touch, which lines up
@@ -462,14 +494,11 @@ pub(crate) fn partition_candidates(
 /// data-ordered input it aligns class-structured sharing. Scoring these
 /// cuts against the greedy candidates guarantees the pass never does worse
 /// than either naive order at any level.
-fn contiguous_cut(
-    groups: &[IterationGroup],
-    capacities: &[usize],
-) -> Vec<Vec<IterationGroup>> {
+fn contiguous_cut(groups: &[IterationGroup], capacities: &[usize]) -> Vec<Vec<IterationGroup>> {
     let total: usize = groups.iter().map(IterationGroup::size).sum();
     let total_cap: usize = capacities.iter().sum::<usize>().max(1);
     let mut out: Vec<Vec<IterationGroup>> = Vec::with_capacity(capacities.len());
-    let mut it = groups.to_vec().into_iter().peekable();
+    let mut it = groups.iter().cloned().peekable();
     let mut consumed = 0usize;
     let mut cap_acc = 0usize;
     for (k, &cap) in capacities.iter().enumerate() {
@@ -560,8 +589,8 @@ fn merge_to(clusters: &mut Vec<Cluster>, target: usize) {
     let mut alive: Vec<bool> = vec![true; clusters.len()];
     let push_pairs_for =
         |heap: &mut BinaryHeap<Entry>, clusters: &[Cluster], alive: &[bool], i: usize| {
-            for j in 0..clusters.len() {
-                if j != i && alive[j] {
+            for (j, &alive_j) in alive.iter().enumerate() {
+                if j != i && alive_j {
                     let (a, b) = (i.min(j), i.max(j));
                     let dot = clusters[a].tag.dot(&clusters[b].tag);
                     if dot > 0 {
@@ -611,8 +640,7 @@ fn merge_to(clusters: &mut Vec<Cluster>, target: usize) {
             push_pairs_for(&mut heap, clusters, &alive, i);
             continue;
         };
-        if !alive[i] || !alive[j] || clusters[i].generation != gi || clusters[j].generation != gj
-        {
+        if !alive[i] || !alive[j] || clusters[i].generation != gi || clusters[j].generation != gj {
             continue;
         }
         let absorbed = std::mem::replace(&mut clusters[j], Cluster::empty(0));
@@ -649,9 +677,7 @@ fn split_to(clusters: &mut Vec<Cluster>, target: usize, n_bits: usize) {
         let mut moved = Cluster::empty(n_bits);
         // Move whole groups (smallest first, preserving the big cluster's
         // densest sharing) until `moved` holds about half the iterations.
-        clusters[big]
-            .groups
-            .sort_by_key(|g| Reverse(g.size()));
+        clusters[big].groups.sort_by_key(|g| Reverse(g.size()));
         while moved.size < half {
             let last = clusters[big].groups.len() - 1;
             let need = half - moved.size;
@@ -722,7 +748,9 @@ fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bit
             .filter(|&gi| clusters[donor].groups[gi].size() <= room)
             .max_by_key(|&gi| {
                 (
-                    clusters[donor].groups[gi].tag().dot(&clusters[recipient].tag),
+                    clusters[donor].groups[gi]
+                        .tag()
+                        .dot(&clusters[recipient].tag),
                     clusters[donor].groups[gi].size(),
                 )
             });
@@ -733,7 +761,9 @@ fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bit
             // No whole group fits: split the best-affinity group.
             let gi = (0..clusters[donor].groups.len())
                 .max_by_key(|&gi| {
-                    clusters[donor].groups[gi].tag().dot(&clusters[recipient].tag)
+                    clusters[donor].groups[gi]
+                        .tag()
+                        .dot(&clusters[recipient].tag)
                 })
                 .expect("donor exceeds its limit, so it has groups");
             let g = &mut clusters[donor].groups[gi];
@@ -805,8 +835,11 @@ mod tests {
                 .collect()
         };
         let p: Vec<Vec<usize>> = assignment.per_core().iter().map(|g| parity_of(g)).collect();
-        for c in 0..4 {
-            assert!(p[c].windows(2).all(|w| w[0] == w[1]), "core {c} mixes parities");
+        for (c, parities) in p.iter().enumerate() {
+            assert!(
+                parities.windows(2).all(|w| w[0] == w[1]),
+                "core {c} mixes parities"
+            );
         }
         assert_eq!(p[0][0], p[1][0], "L2 pair (0,1) split across parities");
         assert_eq!(p[2][0], p[3][0], "L2 pair (2,3) split across parities");
@@ -887,8 +920,9 @@ mod tests {
     #[test]
     fn partition_respects_proportional_capacities() {
         // Two children with capacities 1 and 3: sizes should track 25%/75%.
-        let groups: Vec<IterationGroup> =
-            (0..8).map(|j| group(8, &[j], (j as u32 * 10)..((j as u32 + 1) * 10))).collect();
+        let groups: Vec<IterationGroup> = (0..8)
+            .map(|j| group(8, &[j], (j as u32 * 10)..((j as u32 + 1) * 10)))
+            .collect();
         let parts = partition_groups(groups, &[1, 3], 0.10, 8);
         let s0 = total_size(&parts[0]);
         let s1 = total_size(&parts[1]);
@@ -910,8 +944,9 @@ mod tests {
 
     #[test]
     fn split_for_balance_is_identity_when_balanced() {
-        let groups: Vec<IterationGroup> =
-            (0..4).map(|j| group(4, &[j], (j as u32 * 5)..((j as u32 + 1) * 5))).collect();
+        let groups: Vec<IterationGroup> = (0..4)
+            .map(|j| group(4, &[j], (j as u32 * 5)..((j as u32 + 1) * 5)))
+            .collect();
         let out = split_for_balance(groups.clone(), 4, 0.10);
         assert_eq!(out, groups);
     }
@@ -932,9 +967,7 @@ mod tests {
         // its tag bit.
         let holders = |a: &Assignment, bit: usize| -> Vec<usize> {
             (0..a.n_cores())
-                .filter(|&c| {
-                    a.per_core()[c].iter().any(|g| g.tag().get(bit))
-                })
+                .filter(|&c| a.per_core()[c].iter().any(|g| g.tag().get(bit)))
                 .collect()
         };
         assert!(
@@ -946,8 +979,9 @@ mod tests {
 
     #[test]
     fn interleave_balances_to_within_one_piece() {
-        let groups: Vec<IterationGroup> =
-            (0..5).map(|j| group(8, &[j], (j as u32 * 13)..((j as u32 + 1) * 13))).collect();
+        let groups: Vec<IterationGroup> = (0..5)
+            .map(|j| group(8, &[j], (j as u32 * 13)..((j as u32 + 1) * 13)))
+            .collect();
         let m = figure9();
         let a = distribute_with(groups, &m, 0.10, LeafSplit::Interleave(2));
         let sizes: Vec<usize> = (0..4).map(|c| a.core_size(c)).collect();
@@ -960,8 +994,9 @@ mod tests {
     fn contiguous_cut_never_reorders_program_order() {
         // With all-disjoint tags and equal sizes, the selected partition
         // must still cover everything exactly once.
-        let groups: Vec<IterationGroup> =
-            (0..12).map(|j| group(16, &[j], (j as u32 * 4)..((j as u32 + 1) * 4))).collect();
+        let groups: Vec<IterationGroup> = (0..12)
+            .map(|j| group(16, &[j], (j as u32 * 4)..((j as u32 + 1) * 4)))
+            .collect();
         let parts = partition_groups(groups, &[1, 1, 1], 0.10, 16);
         let mut all: Vec<u32> = parts
             .iter()

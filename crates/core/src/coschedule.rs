@@ -23,7 +23,7 @@ use ctam_cachesim::{SimReport, Simulator};
 use ctam_loopir::Program;
 use ctam_topology::{CoreId, Machine, NodeId};
 
-use crate::pipeline::{map_nest, append_schedule_trace, CtamError, CtamParams, Strategy};
+use crate::pipeline::{append_schedule_trace, map_nest, CtamError, CtamParams, Strategy};
 
 /// How the two co-running programs are placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -124,10 +124,8 @@ pub fn corun(
             let half = roots.len() / 2;
             let (ma, map_a) = machine.with_root_children(&roots[..half.max(1)]);
             let (mb, map_b) = machine.with_root_children(&roots[half..]);
-            let evens: Vec<CoreId> =
-                machine.cores().filter(|c| c.index() % 2 == 0).collect();
-            let odds: Vec<CoreId> =
-                machine.cores().filter(|c| c.index() % 2 == 1).collect();
+            let evens: Vec<CoreId> = machine.cores().filter(|c| c.index() % 2 == 0).collect();
+            let odds: Vec<CoreId> = machine.cores().filter(|c| c.index() % 2 == 1).collect();
             let place = |n: usize, pool: &[CoreId]| -> Vec<CoreId> {
                 (0..n).map(|i| pool[i % pool.len()]).collect()
             };
@@ -152,7 +150,11 @@ pub fn corun(
     // get padding barriers for it.
     let max_barriers = |evs: &[(Vec<TraceEvent>, CoreId)]| -> usize {
         evs.iter()
-            .map(|(e, _)| e.iter().filter(|x| matches!(x, TraceEvent::Barrier)).count())
+            .map(|(e, _)| {
+                e.iter()
+                    .filter(|x| matches!(x, TraceEvent::Barrier))
+                    .count()
+            })
             .max()
             .unwrap_or(0)
     };

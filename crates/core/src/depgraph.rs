@@ -29,11 +29,7 @@ impl GroupDepGraph {
     /// every dependence distance `d`, if `I + d` is in the domain and lands
     /// in a different group, add an edge from `I`'s group to `I + d`'s
     /// group.
-    pub fn build(
-        groups: &[IterationGroup],
-        space: &IterationSpace,
-        dep: &DependenceInfo,
-    ) -> Self {
+    pub fn build(groups: &[IterationGroup], space: &IterationSpace, dep: &DependenceInfo) -> Self {
         let mut owner = vec![usize::MAX; space.n_units()];
         for (gi, g) in groups.iter().enumerate() {
             for &u in g.iterations() {
@@ -48,8 +44,7 @@ impl GroupDepGraph {
                     for &i in space.unit_members(u as usize) {
                         let point = space.point(i as usize);
                         for d in dep.distances() {
-                            let sink: Vec<i64> =
-                                point.iter().zip(d).map(|(p, q)| p + q).collect();
+                            let sink: Vec<i64> = point.iter().zip(d).map(|(p, q)| p + q).collect();
                             if let Some(j) = space.index_of(&sink) {
                                 let gj = owner[space.unit_of(j)];
                                 if gj != usize::MAX && gj != gi {

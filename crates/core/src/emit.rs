@@ -29,9 +29,9 @@ fn run_set(
         // Constrain the prefix dims: a range on dim 0 for 1-prefix units,
         // exact equality on every prefix dim for a single unit.
         if first_unit == last_unit {
-            for d in 0..prefix {
+            for (d, &coord) in first_point.iter().enumerate().take(prefix) {
                 set = set.with_constraint(Constraint::eq(
-                    AffineExpr::var(dim, d) - AffineExpr::constant(dim, first_point[d]),
+                    AffineExpr::var(dim, d) - AffineExpr::constant(dim, coord),
                 ));
             }
         } else {
@@ -75,11 +75,7 @@ fn run_set(
 ///
 /// Panics if `nest` is not the nest `mapping` was built from (domain
 /// mismatch).
-pub fn emit_core_code(
-    mapping: &NestMapping,
-    program: &Program,
-    nest: NestId,
-) -> Vec<String> {
+pub fn emit_core_code(mapping: &NestMapping, program: &Program, nest: NestId) -> Vec<String> {
     let domain = program.nest(nest).domain().clone();
     assert_eq!(
         domain.point_count(),
@@ -102,9 +98,8 @@ pub fn emit_core_code(
                     let units = g.iterations();
                     let mut start = 0usize;
                     for k in 1..=units.len() {
-                        let splits_here = k == units.len()
-                            || units[k] != units[k - 1] + 1
-                            || multi_prefix;
+                        let splits_here =
+                            k == units.len() || units[k] != units[k - 1] + 1 || multi_prefix;
                         if splits_here {
                             sets.push(run_set(
                                 &domain,
@@ -204,8 +199,7 @@ mod tests {
                 .with_ref(ArrayRef::read(a, up)),
         );
         let m = catalog::harpertown();
-        let mapping =
-            map_nest(&p, id, &m, Strategy::Combined, &CtamParams::default()).unwrap();
+        let mapping = map_nest(&p, id, &m, Strategy::Combined, &CtamParams::default()).unwrap();
         if mapping.schedule.n_rounds() > 1 {
             let code = emit_core_code(&mapping, &p, id);
             assert!(code.iter().any(|t| t.contains("barrier")));

@@ -59,7 +59,10 @@ impl IterationGroup {
     ///
     /// Panics unless `0 < k < size()`.
     pub fn split_off(&mut self, k: usize) -> IterationGroup {
-        assert!(k > 0 && k < self.size(), "split must leave both halves non-empty");
+        assert!(
+            k > 0 && k < self.size(),
+            "split must leave both halves non-empty"
+        );
         let rest = self.iterations.split_off(self.size() - k);
         IterationGroup {
             tag: self.tag.clone(),
@@ -102,9 +105,8 @@ mod tests {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[64], 8);
         let d = IntegerSet::builder(1).bounds(0, 0, 63).build();
-        let id = p.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
-        );
+        let id =
+            p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
         let s = IterationSpace::build(&p, id);
         let bm = BlockMap::new(&p, 128); // 4 blocks of 16 iterations
         (p, s, bm)

@@ -55,6 +55,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod baselines;
 pub mod blocks;
 pub mod cluster;
@@ -69,17 +72,21 @@ pub mod pipeline;
 pub mod schedule;
 pub mod space;
 pub mod tag;
+pub mod verify;
 
 pub use blocks::BlockMap;
 pub use cluster::{distribute, Assignment};
 pub use depgraph::{condense, GroupDepGraph};
 pub use emit::emit_core_code;
 pub use graph::AffinityGraph;
-pub use metrics::MappingMetrics;
 pub use group::{group_iterations, IterationGroup};
+pub use metrics::MappingMetrics;
 pub use pipeline::{
-    evaluate, evaluate_ported, map_nest, CtamError, CtamParams, EvalResult, Strategy,
+    evaluate, evaluate_ported, map_nest, CtamError, CtamParams, EvalResult, PipelineError, Strategy,
 };
-pub use schedule::{schedule_dependence_only, schedule_local, Schedule, ScheduleWeights};
+pub use schedule::{
+    schedule_dependence_only, schedule_local, Schedule, ScheduleError, ScheduleWeights,
+};
 pub use space::IterationSpace;
 pub use tag::Tag;
+pub use verify::{verify_mapping, Diagnostic};

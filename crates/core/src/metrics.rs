@@ -62,8 +62,9 @@ impl MappingMetrics {
                 t
             })
             .collect();
-        let core_loads: Vec<usize> =
-            (0..assignment.n_cores()).map(|c| assignment.core_size(c)).collect();
+        let core_loads: Vec<usize> = (0..assignment.n_cores())
+            .map(|c| assignment.core_size(c))
+            .collect();
         let total: usize = core_loads.iter().sum();
         let mean = total as f64 / core_loads.len().max(1) as f64;
         let imbalance = if total == 0 {
@@ -129,7 +130,10 @@ impl fmt::Display for MappingMetrics {
         for (&(level, held), &(_, rep)) in
             self.blocks_per_level.iter().zip(&self.replicated_per_level)
         {
-            writeln!(f, "  L{level}: {held} block-copies, {rep} blocks replicated")?;
+            writeln!(
+                f,
+                "  L{level}: {held} block-copies, {rep} blocks replicated"
+            )?;
         }
         Ok(())
     }
@@ -138,10 +142,13 @@ impl fmt::Display for MappingMetrics {
 /// Convenience: the kind check used in doctests/tests to fetch a machine's
 /// L1 capacity without reaching into `NodeKind` everywhere.
 pub fn l1_capacity(machine: &Machine) -> Option<u64> {
-    machine.caches_at(1).first().map(|&n| match machine.kind(n) {
-        NodeKind::Cache { params, .. } => params.size_bytes(),
-        _ => unreachable!("caches_at returns caches"),
-    })
+    machine
+        .caches_at(1)
+        .first()
+        .map(|&n| match machine.kind(n) {
+            NodeKind::Cache { params, .. } => params.size_bytes(),
+            _ => unreachable!("caches_at returns caches"),
+        })
 }
 
 #[cfg(test)]
@@ -221,12 +228,7 @@ mod tests {
 
     #[test]
     fn display_mentions_levels() {
-        let a = Assignment::from_per_core(vec![
-            vec![g(&[0], 1, 0)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let a = Assignment::from_per_core(vec![vec![g(&[0], 1, 0)], vec![], vec![], vec![]]);
         let m = MappingMetrics::compute(&a, &quad());
         let s = m.to_string();
         assert!(s.contains("L1") && s.contains("L2"), "{s}");

@@ -114,8 +114,7 @@ pub fn optimal_assignment(
     let n_cores = machine.n_cores();
     let n_bits = groups.first().map_or(0, |g| g.tag().n_bits());
     let total: usize = groups.iter().map(IterationGroup::size).sum();
-    let limit = ((total as f64 / n_cores as f64) * (1.0 + opts.balance_threshold)).ceil()
-        as usize;
+    let limit = ((total as f64 / n_cores as f64) * (1.0 + opts.balance_threshold)).ceil() as usize;
 
     // Sort groups by descending size: big decisions first prunes faster.
     let mut order: Vec<usize> = (0..groups.len()).collect();
@@ -192,7 +191,13 @@ pub fn optimal_assignment(
     }
     let paths: Vec<Vec<usize>> = machine
         .cores()
-        .map(|c| machine.lookup_path(c).into_iter().map(|n| cache_idx[&n]).collect())
+        .map(|c| {
+            machine
+                .lookup_path(c)
+                .into_iter()
+                .map(|n| cache_idx[&n])
+                .collect()
+        })
         .collect();
 
     struct Search<'a> {
@@ -403,7 +408,12 @@ mod tests {
         // groups share blocks, evens and odds are disjoint. The optimum must
         // keep parities together per L2 pair.
         let groups: Vec<IterationGroup> = (0..8u32)
-            .map(|j| mk(&[j as usize, j as usize + 2, j as usize + 4], (j * 4)..((j + 1) * 4)))
+            .map(|j| {
+                mk(
+                    &[j as usize, j as usize + 2, j as usize + 4],
+                    (j * 4)..((j + 1) * 4),
+                )
+            })
             .collect();
         let a = optimal_assignment(groups, &fig9(), OptimalOptions::default()).unwrap();
         let parity = |gs: &[IterationGroup]| -> Option<usize> {
@@ -417,7 +427,9 @@ mod tests {
 
     #[test]
     fn optimal_respects_balance_limit() {
-        let groups: Vec<IterationGroup> = (0..8u32).map(|j| mk(&[j as usize], (j * 10)..(j * 10 + 10))).collect();
+        let groups: Vec<IterationGroup> = (0..8u32)
+            .map(|j| mk(&[j as usize], (j * 10)..(j * 10 + 10)))
+            .collect();
         let a = optimal_assignment(groups, &fig9(), OptimalOptions::default()).unwrap();
         for c in 0..4 {
             assert!(a.core_size(c) <= 22, "core {c}: {}", a.core_size(c));

@@ -23,9 +23,11 @@ use crate::depgraph::{condense, GroupDepGraph};
 use crate::group::{group_iterations, IterationGroup};
 use crate::optimal::{optimal_assignment, OptimalError, OptimalOptions};
 use crate::schedule::{
-    flatten_assignment, schedule_dependence_only, schedule_local, Schedule, ScheduleWeights,
+    flatten_assignment, schedule_dependence_only, schedule_local, Schedule, ScheduleError,
+    ScheduleWeights,
 };
 use crate::space::IterationSpace;
+use crate::verify::{self, Diagnostic, Severity, VerifyOptions};
 
 /// Tunable parameters of the pass (the paper's defaults are the `Default`).
 #[derive(Debug, Clone, PartialEq)]
@@ -39,6 +41,11 @@ pub struct CtamParams {
     pub weights: ScheduleWeights,
     /// `Base+` tile side override (`None` = fit-L1 heuristic).
     pub base_plus_tile: Option<i64>,
+    /// Run the static verifier ([`crate::verify`]) over every mapping the
+    /// pipeline produces; error-severity diagnostics abort the run with
+    /// [`PipelineError::VerificationFailed`]. Off by default — verification
+    /// re-walks every access of the nest, roughly doubling mapping cost.
+    pub verify: bool,
 }
 
 impl Default for CtamParams {
@@ -48,6 +55,7 @@ impl Default for CtamParams {
             balance_threshold: 0.10,
             weights: ScheduleWeights::default(),
             base_plus_tile: None,
+            verify: false,
         }
     }
 }
@@ -105,41 +113,80 @@ impl fmt::Display for Strategy {
 
 /// Errors from the pipeline.
 #[derive(Debug)]
-pub enum CtamError {
+pub enum PipelineError {
     /// The optimal search rejected the instance.
     Optimal(OptimalError),
     /// The simulator rejected the generated trace (a pipeline bug if it ever
     /// surfaces — traces are constructed to match the machine).
     Sim(SimError),
+    /// Schedule construction failed structurally (ragged rounds, graph
+    /// mismatch, cyclic dependences).
+    Schedule(ScheduleError),
+    /// The static verifier found error-severity diagnostics in a produced
+    /// mapping (only with [`CtamParams::verify`] set). Carries *all*
+    /// diagnostics of the failed nest, warnings included.
+    VerificationFailed {
+        /// Index of the offending nest.
+        nest: usize,
+        /// The verifier's findings, errors first.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
-impl fmt::Display for CtamError {
+/// The pipeline error type's original name, kept as an alias for existing
+/// callers.
+pub type CtamError = PipelineError;
+
+impl fmt::Display for PipelineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CtamError::Optimal(e) => write!(f, "optimal mapping failed: {e}"),
-            CtamError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Optimal(e) => write!(f, "optimal mapping failed: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation failed: {e}"),
+            PipelineError::Schedule(e) => write!(f, "schedule construction failed: {e}"),
+            PipelineError::VerificationFailed { nest, diagnostics } => {
+                let errors = diagnostics
+                    .iter()
+                    .filter(|d| d.severity() == Severity::Error)
+                    .count();
+                write!(
+                    f,
+                    "mapping verification failed for nest {nest}: {errors} error(s)"
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl Error for CtamError {
+impl Error for PipelineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
-            CtamError::Optimal(e) => Some(e),
-            CtamError::Sim(e) => Some(e),
+            PipelineError::Optimal(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Schedule(e) => Some(e),
+            PipelineError::VerificationFailed { .. } => None,
         }
     }
 }
 
-impl From<OptimalError> for CtamError {
+impl From<OptimalError> for PipelineError {
     fn from(e: OptimalError) -> Self {
-        CtamError::Optimal(e)
+        PipelineError::Optimal(e)
     }
 }
 
-impl From<SimError> for CtamError {
+impl From<SimError> for PipelineError {
     fn from(e: SimError) -> Self {
-        CtamError::Sim(e)
+        PipelineError::Sim(e)
+    }
+}
+
+impl From<ScheduleError> for PipelineError {
+    fn from(e: ScheduleError) -> Self {
+        PipelineError::Schedule(e)
     }
 }
 
@@ -221,7 +268,9 @@ pub fn map_nest(
     // machinery of Section 3.5.2.
     let dep = dependence::analyze(program, nest);
     let depth = program.nest(nest).depth();
-    let unit_prefix = dep.outermost_parallel().map_or(depth, |l| (l + 1).min(depth));
+    let unit_prefix = dep
+        .outermost_parallel()
+        .map_or(depth, |l| (l + 1).min(depth));
     let space = IterationSpace::build_units(program, nest, unit_prefix);
     let block_bytes = params
         .block_bytes
@@ -244,7 +293,7 @@ pub fn map_nest(
             let a = local_assignment(&space, &blocks, n_cores);
             let (a, graph) = acyclic_assignment(a, &space, &dep);
             let n = a.per_core().iter().map(Vec::len).sum();
-            (schedule_local(a, machine, &graph, params.weights), n)
+            (schedule_local(a, machine, &graph, params.weights)?, n)
         }
         Strategy::TopologyAware | Strategy::Combined => {
             let groups = group_iterations(&space, &blocks);
@@ -260,18 +309,13 @@ pub fn map_nest(
                 LeafSplit::Interleave(1),
                 LeafSplit::Interleave(2),
             ] {
-                let a = distribute_with(
-                    groups.clone(),
-                    machine,
-                    params.balance_threshold,
-                    leaf,
-                );
+                let a = distribute_with(groups.clone(), machine, params.balance_threshold, leaf);
                 let (a, graph) = acyclic_assignment(a, &space, &dep);
                 let n = a.per_core().iter().map(Vec::len).sum();
                 let schedule = if strategy == Strategy::Combined {
-                    schedule_local(a, machine, &graph, params.weights)
+                    schedule_local(a, machine, &graph, params.weights)?
                 } else {
-                    schedule_dependence_only(a, &graph)
+                    schedule_dependence_only(a, &graph)?
                 };
                 let mut trace = MulticoreTrace::new(n_cores);
                 let probe = NestMapping {
@@ -313,22 +357,21 @@ pub fn map_nest(
             // semantics: measure the model-optimal assignment against the
             // heuristic's and keep whichever simulates faster.
             let sim = Simulator::new(machine);
-            let measure =
-                |a: &Assignment| -> Result<(Schedule, usize, u64), CtamError> {
-                    let (a, graph) = acyclic_assignment(a.clone(), &space, &dep);
-                    let n = a.per_core().iter().map(Vec::len).sum();
-                    let schedule = schedule_dependence_only(a, &graph);
-                    let mut trace = MulticoreTrace::new(n_cores);
-                    let probe = NestMapping {
-                        schedule: schedule.clone(),
-                        space: space.clone(),
-                        block_bytes,
-                        n_groups: n,
-                    };
-                    append_schedule_trace(&mut trace, program, &probe);
-                    let cycles = sim.run(&trace)?.total_cycles();
-                    Ok((schedule, n, cycles))
+            let measure = |a: &Assignment| -> Result<(Schedule, usize, u64), CtamError> {
+                let (a, graph) = acyclic_assignment(a.clone(), &space, &dep);
+                let n = a.per_core().iter().map(Vec::len).sum();
+                let schedule = schedule_dependence_only(a, &graph)?;
+                let mut trace = MulticoreTrace::new(n_cores);
+                let probe = NestMapping {
+                    schedule: schedule.clone(),
+                    space: space.clone(),
+                    block_bytes,
+                    n_groups: n,
                 };
+                append_schedule_trace(&mut trace, program, &probe);
+                let cycles = sim.run(&trace)?.total_cycles();
+                Ok((schedule, n, cycles))
+            };
             let (s_model, n_model, c_model) = measure(&a_model)?;
             let (s_heur, n_heur, c_heur) = measure(&a_heur)?;
             if c_model <= c_heur {
@@ -338,22 +381,46 @@ pub fn map_nest(
             }
         }
     };
-    Ok(NestMapping {
+    let mapping = NestMapping {
         schedule,
         space,
         block_bytes,
         n_groups,
-    })
+    };
+    if params.verify {
+        verify_or_fail(program, machine, &mapping, params)?;
+    }
+    Ok(mapping)
+}
+
+/// Runs the static verifier over a finished mapping and converts
+/// error-severity findings into [`PipelineError::VerificationFailed`].
+fn verify_or_fail(
+    program: &Program,
+    machine: &Machine,
+    mapping: &NestMapping,
+    params: &CtamParams,
+) -> Result<(), PipelineError> {
+    let options = VerifyOptions {
+        balance_threshold: params.balance_threshold,
+        lint_subscripts: true,
+    };
+    let diagnostics =
+        verify::verify_mapping_with(program, machine, mapping, &mapping.schedule, &options);
+    if verify::is_clean(&diagnostics) {
+        Ok(())
+    } else {
+        Err(PipelineError::VerificationFailed {
+            nest: mapping.space.nest().index(),
+            diagnostics,
+        })
+    }
 }
 
 /// Appends the memory accesses of `mapping` to `trace`: per round, each
 /// core's groups in order, each group's iterations in stored order, each
 /// iteration's references in body order; a global barrier between rounds.
-pub fn append_schedule_trace(
-    trace: &mut MulticoreTrace,
-    program: &Program,
-    mapping: &NestMapping,
-) {
+pub fn append_schedule_trace(trace: &mut MulticoreTrace, program: &Program, mapping: &NestMapping) {
     for (r, round) in mapping.schedule.rounds().iter().enumerate() {
         if r > 0 {
             trace.push_barrier_all();
@@ -439,9 +506,9 @@ pub fn evaluate_cycles(
 /// the porting model of Figures 2 and 14 — the *version* (its iteration
 /// partition and order) is fixed by `tuned_for`'s topology, only the
 /// placement is adjusted to the host.
-fn fold_schedule(schedule: &Schedule, n_cores: usize) -> Schedule {
+fn fold_schedule(schedule: &Schedule, n_cores: usize) -> Result<Schedule, ScheduleError> {
     if schedule.n_cores() == n_cores {
-        return schedule.clone();
+        return Ok(schedule.clone());
     }
     let rounds = schedule
         .rounds()
@@ -476,7 +543,12 @@ pub fn evaluate_ported(
     let mut mappings = Vec::new();
     for (nest_id, _) in program.nests() {
         let mut mapping = map_nest(program, nest_id, tuned_for, strategy, params)?;
-        mapping.schedule = fold_schedule(&mapping.schedule, run_on.n_cores());
+        mapping.schedule = fold_schedule(&mapping.schedule, run_on.n_cores())?;
+        if params.verify {
+            // The fold is a schedule step of its own: re-verify against the
+            // machine the folded schedule actually runs on.
+            verify_or_fail(program, run_on, &mapping, params)?;
+        }
         if !mappings.is_empty() {
             trace.push_barrier_all();
         }
@@ -618,8 +690,7 @@ mod tests {
         assert_eq!(r.report.n_accesses(), 19 * 19 * 4);
         // Porting onto the same machine is identical to native evaluation.
         let native = evaluate(&p, &dun, Strategy::TopologyAware, &params).unwrap();
-        let self_port =
-            evaluate_ported(&p, &dun, &dun, Strategy::TopologyAware, &params).unwrap();
+        let self_port = evaluate_ported(&p, &dun, &dun, Strategy::TopologyAware, &params).unwrap();
         assert_eq!(native.cycles(), self_port.cycles());
     }
 
@@ -650,13 +721,12 @@ mod tests {
         let harp = catalog::harpertown();
         let params = CtamParams::default();
         let native = evaluate(&p, &dun, Strategy::Combined, &params).unwrap();
-        let ported =
-            evaluate_ported(&p, &dun, &harp, Strategy::Combined, &params).unwrap();
+        let ported = evaluate_ported(&p, &dun, &harp, Strategy::Combined, &params).unwrap();
         let native_rounds = native.mappings[0].schedule.n_rounds();
         let ported_rounds = ported.mappings[0].schedule.n_rounds();
         assert_eq!(native_rounds, ported_rounds, "folding must keep rounds");
         assert_eq!(ported.mappings[0].schedule.n_cores(), 8);
-        assert_eq!(ported.report.n_accesses(), (n - 1) as u64 * n as u64 * 2);
+        assert_eq!(ported.report.n_accesses(), (n - 1) * n * 2);
     }
 
     #[test]

@@ -18,11 +18,66 @@
 //! every round; dependencies are legal because a group is schedulable only
 //! once all its predecessors ran in *earlier* rounds.
 
+use std::error::Error;
+use std::fmt;
+
 use ctam_topology::Machine;
 
 use crate::cluster::Assignment;
 use crate::depgraph::GroupDepGraph;
 use crate::group::IterationGroup;
+
+/// Structural errors of schedule construction — the typed surface of what
+/// used to be assertion panics, so pipeline callers can recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A round's core list has the wrong length.
+    RaggedRound {
+        /// Index of the offending round.
+        round: usize,
+        /// Cores the round actually covers.
+        cores: usize,
+        /// Cores every round must cover.
+        expected: usize,
+    },
+    /// The dependence graph's node count differs from the number of groups.
+    GraphSizeMismatch {
+        /// Nodes in the graph.
+        graph: usize,
+        /// Groups in the assignment.
+        groups: usize,
+    },
+    /// The dependence graph is cyclic; condense it first (see
+    /// [`crate::depgraph::condense`]).
+    CyclicDependences,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::RaggedRound {
+                round,
+                cores,
+                expected,
+            } => write!(
+                f,
+                "round {round} covers {cores} cores but every round must cover {expected}"
+            ),
+            ScheduleError::GraphSizeMismatch { graph, groups } => write!(
+                f,
+                "dependence graph has {graph} nodes but the assignment has {groups} groups"
+            ),
+            ScheduleError::CyclicDependences => {
+                write!(
+                    f,
+                    "cyclic group dependence graph: condense before scheduling"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ScheduleError {}
 
 /// A complete schedule: `rounds[r][core]` is the ordered list of groups core
 /// `core` executes in round `r`; a barrier separates consecutive rounds.
@@ -47,14 +102,24 @@ impl Schedule {
 
     /// Builds a schedule from explicit rounds.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any round's core count differs from `n_cores`.
-    pub fn from_rounds(rounds: Vec<Vec<Vec<IterationGroup>>>, n_cores: usize) -> Self {
-        for r in &rounds {
-            assert_eq!(r.len(), n_cores, "every round must cover every core");
+    /// [`ScheduleError::RaggedRound`] if any round's core count differs from
+    /// `n_cores`.
+    pub fn from_rounds(
+        rounds: Vec<Vec<Vec<IterationGroup>>>,
+        n_cores: usize,
+    ) -> Result<Self, ScheduleError> {
+        for (round, r) in rounds.iter().enumerate() {
+            if r.len() != n_cores {
+                return Err(ScheduleError::RaggedRound {
+                    round,
+                    cores: r.len(),
+                    expected: n_cores,
+                });
+            }
         }
-        Self { rounds, n_cores }
+        Ok(Self { rounds, n_cores })
     }
 
     /// The rounds, outermost first.
@@ -119,20 +184,26 @@ impl Default for ScheduleWeights {
 /// [`flatten_assignment`] + [`GroupDepGraph::build`], or pass an
 /// [`GroupDepGraph::edgeless`] graph for fully-parallel nests.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `graph.len()` differs from the total number of groups, or if
-/// the graph is cyclic (condense it first, see [`crate::depgraph::condense`]).
+/// [`ScheduleError::GraphSizeMismatch`] if `graph.len()` differs from the
+/// total number of groups; [`ScheduleError::CyclicDependences`] if the graph
+/// is cyclic (condense it first, see [`crate::depgraph::condense`]).
 pub fn schedule_local(
     assignment: Assignment,
     machine: &Machine,
     graph: &GroupDepGraph,
     weights: ScheduleWeights,
-) -> Schedule {
+) -> Result<Schedule, ScheduleError> {
     let per_core = assignment.into_per_core();
     let n_cores = per_core.len();
     let n_groups: usize = per_core.iter().map(Vec::len).sum();
-    assert_eq!(graph.len(), n_groups, "graph/assignment size mismatch");
+    if graph.len() != n_groups {
+        return Err(ScheduleError::GraphSizeMismatch {
+            graph: graph.len(),
+            groups: n_groups,
+        });
+    }
 
     // Flatten: global id -> (core, group); and per-core id lists.
     let mut flat: Vec<(usize, IterationGroup)> = Vec::with_capacity(n_groups);
@@ -163,9 +234,8 @@ pub fn schedule_local(
     // Tag of the last group scheduled on each core, across rounds.
     let mut last_on_core: Vec<Option<usize>> = vec![None; n_cores];
     let mut remaining = n_groups;
-    let schedulable = |g: usize, scheduled: &[bool]| -> bool {
-        graph.preds(g).iter().all(|&p| scheduled[p])
-    };
+    let schedulable =
+        |g: usize, scheduled: &[bool]| -> bool { graph.preds(g).iter().all(|&p| scheduled[p]) };
 
     while remaining > 0 {
         let mut round: Vec<Vec<usize>> = vec![Vec::new(); n_cores];
@@ -184,7 +254,11 @@ pub fn schedule_local(
                 // first round schedules exactly one group per core; later
                 // rounds fill until the core catches up with its pace-setter
                 // (the previous core, or the domain's last core for core 0).
-                let pace = if pos == 0 { s[domain_last] } else { s[domain[pos - 1]] };
+                let pace = if pos == 0 {
+                    s[domain_last]
+                } else {
+                    s[domain[pos - 1]]
+                };
                 loop {
                     let candidates: Vec<usize> = pending[c]
                         .iter()
@@ -211,12 +285,10 @@ pub fn schedule_local(
                             .iter()
                             .max_by(|&&a, &&b| {
                                 let score = |g: usize| {
-                                    let horiz = last_on_prev.map_or(0, |x| {
-                                        flat[g].1.tag().dot(flat[x].1.tag())
-                                    });
-                                    let vert = last_on_core[c].map_or(0, |y| {
-                                        flat[g].1.tag().dot(flat[y].1.tag())
-                                    });
+                                    let horiz = last_on_prev
+                                        .map_or(0, |x| flat[g].1.tag().dot(flat[x].1.tag()));
+                                    let vert = last_on_core[c]
+                                        .map_or(0, |y| flat[g].1.tag().dot(flat[y].1.tag()));
                                     weights.alpha * f64::from(horiz)
                                         + weights.beta * f64::from(vert)
                                 };
@@ -253,7 +325,7 @@ pub fn schedule_local(
                 })
                 .min_by_key(|&g| (flat[g].1.tag().popcount(), g));
             let Some(g) = forced else {
-                unreachable!("cyclic group dependence graph: condense before scheduling");
+                return Err(ScheduleError::CyclicDependences);
             };
             let c = flat[g].0;
             pending[c].retain(|&h| h != g);
@@ -276,8 +348,8 @@ pub fn schedule_local(
     // stays within one core, the per-core order already honours it, so the
     // rounds collapse into one barrier-free round.
     let core_of = |g: usize| flat[g].0;
-    let has_cross_core_edge = (0..n_groups)
-        .any(|g| graph.succs(g).iter().any(|&h| core_of(h) != core_of(g)));
+    let has_cross_core_edge =
+        (0..n_groups).any(|g| graph.succs(g).iter().any(|&h| core_of(h) != core_of(g)));
     if !has_cross_core_edge {
         let mut merged: Vec<Vec<usize>> = vec![Vec::new(); n_cores];
         for round in id_rounds {
@@ -288,9 +360,11 @@ pub fn schedule_local(
         id_rounds = vec![merged];
     }
 
+    #[cfg(debug_assertions)]
+    debug_check_rounds(&id_rounds, graph, &|g| flat[g].0);
+
     // Materialize: move the groups into the round structure.
-    let mut slots: Vec<Option<IterationGroup>> =
-        flat.into_iter().map(|(_, g)| Some(g)).collect();
+    let mut slots: Vec<Option<IterationGroup>> = flat.into_iter().map(|(_, g)| Some(g)).collect();
     let rounds = id_rounds
         .into_iter()
         .map(|round| {
@@ -304,9 +378,41 @@ pub fn schedule_local(
                 .collect()
         })
         .collect();
-    Schedule {
-        rounds,
-        n_cores,
+    Ok(Schedule { rounds, n_cores })
+}
+
+/// Debug-build self-check of a scheduled round structure: every group lands
+/// in exactly one round, and every dependence edge is enforced by a barrier
+/// or by same-core order. Property tests exercise this for free through the
+/// schedulers; release builds skip it.
+#[cfg(debug_assertions)]
+fn debug_check_rounds(
+    id_rounds: &[Vec<Vec<usize>>],
+    graph: &GroupDepGraph,
+    core_of: &dyn Fn(usize) -> usize,
+) {
+    let n_groups = graph.len();
+    let mut coord = vec![None; n_groups]; // (round, pos in core order)
+    let mut seen = 0usize;
+    for (r, round) in id_rounds.iter().enumerate() {
+        for core in round {
+            for (p, &g) in core.iter().enumerate() {
+                debug_assert!(coord[g].is_none(), "group {g} scheduled twice");
+                coord[g] = Some((r, p));
+                seen += 1;
+            }
+        }
+    }
+    debug_assert_eq!(seen, n_groups, "every group must be scheduled");
+    for a in 0..n_groups {
+        let (ra, pa) = coord[a].expect("scheduled");
+        for &b in graph.succs(a) {
+            let (rb, pb) = coord[b].expect("scheduled");
+            debug_assert!(
+                ra < rb || (ra == rb && core_of(a) == core_of(b) && pa < pb),
+                "dependence {a} -> {b} not enforced: ({ra},{pa}) vs ({rb},{pb})"
+            );
+        }
     }
 }
 
@@ -327,17 +433,26 @@ pub fn flatten_assignment(assignment: &Assignment) -> Vec<IterationGroup> {
 /// scheduled considering only data dependencies" — and collapses to a
 /// single barrier-free round when the graph is edgeless.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `graph.len()` differs from the number of groups or the graph is
+/// [`ScheduleError::GraphSizeMismatch`] if `graph.len()` differs from the
+/// number of groups; [`ScheduleError::CyclicDependences`] if the graph is
 /// cyclic.
-pub fn schedule_dependence_only(assignment: Assignment, graph: &GroupDepGraph) -> Schedule {
+pub fn schedule_dependence_only(
+    assignment: Assignment,
+    graph: &GroupDepGraph,
+) -> Result<Schedule, ScheduleError> {
     let per_core = assignment.into_per_core();
     let n_cores = per_core.len();
     let n_groups: usize = per_core.iter().map(Vec::len).sum();
-    assert_eq!(graph.len(), n_groups, "graph/assignment size mismatch");
+    if graph.len() != n_groups {
+        return Err(ScheduleError::GraphSizeMismatch {
+            graph: graph.len(),
+            groups: n_groups,
+        });
+    }
     if graph.is_edgeless() {
-        return Schedule::single_round(Assignment::from_per_core(per_core));
+        return Ok(Schedule::single_round(Assignment::from_per_core(per_core)));
     }
     // Kahn levels over the global graph.
     let mut level = vec![0usize; n_groups];
@@ -354,7 +469,9 @@ pub fn schedule_dependence_only(assignment: Assignment, graph: &GroupDepGraph) -
             }
         }
     }
-    assert_eq!(seen, n_groups, "cyclic group dependence graph");
+    if seen != n_groups {
+        return Err(ScheduleError::CyclicDependences);
+    }
     // Map flat ids back to cores to detect cross-core dependencies; when
     // every edge stays within one core, a per-core topological order needs
     // no barriers at all.
@@ -392,7 +509,7 @@ pub fn schedule_dependence_only(assignment: Assignment, graph: &GroupDepGraph) -
         let r = if has_cross_core_edge { l } else { 0 };
         rounds[r][c].push(g);
     }
-    Schedule { rounds, n_cores }
+    Ok(Schedule { rounds, n_cores })
 }
 
 #[cfg(test)]
@@ -435,7 +552,7 @@ mod tests {
         let a = assignment4();
         let total = a.total_iterations();
         let graph = GroupDepGraph::edgeless(8);
-        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default());
+        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default()).unwrap();
         assert_eq!(sched.total_iterations(), total);
         assert_eq!(sched.n_cores(), 4);
         // Each core still executes exactly its own groups.
@@ -462,7 +579,8 @@ mod tests {
                 alpha: 1.0,
                 beta: 0.0,
             },
-        );
+        )
+        .unwrap();
         // Round one: core 0 starts with its least-popcount group (tie ->
         // first), core 1 then picks the group maximizing dot with it.
         let r0 = &sched.rounds()[0];
@@ -486,7 +604,7 @@ mod tests {
         ]);
         let mut graph = GroupDepGraph::edgeless(2);
         graph.add_edge(0, 1);
-        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default());
+        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default()).unwrap();
         // Find rounds of each group.
         let round_of = |target: usize| -> usize {
             sched
@@ -506,7 +624,7 @@ mod tests {
     fn dependence_only_collapses_to_single_round_when_parallel() {
         let a = assignment4();
         let graph = GroupDepGraph::edgeless(8);
-        let sched = schedule_dependence_only(a, &graph);
+        let sched = schedule_dependence_only(a, &graph).unwrap();
         assert_eq!(sched.n_rounds(), 1);
     }
 
@@ -538,7 +656,8 @@ mod tests {
                 alpha: 0.0,
                 beta: 1.0,
             },
-        );
+        )
+        .unwrap();
         let order = sched.core_order(0);
         assert_eq!(order[0].iterations()[0], 0);
         assert_eq!(
@@ -561,7 +680,7 @@ mod tests {
         ]);
         let mut graph = GroupDepGraph::edgeless(4);
         graph.add_edge(0, 3); // core 1's second group waits on core 0's first
-        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default());
+        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default()).unwrap();
         assert!(sched.n_rounds() >= 2, "cross-core edge forces a barrier");
         assert_eq!(sched.total_iterations(), 40);
         // Legality: the dependent group runs in a strictly later round.
@@ -577,14 +696,9 @@ mod tests {
 
     #[test]
     fn empty_cores_are_tolerated() {
-        let a = Assignment::from_per_core(vec![
-            vec![mk_group(&[0], 0..4)],
-            vec![],
-            vec![],
-            vec![],
-        ]);
+        let a = Assignment::from_per_core(vec![vec![mk_group(&[0], 0..4)], vec![], vec![], vec![]]);
         let graph = GroupDepGraph::edgeless(1);
-        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default());
+        let sched = schedule_local(a, &fig9(), &graph, ScheduleWeights::default()).unwrap();
         assert_eq!(sched.total_iterations(), 4);
         assert!(sched.core_order(1).is_empty());
     }
@@ -592,14 +706,21 @@ mod tests {
     #[test]
     fn from_rounds_validates_core_counts() {
         let rounds = vec![vec![Vec::new(); 3]];
-        let s = Schedule::from_rounds(rounds, 3);
+        let s = Schedule::from_rounds(rounds, 3).unwrap();
         assert_eq!(s.n_cores(), 3);
     }
 
     #[test]
-    #[should_panic(expected = "every round must cover every core")]
     fn from_rounds_rejects_ragged_rounds() {
         let rounds = vec![vec![Vec::new(); 2]];
-        let _ = Schedule::from_rounds(rounds, 3);
+        let err = Schedule::from_rounds(rounds, 3).unwrap_err();
+        assert_eq!(
+            err,
+            ScheduleError::RaggedRound {
+                round: 0,
+                cores: 2,
+                expected: 3
+            }
+        );
     }
 }

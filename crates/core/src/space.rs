@@ -219,9 +219,8 @@ mod tests {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[64], 8);
         let d = IntegerSet::builder(1).bounds(0, 0, 63).build();
-        let id = p.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
-        );
+        let id =
+            p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
         (p, id)
     }
 
@@ -263,9 +262,8 @@ mod tests {
             .bounds(0, 0, n - 1)
             .bounds(1, 0, n - 1)
             .build();
-        let id = p.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(2))),
-        );
+        let id =
+            p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, AffineMap::identity(2))));
         (p, id)
     }
 

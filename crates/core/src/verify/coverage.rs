@@ -1,0 +1,70 @@
+//! `CTAM-E001`/`E002`: the schedule's groups partition the iteration space —
+//! every mapping unit scheduled exactly once (Section 3.3).
+
+use crate::space::IterationSpace;
+
+use super::diag::{Code, Diagnostic};
+use super::FlatSchedule;
+
+pub(super) fn check(
+    space: &IterationSpace,
+    flat: &FlatSchedule<'_>,
+    nest: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n_units = space.n_units();
+    // counts[u] = (times scheduled, first flat group seen).
+    let mut counts: Vec<(usize, usize)> = vec![(0, usize::MAX); n_units];
+    for (gid, &(r, c, _, g)) in flat.entries.iter().enumerate() {
+        for &u in g.iterations() {
+            let u = u as usize;
+            if u >= n_units {
+                diags.push(
+                    Diagnostic::new(
+                        Code::IterationDoubleMapped,
+                        format!(
+                            "group references unit {u} but the iteration space has \
+                             only {n_units} units"
+                        ),
+                    )
+                    .with_nest(nest)
+                    .with_group(gid)
+                    .with_round(r)
+                    .with_core(c),
+                );
+                continue;
+            }
+            counts[u].0 += 1;
+            if counts[u].1 == usize::MAX {
+                counts[u].1 = gid;
+            }
+        }
+    }
+    for (u, &(n, first_gid)) in counts.iter().enumerate() {
+        match n {
+            0 => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::IterationUnmapped,
+                        format!("unit {u} of {n_units} appears in no scheduled group"),
+                    )
+                    .with_nest(nest),
+                );
+            }
+            1 => {}
+            n => {
+                let (r, c, _, _) = flat.entries[first_gid];
+                diags.push(
+                    Diagnostic::new(
+                        Code::IterationDoubleMapped,
+                        format!("unit {u} is scheduled {n} times"),
+                    )
+                    .with_nest(nest)
+                    .with_group(first_gid)
+                    .with_round(r)
+                    .with_core(c),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! `CTAM-E003`: every group-dependence edge is enforced by the schedule
+//! (Section 3.5.3).
+//!
+//! An edge `a → b` (some iteration of `b` depends on one of `a`) is legal
+//! when `a` completes before `b` starts: either `a`'s round strictly
+//! precedes `b`'s (a barrier separates them), or both run on the *same core*
+//! in the same round with `a` earlier in the core's program order (per-core
+//! order needs no barrier — this is exactly the case in which the schedulers
+//! collapse rounds, see [`crate::schedule`]).
+
+use ctam_loopir::{dependence, Program};
+
+use crate::depgraph::GroupDepGraph;
+use crate::space::IterationSpace;
+
+use super::diag::{Code, Diagnostic};
+use super::FlatSchedule;
+
+pub(super) fn check(
+    program: &Program,
+    space: &IterationSpace,
+    flat: &FlatSchedule<'_>,
+    nest: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let dep = dependence::analyze(program, space.nest());
+    if dep.distances().is_empty() {
+        return;
+    }
+    // Guard against malformed schedules: the graph builder indexes units
+    // into an owner table sized to the space, so out-of-range units (already
+    // reported by the coverage check) must be excluded here.
+    let n_units = space.n_units();
+    if flat
+        .entries
+        .iter()
+        .any(|&(_, _, _, g)| g.iterations().iter().any(|&u| u as usize >= n_units))
+    {
+        return;
+    }
+    let groups = flat.groups();
+    let graph = GroupDepGraph::build(&groups, space, &dep);
+    for (a, &(ra, ca, pa, _)) in flat.entries.iter().enumerate() {
+        for &b in graph.succs(a) {
+            let (rb, cb, pb, _) = flat.entries[b];
+            let legal = ra < rb || (ra == rb && ca == cb && pa < pb);
+            if !legal {
+                let how = if ra > rb {
+                    format!("runs in round {ra}, after its dependent (round {rb})")
+                } else if ca == cb {
+                    format!(
+                        "runs at position {pa} on core {ca}, not before its \
+                         dependent at position {pb}"
+                    )
+                } else {
+                    format!(
+                        "shares round {ra} with its dependent on core {cb} \
+                         with no barrier between them"
+                    )
+                };
+                diags.push(
+                    Diagnostic::new(
+                        Code::DependenceViolation,
+                        format!("group {a} must complete before group {b}, but {how}"),
+                    )
+                    .with_nest(nest)
+                    .with_group(b)
+                    .with_round(rb)
+                    .with_core(cb),
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Diagnostic codes, severities, coordinates, and rendering (plain text and
+//! hand-rolled JSON, serde-free like the rest of the workspace).
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The mapping may produce wrong results if executed (dropped or
+    /// duplicated work, dependence or race violations).
+    Error,
+    /// The mapping is executable but deviates from the paper's invariants
+    /// (imbalance, stale tags, topology mismatch) or the input program is
+    /// suspicious (subscript lints).
+    Warning,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        })
+    }
+}
+
+/// The fixed catalogue of checks. Every diagnostic carries exactly one code;
+/// the `CTAM-Exxx` range is fatal to a verified pipeline run, `CTAM-Wxxx`
+/// is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// `CTAM-E001`: an iteration unit of the space appears in no round of
+    /// the schedule (Section 3.3: groups cover the iteration set).
+    IterationUnmapped,
+    /// `CTAM-E002`: an iteration unit appears more than once — or the
+    /// schedule references a unit the space does not contain (Section 3.3:
+    /// groups are disjoint).
+    IterationDoubleMapped,
+    /// `CTAM-E003`: a group dependence edge whose sink runs no later than
+    /// its source: predecessors must complete in earlier barrier rounds, or
+    /// earlier on the same core within a round (Section 3.5.3).
+    DependenceViolation,
+    /// `CTAM-E004`: two groups in the same barrier round on different cores
+    /// access the same element (reported with its data block) and at least
+    /// one writes — nothing orders the accesses.
+    RaceOnBlock,
+    /// `CTAM-W101`: a core's load exceeds the Figure 6 balance threshold
+    /// beyond what its largest atomic group forces.
+    BalanceThresholdExceeded,
+    /// `CTAM-W102`: the schedule's core fan-out differs from the machine's
+    /// cache-tree leaf degree (e.g. a schedule folded onto a foreign
+    /// machine).
+    DegreeMismatch,
+    /// `CTAM-W103`: a group touches a data block its stored tag does not
+    /// claim — the clustering and scheduling heuristics under-estimated its
+    /// footprint.
+    TagMismatch,
+    /// `CTAM-W201`: a subscript can index outside its array's declared
+    /// extents (the model clamps, so sharing estimates are skewed).
+    SubscriptOutOfBounds,
+    /// `CTAM-W202`: a non-affine (indirect) subscript — outside the exact
+    /// dependence model, handled conservatively.
+    NonAffineSubscript,
+}
+
+impl Code {
+    /// The stable machine-readable identifier, e.g. `"CTAM-E003"`.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Code::IterationUnmapped => "CTAM-E001",
+            Code::IterationDoubleMapped => "CTAM-E002",
+            Code::DependenceViolation => "CTAM-E003",
+            Code::RaceOnBlock => "CTAM-E004",
+            Code::BalanceThresholdExceeded => "CTAM-W101",
+            Code::DegreeMismatch => "CTAM-W102",
+            Code::TagMismatch => "CTAM-W103",
+            Code::SubscriptOutOfBounds => "CTAM-W201",
+            Code::NonAffineSubscript => "CTAM-W202",
+        }
+    }
+
+    /// The short name, e.g. `"DependenceViolation"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Code::IterationUnmapped => "IterationUnmapped",
+            Code::IterationDoubleMapped => "IterationDoubleMapped",
+            Code::DependenceViolation => "DependenceViolation",
+            Code::RaceOnBlock => "RaceOnBlock",
+            Code::BalanceThresholdExceeded => "BalanceThresholdExceeded",
+            Code::DegreeMismatch => "DegreeMismatch",
+            Code::TagMismatch => "TagMismatch",
+            Code::SubscriptOutOfBounds => "SubscriptOutOfBounds",
+            Code::NonAffineSubscript => "NonAffineSubscript",
+        }
+    }
+
+    /// The severity every diagnostic with this code carries.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::IterationUnmapped
+            | Code::IterationDoubleMapped
+            | Code::DependenceViolation
+            | Code::RaceOnBlock => Severity::Error,
+            Code::BalanceThresholdExceeded
+            | Code::DegreeMismatch
+            | Code::TagMismatch
+            | Code::SubscriptOutOfBounds
+            | Code::NonAffineSubscript => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id())
+    }
+}
+
+/// One verification finding: a code, a message, and the coordinates of the
+/// offence where they apply.
+///
+/// Group coordinates index the *flattened schedule*: groups numbered in
+/// `(round, core, position)` order, which is stable and reconstructible from
+/// the [`crate::schedule::Schedule`] alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    code: Code,
+    message: String,
+    nest: Option<usize>,
+    group: Option<usize>,
+    round: Option<usize>,
+    core: Option<usize>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic with no coordinates attached.
+    pub fn new(code: Code, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            message: message.into(),
+            nest: None,
+            group: None,
+            round: None,
+            core: None,
+        }
+    }
+
+    /// Attaches the offending nest index.
+    #[must_use]
+    pub fn with_nest(mut self, nest: usize) -> Self {
+        self.nest = Some(nest);
+        self
+    }
+
+    /// Attaches the offending flat group index.
+    #[must_use]
+    pub fn with_group(mut self, group: usize) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Attaches the offending round.
+    #[must_use]
+    pub fn with_round(mut self, round: usize) -> Self {
+        self.round = Some(round);
+        self
+    }
+
+    /// Attaches the offending core.
+    #[must_use]
+    pub fn with_core(mut self, core: usize) -> Self {
+        self.core = Some(core);
+        self
+    }
+
+    /// The diagnostic's code.
+    pub fn code(&self) -> Code {
+        self.code
+    }
+
+    /// The code's severity.
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// The human-readable message (no coordinates).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The offending nest index, if attached.
+    pub fn nest(&self) -> Option<usize> {
+        self.nest
+    }
+
+    /// The offending flat group index, if attached.
+    pub fn group(&self) -> Option<usize> {
+        self.group
+    }
+
+    /// The offending round, if attached.
+    pub fn round(&self) -> Option<usize> {
+        self.round
+    }
+
+    /// The offending core, if attached.
+    pub fn core(&self) -> Option<usize> {
+        self.core
+    }
+
+    /// Renders the diagnostic as one JSON object (hand-rolled; the workspace
+    /// is serde-free).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        s.push('{');
+        push_json_str(&mut s, "code", self.code.id());
+        s.push(',');
+        push_json_str(&mut s, "name", self.code.name());
+        s.push(',');
+        push_json_str(&mut s, "severity", &self.severity().to_string());
+        s.push(',');
+        push_json_str(&mut s, "message", &self.message);
+        for (key, v) in [
+            ("nest", self.nest),
+            ("group", self.group),
+            ("round", self.round),
+            ("core", self.core),
+        ] {
+            if let Some(v) = v {
+                s.push(',');
+                s.push('"');
+                s.push_str(key);
+                s.push_str("\":");
+                s.push_str(&v.to_string());
+            }
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{} {}]: {}",
+            self.severity(),
+            self.code.id(),
+            self.code.name(),
+            self.message
+        )?;
+        let coords: Vec<String> = [
+            ("nest", self.nest),
+            ("group", self.group),
+            ("round", self.round),
+            ("core", self.core),
+        ]
+        .iter()
+        .filter_map(|(k, v)| v.map(|v| format!("{k} {v}")))
+        .collect();
+        if !coords.is_empty() {
+            write!(f, " ({})", coords.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a diagnostic list as a JSON array.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&d.to_json());
+    }
+    s.push(']');
+    s
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_have_stable_ids_and_severities() {
+        assert_eq!(Code::IterationUnmapped.id(), "CTAM-E001");
+        assert_eq!(Code::RaceOnBlock.severity(), Severity::Error);
+        assert_eq!(Code::NonAffineSubscript.id(), "CTAM-W202");
+        assert_eq!(Code::TagMismatch.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn display_includes_code_and_coords() {
+        let d = Diagnostic::new(Code::DependenceViolation, "edge 3 -> 1 inverted")
+            .with_nest(0)
+            .with_round(2)
+            .with_core(1)
+            .with_group(5);
+        let s = d.to_string();
+        assert!(s.starts_with("error[CTAM-E003 DependenceViolation]"), "{s}");
+        assert!(s.contains("nest 0") && s.contains("round 2"), "{s}");
+    }
+
+    #[test]
+    fn json_escapes_and_orders_fields() {
+        let d = Diagnostic::new(Code::TagMismatch, "tag \"odd\"\nbit").with_group(7);
+        let j = d.to_json();
+        assert!(j.contains(r#""code":"CTAM-W103""#), "{j}");
+        assert!(j.contains(r#"\"odd\"\nbit"#), "{j}");
+        assert!(j.contains(r#""group":7"#), "{j}");
+        let arr = render_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'));
+        assert_eq!(arr.matches("CTAM-W103").count(), 2);
+    }
+}

@@ -1,0 +1,25 @@
+//! `CTAM-W201`/`W202`: the loop-IR subscript lints of
+//! [`ctam_loopir::lint`], lifted into verifier diagnostics.
+
+use ctam_loopir::{lint_nest, LintKind, NestId, Program};
+
+use super::diag::{Code, Diagnostic};
+
+pub(super) fn check(program: &Program, nest: NestId, diags: &mut Vec<Diagnostic>) {
+    for lint in lint_nest(program, nest) {
+        let code = match lint.kind {
+            LintKind::OutOfBounds => Code::SubscriptOutOfBounds,
+            LintKind::NonAffine => Code::NonAffineSubscript,
+        };
+        diags.push(
+            Diagnostic::new(
+                code,
+                format!(
+                    "reference {} of the nest body: {}",
+                    lint.ref_index, lint.detail
+                ),
+            )
+            .with_nest(nest.index()),
+        );
+    }
+}

@@ -1,0 +1,272 @@
+//! Static verification of mappings and schedules — the engine behind the
+//! `ctam-verify` crate.
+//!
+//! [`verify_mapping`] replays the paper's invariants over a finished
+//! [`NestMapping`]/[`Schedule`] pair and reports violations as coded
+//! [`Diagnostic`]s instead of panicking:
+//!
+//! * **coverage** (`CTAM-E001`/`E002`): the schedule executes every mapping
+//!   unit of the iteration space exactly once (Section 3.3),
+//! * **dependences** (`CTAM-E003`): every group-dependence edge is enforced
+//!   by a barrier or by same-core program order (Section 3.5.3),
+//! * **races** (`CTAM-E004`): no two cores touch the same element in the
+//!   same barrier round with a write involved,
+//! * **structure** (`CTAM-W101`–`W103`): load balance within the Figure 6
+//!   threshold, core fan-out matching the machine, stored tags covering the
+//!   recomputed block footprints,
+//! * **subscript lints** (`CTAM-W201`/`W202`): bounds and affinity checks
+//!   over the nest's array references (see [`ctam_loopir::lint`]).
+//!
+//! The checks are pure: they never mutate their inputs and never panic on
+//! malformed schedules — a schedule referencing out-of-range units or cores
+//! yields diagnostics, not aborts.
+
+pub mod diag;
+
+mod coverage;
+mod deps;
+mod lints;
+mod races;
+mod structure;
+
+pub use diag::{render_json, Code, Diagnostic, Severity};
+
+use ctam_loopir::Program;
+use ctam_topology::Machine;
+
+use crate::blocks::BlockMap;
+use crate::group::IterationGroup;
+use crate::pipeline::NestMapping;
+use crate::schedule::Schedule;
+
+/// Tuning knobs of the verifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyOptions {
+    /// Load-balance threshold for `CTAM-W101` (same meaning as
+    /// [`crate::pipeline::CtamParams::balance_threshold`]).
+    pub balance_threshold: f64,
+    /// Run the `CTAM-W201`/`W202` subscript lints (skippable because they
+    /// depend only on the program, not the schedule, and re-firing them
+    /// after every pipeline step would be noise).
+    pub lint_subscripts: bool,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        Self {
+            balance_threshold: 0.10,
+            lint_subscripts: true,
+        }
+    }
+}
+
+/// A schedule flattened to `(round, core, position)`-indexed groups: the
+/// coordinate system every check and every diagnostic agrees on. Flat group
+/// ids number the groups in that iteration order.
+pub(crate) struct FlatSchedule<'a> {
+    /// `(round, core, position, group)` per flat id.
+    pub entries: Vec<(usize, usize, usize, &'a IterationGroup)>,
+}
+
+impl<'a> FlatSchedule<'a> {
+    pub(crate) fn new(schedule: &'a Schedule) -> Self {
+        let mut entries = Vec::new();
+        for (r, round) in schedule.rounds().iter().enumerate() {
+            for (c, groups) in round.iter().enumerate() {
+                for (p, g) in groups.iter().enumerate() {
+                    entries.push((r, c, p, g));
+                }
+            }
+        }
+        Self { entries }
+    }
+
+    /// The groups in flat order (cloned — the dependence graph builder takes
+    /// an owned slice).
+    pub(crate) fn groups(&self) -> Vec<IterationGroup> {
+        self.entries.iter().map(|&(_, _, _, g)| g.clone()).collect()
+    }
+}
+
+/// Verifies `schedule` against the mapping it came from (or a mutated
+/// variant of it, which is how the mutation tests and the
+/// `verify_mapping` example drive it), using default [`VerifyOptions`].
+///
+/// The schedule is passed separately from `mapping` so a corrupted copy can
+/// be checked against the original mapping's iteration space and block
+/// size; pass `&mapping.schedule` to verify the mapping as produced.
+///
+/// Returns all findings, errors first; an empty vector means the schedule
+/// upholds every checked invariant.
+pub fn verify_mapping(
+    program: &Program,
+    machine: &Machine,
+    mapping: &NestMapping,
+    schedule: &Schedule,
+) -> Vec<Diagnostic> {
+    verify_mapping_with(
+        program,
+        machine,
+        mapping,
+        schedule,
+        &VerifyOptions::default(),
+    )
+}
+
+/// [`verify_mapping`] with explicit [`VerifyOptions`].
+pub fn verify_mapping_with(
+    program: &Program,
+    machine: &Machine,
+    mapping: &NestMapping,
+    schedule: &Schedule,
+    options: &VerifyOptions,
+) -> Vec<Diagnostic> {
+    let nest = mapping.space.nest().index();
+    let flat = FlatSchedule::new(schedule);
+    let blocks = BlockMap::new(program, mapping.block_bytes);
+
+    let mut diags = Vec::new();
+    coverage::check(&mapping.space, &flat, nest, &mut diags);
+    deps::check(program, &mapping.space, &flat, nest, &mut diags);
+    races::check(program, &mapping.space, &blocks, &flat, nest, &mut diags);
+    structure::check(
+        machine,
+        schedule,
+        &mapping.space,
+        &blocks,
+        &flat,
+        nest,
+        options.balance_threshold,
+        &mut diags,
+    );
+    if options.lint_subscripts {
+        lints::check(program, mapping.space.nest(), &mut diags);
+    }
+
+    // Errors first, then stable within a severity by code and coordinates.
+    diags.sort_by(|a, b| {
+        (a.severity(), a.code().id(), a.round(), a.core(), a.group()).cmp(&(
+            b.severity(),
+            b.code().id(),
+            b.round(),
+            b.core(),
+            b.group(),
+        ))
+    });
+    diags
+}
+
+/// True if `diags` contains no error-severity finding.
+pub fn is_clean(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity() != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{map_nest, CtamParams, Strategy};
+    use ctam_loopir::{ArrayRef, LoopNest};
+    use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+    use ctam_topology::catalog;
+
+    fn stencil(n: u64) -> Program {
+        let mut p = Program::new("stencil");
+        let a = p.add_array("A", &[n, n], 8);
+        let b = p.add_array("B", &[n, n], 8);
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, n as i64 - 2)
+            .bounds(1, 0, n as i64 - 2)
+            .build();
+        let sub = |di: i64, dj: i64| {
+            AffineMap::new(
+                2,
+                vec![
+                    AffineExpr::var(2, 0) + AffineExpr::constant(2, di),
+                    AffineExpr::var(2, 1) + AffineExpr::constant(2, dj),
+                ],
+            )
+        };
+        p.add_nest(
+            LoopNest::new("sweep", d)
+                .with_ref(ArrayRef::write(b, sub(0, 0)))
+                .with_ref(ArrayRef::read(a, sub(0, 0)))
+                .with_ref(ArrayRef::read(a, sub(0, 1)))
+                .with_ref(ArrayRef::read(a, sub(1, 0))),
+        );
+        p
+    }
+
+    #[test]
+    fn pipeline_outputs_verify_clean() {
+        let p = stencil(16);
+        let m = catalog::harpertown();
+        let params = CtamParams {
+            block_bytes: Some(512),
+            ..CtamParams::default()
+        };
+        let (nest, _) = p.nests().next().unwrap();
+        for s in [
+            Strategy::Base,
+            Strategy::BasePlus,
+            Strategy::Local,
+            Strategy::TopologyAware,
+            Strategy::Combined,
+        ] {
+            let mapping = map_nest(&p, nest, &m, s, &params).unwrap();
+            let diags = verify_mapping(&p, &m, &mapping, &mapping.schedule);
+            assert!(
+                is_clean(&diags),
+                "{s}: {:?}",
+                diags.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn dropped_iteration_is_unmapped() {
+        let p = stencil(12);
+        let m = catalog::harpertown();
+        let (nest, _) = p.nests().next().unwrap();
+        let mapping = map_nest(&p, nest, &m, Strategy::Base, &CtamParams::default()).unwrap();
+        // Drop the first group of the first non-empty core.
+        let mut rounds: Vec<Vec<Vec<IterationGroup>>> = mapping.schedule.rounds().to_vec();
+        'outer: for round in &mut rounds {
+            for core in round.iter_mut() {
+                if !core.is_empty() {
+                    core.remove(0);
+                    break 'outer;
+                }
+            }
+        }
+        let corrupted = Schedule::from_rounds(rounds, mapping.schedule.n_cores()).unwrap();
+        let diags = verify_mapping(&p, &m, &mapping, &corrupted);
+        assert!(
+            diags.iter().any(|d| d.code() == Code::IterationUnmapped),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_group_is_double_mapped() {
+        let p = stencil(12);
+        let m = catalog::harpertown();
+        let (nest, _) = p.nests().next().unwrap();
+        let mapping = map_nest(&p, nest, &m, Strategy::Base, &CtamParams::default()).unwrap();
+        let mut rounds: Vec<Vec<Vec<IterationGroup>>> = mapping.schedule.rounds().to_vec();
+        let dup = rounds[0]
+            .iter()
+            .flat_map(|c| c.iter())
+            .next()
+            .unwrap()
+            .clone();
+        rounds[0][0].push(dup);
+        let corrupted = Schedule::from_rounds(rounds, mapping.schedule.n_cores()).unwrap();
+        let diags = verify_mapping(&p, &m, &mapping, &corrupted);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code() == Code::IterationDoubleMapped),
+            "{diags:?}"
+        );
+    }
+}

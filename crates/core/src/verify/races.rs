@@ -1,0 +1,79 @@
+//! `CTAM-E004`: within one barrier round, no element may be written by one
+//! core and touched by another.
+//!
+//! The check runs at *element* granularity: two cores touching different
+//! elements of the same data block in one round is false sharing — a
+//! performance hazard the pass is allowed to produce (`Base` does, by
+//! construction) — not a correctness race. A genuine conflict is reported
+//! once per `(round, array, block)` with the data block named in the
+//! message, since blocks are the unit the rest of the pass reasons in.
+
+use std::collections::{HashMap, HashSet};
+
+use ctam_loopir::{AccessKind, ArrayId, Program};
+
+use crate::blocks::BlockMap;
+use crate::space::IterationSpace;
+
+use super::diag::{Code, Diagnostic};
+use super::FlatSchedule;
+
+pub(super) fn check(
+    program: &Program,
+    space: &IterationSpace,
+    blocks: &BlockMap,
+    flat: &FlatSchedule<'_>,
+    nest: usize,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let n_units = space.n_units();
+    let n_rounds = flat.entries.iter().map(|&(r, ..)| r + 1).max().unwrap_or(0);
+    for round in 0..n_rounds {
+        // element -> (first core seen, written anywhere so far).
+        let mut seen: HashMap<(ArrayId, u64), (usize, bool)> = HashMap::new();
+        // (array, block) pairs already reported this round.
+        let mut reported: HashSet<(ArrayId, usize)> = HashSet::new();
+        for (gid, &(r, core, _, g)) in flat.entries.iter().enumerate() {
+            if r != round {
+                continue;
+            }
+            for &u in g.iterations() {
+                if u as usize >= n_units {
+                    continue; // reported by the coverage check
+                }
+                for &i in space.unit_members(u as usize) {
+                    for acc in space.accesses(i as usize) {
+                        let is_write = acc.kind == AccessKind::Write;
+                        let entry = seen
+                            .entry((acc.array, acc.element))
+                            .or_insert((core, false));
+                        let conflict = entry.0 != core && (entry.1 || is_write);
+                        entry.1 |= is_write;
+                        if conflict {
+                            let block = blocks.block_of(acc.array, acc.element);
+                            if reported.insert((acc.array, block)) {
+                                diags.push(
+                                    Diagnostic::new(
+                                        Code::RaceOnBlock,
+                                        format!(
+                                            "cores {} and {core} access element {} of \
+                                             {} (data block {block}) in the same round \
+                                             with a write and no barrier between them",
+                                            entry.0,
+                                            acc.element,
+                                            program.array(acc.array).name(),
+                                        ),
+                                    )
+                                    .with_nest(nest)
+                                    .with_group(gid)
+                                    .with_round(round)
+                                    .with_core(core),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

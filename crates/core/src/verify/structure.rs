@@ -1,0 +1,133 @@
+//! `CTAM-W101`–`W103`: structural invariants of the Figure 6 distribution —
+//! load balance, core fan-out, and tag/footprint agreement.
+
+use ctam_topology::Machine;
+
+use crate::blocks::BlockMap;
+use crate::schedule::Schedule;
+use crate::space::IterationSpace;
+use crate::tag::Tag;
+
+use super::diag::{Code, Diagnostic};
+use super::FlatSchedule;
+
+#[allow(clippy::too_many_arguments)]
+pub(super) fn check(
+    machine: &Machine,
+    schedule: &Schedule,
+    space: &IterationSpace,
+    blocks: &BlockMap,
+    flat: &FlatSchedule<'_>,
+    nest: usize,
+    balance_threshold: f64,
+    diags: &mut Vec<Diagnostic>,
+) {
+    // W102: the schedule's fan-out is the leaf degree of the cache tree it
+    // was built for; running it against a machine with a different core
+    // count means the clustering saw a different topology.
+    if schedule.n_cores() != machine.n_cores() {
+        diags.push(
+            Diagnostic::new(
+                Code::DegreeMismatch,
+                format!(
+                    "schedule fans out to {} cores but machine `{}` has {}",
+                    schedule.n_cores(),
+                    machine.name(),
+                    machine.n_cores()
+                ),
+            )
+            .with_nest(nest),
+        );
+    }
+
+    // W101: per-core loads within the Figure 6 threshold of the mean. A
+    // core is only reported when even without its single largest group it
+    // would still exceed the bound — an *atomic* (unsplittable at this
+    // granularity) group legitimately forces imbalance, and the paper's
+    // balancing stops at group boundaries in that case.
+    let n_cores = schedule.n_cores();
+    if n_cores > 0 {
+        let mut load = vec![0usize; n_cores];
+        let mut largest = vec![0usize; n_cores];
+        for &(_, c, _, g) in &flat.entries {
+            if c < n_cores {
+                load[c] += g.size();
+                largest[c] = largest[c].max(g.size());
+            }
+        }
+        let total: usize = load.iter().sum();
+        let mean = total as f64 / n_cores as f64;
+        let bound = mean * (1.0 + balance_threshold);
+        for c in 0..n_cores {
+            if (load[c] - largest[c]) as f64 > bound {
+                diags.push(
+                    Diagnostic::new(
+                        Code::BalanceThresholdExceeded,
+                        format!(
+                            "core {c} runs {} of {total} iterations; the mean is \
+                             {mean:.1} and the {:.0}% threshold allows {bound:.1}, \
+                             exceeded even discounting the core's largest group \
+                             ({} iterations)",
+                            load[c],
+                            balance_threshold * 100.0,
+                            largest[c]
+                        ),
+                    )
+                    .with_nest(nest)
+                    .with_core(c),
+                );
+            }
+        }
+    }
+
+    // W103: each group's stored tag must cover the tag recomputed from its
+    // units' block footprints. Covering (superset), not equality: splitting
+    // a group for load balance keeps the whole tag on both halves, and
+    // condensation ORs tags — both legitimately leave stored bits with no
+    // backing unit, but a *missing* bit means the clustering and scheduling
+    // heuristics reasoned about an understated footprint.
+    let n_units = space.n_units();
+    for (gid, &(r, c, _, g)) in flat.entries.iter().enumerate() {
+        let stored = g.tag();
+        if stored.n_bits() != blocks.n_blocks() {
+            diags.push(
+                Diagnostic::new(
+                    Code::TagMismatch,
+                    format!(
+                        "group tag has {} bits but the block partition has {} \
+                         blocks",
+                        stored.n_bits(),
+                        blocks.n_blocks()
+                    ),
+                )
+                .with_nest(nest)
+                .with_group(gid)
+                .with_round(r)
+                .with_core(c),
+            );
+            continue;
+        }
+        let mut recomputed = Tag::empty(blocks.n_blocks());
+        for &u in g.iterations() {
+            if (u as usize) < n_units {
+                recomputed.or_assign(&space.unit_tag(u as usize, blocks));
+            }
+        }
+        let missing: Vec<usize> = recomputed.iter_bits().filter(|&b| !stored.get(b)).collect();
+        if !missing.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    Code::TagMismatch,
+                    format!(
+                        "group touches data block(s) {missing:?} its stored tag \
+                         does not claim"
+                    ),
+                )
+                .with_nest(nest)
+                .with_group(gid)
+                .with_round(r)
+                .with_core(c),
+            );
+        }
+    }
+}

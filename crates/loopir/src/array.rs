@@ -36,7 +36,10 @@ impl ArrayDecl {
     /// Panics if `dims` is empty, any extent is zero, or `elem_bytes` is 0.
     pub fn new(name: &str, dims: &[u64], elem_bytes: u32) -> Self {
         assert!(!dims.is_empty(), "array must have at least one dimension");
-        assert!(dims.iter().all(|&d| d > 0), "array extents must be positive");
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "array extents must be positive"
+        );
         assert!(elem_bytes > 0, "element size must be positive");
         Self {
             name: name.to_owned(),
@@ -53,6 +56,15 @@ impl ArrayDecl {
     /// Per-dimension extents.
     pub fn dims(&self) -> &[u64] {
         &self.dims
+    }
+
+    /// The extent of dimension `d` (the valid indices are `0..extent(d)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not a dimension of the array.
+    pub fn extent(&self, d: usize) -> u64 {
+        self.dims[d]
     }
 
     /// Bytes per element.

@@ -259,7 +259,10 @@ mod tests {
             .bounds(0, 2 * k, 48 - 2 * k - 1)
             .build();
         let sub = |off: i64| {
-            AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, off)])
+            AffineMap::new(
+                1,
+                vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, off)],
+            )
         };
         let nest = LoopNest::new("fig5", d)
             .with_ref(ArrayRef::write(b, sub(0)))
@@ -292,7 +295,10 @@ mod tests {
         // A[i][j] = A[i][j-1]: carried at level 1 (j), parallel at level 0.
         let mut p = Program::new("cols");
         let a = p.add_array("A", &[8, 8], 8);
-        let d = IntegerSet::builder(2).bounds(0, 0, 7).bounds(1, 1, 7).build();
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 7)
+            .bounds(1, 1, 7)
+            .build();
         let w = AffineMap::identity(2);
         let r = AffineMap::new(
             2,
@@ -336,16 +342,14 @@ mod tests {
         let mut p = Program::new("gather");
         let x = p.add_array("x", &[32], 8);
         let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
-        let id = p.add_nest(
-            LoopNest::new("n", d).with_ref(ArrayRef::new(
-                x,
-                Subscript::Indirect {
-                    selector: AffineExpr::var(1, 0),
-                    table: vec![0u64, 1, 2, 3, 0, 1, 2, 3].into(),
-                },
-                AccessKind::Write,
-            )),
-        );
+        let id = p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::new(
+            x,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table: vec![0u64, 1, 2, 3, 0, 1, 2, 3].into(),
+            },
+            AccessKind::Write,
+        )));
         assert!(analyze_static(&p, id).is_none());
         let info = analyze(&p, id);
         assert!(info.is_exact());
@@ -358,8 +362,7 @@ mod tests {
         let mut p = Program::new("ro");
         let a = p.add_array("A", &[8], 8);
         let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
-        let zero =
-            AffineMap::new(1, vec![AffineExpr::constant(1, 0)]);
+        let zero = AffineMap::new(1, vec![AffineExpr::constant(1, 0)]);
         let id = p.add_nest(
             LoopNest::new("n", d)
                 .with_ref(ArrayRef::read(a, zero.clone()))

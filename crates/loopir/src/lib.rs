@@ -45,8 +45,12 @@
 //! assert_eq!(accesses[0].element, 9);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod array;
 pub mod dependence;
+pub mod lint;
 mod nest;
 pub mod parse;
 mod program;
@@ -54,5 +58,6 @@ pub mod transform;
 
 pub use array::{ArrayDecl, ArrayId};
 pub use dependence::{DependenceInfo, Direction};
+pub use lint::{lint_nest, LintKind, SubscriptLint};
 pub use nest::{AccessKind, ArrayRef, ElementAccess, LoopNest, NestId, Subscript};
 pub use program::Program;

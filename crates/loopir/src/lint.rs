@@ -1,0 +1,205 @@
+//! Static subscript lints: bounds and affinity checks over a nest's array
+//! references.
+//!
+//! These are the loop-IR-level hooks behind the `CTAM-W201` / `CTAM-W202`
+//! diagnostics of the verification layer: a subscript that can index outside
+//! its array's declared extents (the program model silently *clamps* such
+//! accesses, see [`crate::ArrayDecl::flatten`], so the symptom is wrong
+//! sharing behaviour rather than a crash), and a subscript that is not
+//! affine (defeating exact dependence analysis — such references are handled
+//! conservatively downstream).
+
+use crate::{ArrayId, NestId, Program, Subscript};
+
+/// What a subscript lint found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LintKind {
+    /// The subscript can evaluate outside the array's declared extents.
+    OutOfBounds,
+    /// The subscript is not an affine function of the iteration vector.
+    NonAffine,
+}
+
+/// One finding of [`lint_nest`].
+#[derive(Debug, Clone)]
+pub struct SubscriptLint {
+    /// The nest containing the offending reference.
+    pub nest: NestId,
+    /// Index of the reference in the nest's body order.
+    pub ref_index: usize,
+    /// The referenced array.
+    pub array: ArrayId,
+    /// What was found.
+    pub kind: LintKind,
+    /// Human-readable specifics (dimension, extent, attainable range, …).
+    pub detail: String,
+}
+
+/// Lints every reference of `nest`: affine subscripts are interval-checked
+/// against the referenced array's extents over the domain's bounding box
+/// (exact for affine expressions, since extrema are attained at box
+/// corners); indirect subscripts are flagged as non-affine and their index
+/// tables checked against the array's element count.
+///
+/// # Panics
+///
+/// Panics if `nest` is not a nest of `program`.
+pub fn lint_nest(program: &Program, nest: NestId) -> Vec<SubscriptLint> {
+    let n = program.nest(nest);
+    let mut out = Vec::new();
+    let bbox = n.domain().bounding_box();
+    for (ref_index, r) in n.refs().iter().enumerate() {
+        let decl = program.array(r.array());
+        let lint = |kind, detail| SubscriptLint {
+            nest,
+            ref_index,
+            array: r.array(),
+            kind,
+            detail,
+        };
+        match r.subscript() {
+            Subscript::Affine(map) => {
+                if map.n_out() != decl.dims().len() {
+                    out.push(lint(
+                        LintKind::OutOfBounds,
+                        format!(
+                            "subscript arity {} does not match array `{}` rank {}",
+                            map.n_out(),
+                            decl.name(),
+                            decl.dims().len()
+                        ),
+                    ));
+                    continue;
+                }
+                let Some(bbox) = &bbox else { continue }; // empty domain: nothing runs
+                for (d, expr) in map.exprs().iter().enumerate() {
+                    let extent = decl.extent(d);
+                    // Min/max of an affine expression over a box sit at the
+                    // corners selected by coefficient signs.
+                    let mut lo = expr.constant_term();
+                    let mut hi = expr.constant_term();
+                    for (v, &c) in expr.coeffs().iter().enumerate() {
+                        let (blo, bhi) = bbox[v];
+                        if c >= 0 {
+                            lo += c * blo;
+                            hi += c * bhi;
+                        } else {
+                            lo += c * bhi;
+                            hi += c * blo;
+                        }
+                    }
+                    if lo < 0 || hi >= extent as i64 {
+                        out.push(lint(
+                            LintKind::OutOfBounds,
+                            format!(
+                                "dimension {d} of `{}` spans [{lo}, {hi}] but the \
+                                 declared extent is [0, {})",
+                                decl.name(),
+                                extent
+                            ),
+                        ));
+                    }
+                }
+            }
+            Subscript::Indirect { table, .. } => {
+                out.push(lint(
+                    LintKind::NonAffine,
+                    format!(
+                        "indirect subscript into `{}` (table of {} entries) is \
+                         outside the affine dependence model",
+                        decl.name(),
+                        table.len()
+                    ),
+                ));
+                let n_elements = decl.n_elements();
+                if let Some(&worst) = table.iter().max() {
+                    if worst >= n_elements {
+                        out.push(lint(
+                            LintKind::OutOfBounds,
+                            format!(
+                                "index table entry {worst} exceeds `{}`'s {} elements",
+                                decl.name(),
+                                n_elements
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AccessKind, ArrayRef, LoopNest};
+    use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+    use std::sync::Arc;
+
+    fn domain(n: i64) -> IntegerSet {
+        IntegerSet::builder(1).bounds(0, 0, n - 1).build()
+    }
+
+    #[test]
+    fn in_bounds_affine_is_clean() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[64], 8);
+        let id = p.add_nest(
+            LoopNest::new("n", domain(64)).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
+        );
+        assert!(lint_nest(&p, id).is_empty());
+    }
+
+    #[test]
+    fn overshooting_subscript_flagged() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[64], 8);
+        let shifted = AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, 4)]);
+        let id = p.add_nest(LoopNest::new("n", domain(64)).with_ref(ArrayRef::read(a, shifted)));
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::OutOfBounds);
+        assert!(lints[0].detail.contains("[4, 67]"), "{}", lints[0].detail);
+    }
+
+    #[test]
+    fn negative_reach_flagged() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[64], 8);
+        let shifted = AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 1)]);
+        let id = p.add_nest(LoopNest::new("n", domain(64)).with_ref(ArrayRef::read(a, shifted)));
+        assert_eq!(lint_nest(&p, id).len(), 1);
+    }
+
+    #[test]
+    fn rank_mismatch_flagged() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[8, 8], 8);
+        let id = p.add_nest(
+            LoopNest::new("n", domain(8)).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
+        );
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 1);
+        assert!(lints[0].detail.contains("rank"));
+    }
+
+    #[test]
+    fn indirect_is_nonaffine_and_bounds_checked() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[16], 8);
+        let table: Arc<[u64]> = vec![0, 5, 99].into();
+        let id = p.add_nest(LoopNest::new("n", domain(8)).with_ref(ArrayRef::new(
+            a,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table,
+            },
+            AccessKind::Read,
+        )));
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 2);
+        assert_eq!(lints[0].kind, LintKind::NonAffine);
+        assert_eq!(lints[1].kind, LintKind::OutOfBounds);
+    }
+}

@@ -197,7 +197,10 @@ mod tests {
 
     #[test]
     fn nest_enumerates_domain() {
-        let d = IntegerSet::builder(2).bounds(0, 0, 2).bounds(1, 0, 1).build();
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 2)
+            .bounds(1, 0, 1)
+            .build();
         let n = LoopNest::new("n", d);
         assert_eq!(n.n_iterations(), 6);
         assert_eq!(n.depth(), 2);
@@ -207,7 +210,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "arity")]
     fn arity_mismatch_rejected() {
-        let d = IntegerSet::builder(2).bounds(0, 0, 2).bounds(1, 0, 1).build();
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 2)
+            .bounds(1, 0, 1)
+            .build();
         let bad = AffineMap::identity(3);
         let _ = LoopNest::new("n", d).with_ref(ArrayRef::read(ArrayId(0), bad));
     }

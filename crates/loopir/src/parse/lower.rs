@@ -41,7 +41,10 @@ impl NestCtx<'_> {
                 )),
             },
             AstExpr::Ref(r) => Err(ParseError::new(
-                format!("array reference '{}' is not allowed in this position", r.array),
+                format!(
+                    "array reference '{}' is not allowed in this position",
+                    r.array
+                ),
                 r.line,
                 r.column,
             )),
@@ -114,11 +117,7 @@ fn lower_nest(
     let mut nest = LoopNest::new(&ast.name, domain);
     let add_ref = |nest: LoopNest, r: &AstRef, kind: AccessKind| -> Result<LoopNest, ParseError> {
         let &(id, arity) = arrays.get(r.array.as_str()).ok_or_else(|| {
-            ParseError::new(
-                format!("undeclared array '{}'", r.array),
-                r.line,
-                r.column,
-            )
+            ParseError::new(format!("undeclared array '{}'", r.array), r.line, r.column)
         })?;
         if r.subscripts.len() != arity {
             return Err(ParseError::new(
@@ -187,10 +186,8 @@ mod tests {
 
     #[test]
     fn duplicate_array_rejected() {
-        let err = parse_program(
-            "program p { array A[4] : 8; array A[4] : 8; }",
-        )
-        .expect_err("duplicate");
+        let err =
+            parse_program("program p { array A[4] : 8; array A[4] : 8; }").expect_err("duplicate");
         assert!(err.message.contains("twice"));
     }
 
@@ -216,10 +213,9 @@ mod tests {
 
     #[test]
     fn reference_in_bound_rejected() {
-        let err = parse_program(
-            "program p { array A[8] : 8; for n (i = 0 .. A[0]) { A[i] = 1; } }",
-        )
-        .expect_err("refs not allowed in bounds");
+        let err =
+            parse_program("program p { array A[8] : 8; for n (i = 0 .. A[0]) { A[i] = 1; } }")
+                .expect_err("refs not allowed in bounds");
         assert!(err.message.contains("not allowed"));
     }
 

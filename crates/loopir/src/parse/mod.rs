@@ -138,10 +138,8 @@ mod tests {
 
     #[test]
     fn accumulation_reads_and_writes() {
-        let p = parse_program(
-            "program acc { array S[8] : 8; for n (i = 0 .. 7) { S[i] += 2; } }",
-        )
-        .unwrap();
+        let p = parse_program("program acc { array S[8] : 8; for n (i = 0 .. 7) { S[i] += 2; } }")
+            .unwrap();
         let (id, nest) = p.nests().next().unwrap();
         // += desugars to write + read of the same element.
         assert_eq!(nest.refs().len(), 2);
@@ -172,10 +170,9 @@ mod tests {
 
     #[test]
     fn arity_mismatch_is_reported() {
-        let err = parse_program(
-            "program p { array A[4][4] : 8; for n (i = 0 .. 3) { A[i] = 1; } }",
-        )
-        .expect_err("A needs two subscripts");
+        let err =
+            parse_program("program p { array A[4][4] : 8; for n (i = 0 .. 3) { A[i] = 1; } }")
+                .expect_err("A needs two subscripts");
         assert!(err.message.contains("subscript"), "{err}");
     }
 

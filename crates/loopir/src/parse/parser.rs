@@ -92,11 +92,7 @@ impl Parser {
                 }
                 TokenKind::Ident(kw) if kw == "array" => arrays.push(self.parse_array()?),
                 TokenKind::Ident(kw) if kw == "for" => nests.push(self.parse_nest()?),
-                _ => {
-                    return Err(
-                        self.error_here("expected 'array', 'for', or '}' at top level")
-                    )
-                }
+                _ => return Err(self.error_here("expected 'array', 'for', or '}' at top level")),
             }
         }
         self.expect(&TokenKind::Eof, "end of input")?;
@@ -285,8 +281,7 @@ mod tests {
 
     #[test]
     fn minimal_program() {
-        let p = parse("program p { array A[4] : 8; for n (i = 0 .. 3) { A[i] = 1; } }")
-            .unwrap();
+        let p = parse("program p { array A[4] : 8; for n (i = 0 .. 3) { A[i] = 1; } }").unwrap();
         assert_eq!(p.name, "p");
         assert_eq!(p.arrays.len(), 1);
         assert_eq!(p.nests[0].loops.len(), 1);
@@ -295,10 +290,8 @@ mod tests {
 
     #[test]
     fn expression_precedence() {
-        let p = parse(
-            "program p { array A[64] : 8; for n (i = 0 .. 3) { A[2 * i + 1] = 1; } }",
-        )
-        .unwrap();
+        let p = parse("program p { array A[64] : 8; for n (i = 0 .. 3) { A[2 * i + 1] = 1; } }")
+            .unwrap();
         // 2*i + 1 must parse as (2*i) + 1.
         let sub = &p.nests[0].body[0].target.subscripts[0];
         assert!(matches!(sub, AstExpr::Add(lhs, _) if matches!(**lhs, AstExpr::Mul(..))));
@@ -306,10 +299,8 @@ mod tests {
 
     #[test]
     fn negative_atoms() {
-        let p = parse(
-            "program p { array A[64] : 8; for n (i = 4 .. 7) { A[i - -1] = 1; } }",
-        )
-        .unwrap();
+        let p =
+            parse("program p { array A[64] : 8; for n (i = 4 .. 7) { A[i - -1] = 1; } }").unwrap();
         assert_eq!(p.nests[0].body.len(), 1);
     }
 

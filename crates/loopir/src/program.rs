@@ -169,7 +169,10 @@ mod tests {
     fn affine_accesses_resolve() {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[8, 8], 8);
-        let d = IntegerSet::builder(2).bounds(0, 0, 5).bounds(1, 0, 5).build();
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 5)
+            .bounds(1, 0, 5)
+            .build();
         let m = AffineMap::new(
             2,
             vec![

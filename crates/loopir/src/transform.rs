@@ -88,7 +88,10 @@ pub fn tiled_order(domain: &IntegerSet, tile_sizes: &[u64]) -> Vec<Point> {
         domain.dim(),
         "one tile size per dimension required"
     );
-    assert!(tile_sizes.iter().all(|&t| t > 0), "tile sizes must be positive");
+    assert!(
+        tile_sizes.iter().all(|&t| t > 0),
+        "tile sizes must be positive"
+    );
     let mut points: Vec<Point> = domain.iter().collect();
     points.sort_by_key(|p| {
         let tile: Vec<i64> = p
@@ -202,8 +205,8 @@ mod tests {
     fn permute_swaps_enumeration_order() {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[4, 8], 8);
-        let nest = LoopNest::new("n", rect(4, 8))
-            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let nest =
+            LoopNest::new("n", rect(4, 8)).with_ref(ArrayRef::read(a, AffineMap::identity(2)));
         let swapped = permute(&nest, &[1, 0]);
         // Same set of iterations (transposed coordinates), j now outer.
         assert_eq!(swapped.n_iterations(), nest.n_iterations());
@@ -259,18 +262,15 @@ mod tests {
         let tiled = tiled_order(&d, &[2, 2]);
         // First four points are exactly the (0,0) tile.
         let first: Vec<_> = tiled[..4].to_vec();
-        assert_eq!(
-            first,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(first, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
     }
 
     #[test]
     fn permuted_order_matches_permuted_nest() {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[8, 8], 8);
-        let nest = LoopNest::new("n", rect(5, 3))
-            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let nest =
+            LoopNest::new("n", rect(5, 3)).with_ref(ArrayRef::read(a, AffineMap::identity(2)));
         let order = permuted_order(nest.domain(), &[1, 0]);
         let rewritten = permute(&nest, &[1, 0]);
         // The rewritten nest enumerates (j, i); mapping back gives `order`.
@@ -300,8 +300,8 @@ mod tests {
     fn strip_mine_preserves_the_iteration_set() {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[8, 8], 8);
-        let nest = LoopNest::new("n", rect(7, 5))
-            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let nest =
+            LoopNest::new("n", rect(7, 5)).with_ref(ArrayRef::read(a, AffineMap::identity(2)));
         let mined = strip_mine(&nest, 1, 2);
         assert_eq!(mined.depth(), 3);
         assert_eq!(mined.n_iterations(), nest.n_iterations());
@@ -331,8 +331,8 @@ mod tests {
     fn strip_mine_keeps_subscripts_on_element_indices() {
         let mut p = Program::new("t");
         let a = p.add_array("A", &[8, 8], 8);
-        let nest = LoopNest::new("n", rect(4, 4))
-            .with_ref(ArrayRef::read(a, AffineMap::identity(2)));
+        let nest =
+            LoopNest::new("n", rect(4, 4)).with_ref(ArrayRef::read(a, AffineMap::identity(2)));
         let orig = p.add_nest(nest.clone());
         let mined_id = p.add_nest(strip_mine(&nest, 0, 2));
         // Iteration (i, j) of the original equals (i_T = i/2, i, j) mined.

@@ -59,8 +59,7 @@ fn build(g: &Gen) -> Program {
         .names(["i"])
         .bounds(0, 0, n - 1)
         .build();
-    let mut nest =
-        LoopNest::new("nest", d).with_ref(ArrayRef::write(out, AffineMap::identity(1)));
+    let mut nest = LoopNest::new("nest", d).with_ref(ArrayRef::write(out, AffineMap::identity(1)));
     for off in &g.offsets {
         nest = nest.with_ref(ArrayRef::read(
             a,

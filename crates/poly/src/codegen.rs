@@ -115,10 +115,7 @@ pub fn generate_loop_nest(set: &IntegerSet, opts: &CodegenOptions) -> Option<Str
         let lo = combine(lowers, "max");
         let hi = combine(uppers, "min");
         let v = &names[d];
-        lines.push(format!(
-            "{}for ({v} = {lo}; {v} <= {hi}; {v}++) {{",
-            pad(d)
-        ));
+        lines.push(format!("{}for ({v} = {lo}; {v} <= {hi}; {v}++) {{", pad(d)));
     }
     // Residual guard: any original constraint not guaranteed by the per-level
     // rational bounds (integer gaps). FM bounds are exact for the systems we

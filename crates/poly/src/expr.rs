@@ -158,10 +158,7 @@ impl AffineExpr {
             if c == 0 {
                 continue;
             }
-            let name = names
-                .get(i)
-                .cloned()
-                .unwrap_or_else(|| format!("x{i}"));
+            let name = names.get(i).cloned().unwrap_or_else(|| format!("x{i}"));
             let term = match c {
                 1 => name,
                 -1 => format!("-{name}"),
@@ -257,8 +254,7 @@ mod tests {
     #[test]
     fn arithmetic_matches_manual_eval() {
         // 2*x0 - 3*x1 + 5
-        let e = AffineExpr::var(2, 0) * 2 - AffineExpr::var(2, 1) * 3
-            + AffineExpr::constant(2, 5);
+        let e = AffineExpr::var(2, 0) * 2 - AffineExpr::var(2, 1) * 3 + AffineExpr::constant(2, 5);
         assert_eq!(e.eval(&[4, 1]), 2 * 4 - 3 + 5);
         assert_eq!(e.coeff(0), 2);
         assert_eq!(e.coeff(1), -3);

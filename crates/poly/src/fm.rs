@@ -67,7 +67,7 @@ pub fn eliminate_dim(ge_exprs: &[AffineExpr], dim: usize) -> Vec<AffineExpr> {
         for up in &uppers {
             let a = lo.coeff(dim); // > 0
             let b = -up.coeff(dim); // > 0
-            // b*lo + a*up eliminates `dim`.
+                                    // b*lo + a*up eliminates `dim`.
             let combined = lo.scaled(b) + up.scaled(a);
             debug_assert_eq!(combined.coeff(dim), 0);
             rest.push(reduce(&combined));
@@ -169,15 +169,17 @@ mod tests {
         // 0 <= x <= 5, x <= y, y <= 7  --- eliminate y: 0 <= x <= 5 survives,
         // and x <= 7 (redundant).
         let sys = vec![
-            ge(vec![1, 0], 0),   // x >= 0
-            ge(vec![-1, 0], 5),  // x <= 5
-            ge(vec![-1, 1], 0),  // y >= x
-            ge(vec![0, -1], 7),  // y <= 7
+            ge(vec![1, 0], 0),  // x >= 0
+            ge(vec![-1, 0], 5), // x <= 5
+            ge(vec![-1, 1], 0), // y >= x
+            ge(vec![0, -1], 7), // y <= 7
         ];
         let out = eliminate_dim(&sys, 1);
         assert!(out.iter().all(|e| e.coeff(1) == 0));
         // x <= 7 must be implied by combining y>=x and y<=7.
-        assert!(out.iter().any(|e| e.coeff(0) == -1 && e.constant_term() == 7));
+        assert!(out
+            .iter()
+            .any(|e| e.coeff(0) == -1 && e.constant_term() == 7));
     }
 
     #[test]

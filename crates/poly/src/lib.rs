@@ -39,6 +39,9 @@
 //! assert!(!set.contains(&[0, 5]));
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod codegen;
 mod expr;
 mod fm;

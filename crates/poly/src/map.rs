@@ -149,7 +149,10 @@ mod tests {
     #[test]
     fn compose_applies_right_then_left() {
         // f(x) = 2x + 1 ; g(x) = x - 3 ; (f∘g)(x) = 2x - 5
-        let f = AffineMap::new(1, vec![AffineExpr::var(1, 0) * 2 + AffineExpr::constant(1, 1)]);
+        let f = AffineMap::new(
+            1,
+            vec![AffineExpr::var(1, 0) * 2 + AffineExpr::constant(1, 1)],
+        );
         let g = AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 3)]);
         let fg = f.compose(&g);
         assert_eq!(fg.apply(&[10]), vec![15]);
@@ -160,7 +163,10 @@ mod tests {
     fn image_deduplicates() {
         // (i, j) -> (i) over a 3x4 rectangle: image is {0,1,2}.
         let m = AffineMap::new(2, vec![AffineExpr::var(2, 0)]);
-        let dom = IntegerSet::builder(2).bounds(0, 0, 2).bounds(1, 0, 3).build();
+        let dom = IntegerSet::builder(2)
+            .bounds(0, 0, 2)
+            .bounds(1, 0, 3)
+            .build();
         assert_eq!(m.image(&dom), vec![vec![0], vec![1], vec![2]]);
     }
 

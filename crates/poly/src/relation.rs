@@ -135,10 +135,7 @@ impl Relation {
                 AffineExpr::var(dim, d) - AffineExpr::constant(dim, v),
             ));
         }
-        pinned
-            .iter()
-            .map(|p| p[self.n_in..].to_vec())
-            .collect()
+        pinned.iter().map(|p| p[self.n_in..].to_vec()).collect()
     }
 
     /// The set of inputs that relate to at least one output (rationally
@@ -247,8 +244,7 @@ impl Relation {
     fn project_prefix_of(&self, set: &IntegerSet, keep: usize) -> IntegerSet {
         let ge = crate::fm::normalize_to_ge(set.constraints());
         let projected = crate::fm::project_onto_prefix(&ge, keep, set.dim());
-        let mut b =
-            IntegerSet::builder(keep).names(set.names()[..keep].to_vec());
+        let mut b = IntegerSet::builder(keep).names(set.names()[..keep].to_vec());
         for e in projected {
             let coeffs = e.coeffs()[..keep].to_vec();
             b = b.ge(AffineExpr::new(coeffs, e.constant_term()));

@@ -4,8 +4,7 @@
 //! membership scans, for arbitrary small constraint systems.
 
 use ctam_poly::{
-    generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, Constraint, IntegerSet,
-    Relation,
+    generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, Constraint, IntegerSet, Relation,
 };
 use proptest::prelude::*;
 

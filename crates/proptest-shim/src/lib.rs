@@ -1,0 +1,309 @@
+//! Offline stand-in for the subset of the [`proptest`](https://docs.rs/proptest)
+//! API used by this workspace.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors a
+//! miniature property-testing harness behind the same surface the tests
+//! already use: the [`proptest!`] macro, the [`Strategy`] trait with
+//! `prop_map`, integer-range and tuple strategies, [`collection::vec`],
+//! `prop::bool::ANY`, [`Just`], and the `prop_assert*`/[`prop_assume!`]
+//! macros.
+//!
+//! Differences from the real crate, on purpose:
+//!
+//! * **Deterministic**: every test derives its RNG seed from its module path
+//!   and name, so runs are reproducible without a failure-persistence file.
+//!   Set `PROPTEST_CASES` to override the case count globally.
+//! * **No shrinking**: a failing case panics with the offending assertion
+//!   immediately. Inputs are small by construction here (the strategies in
+//!   this repository generate bounded programs/machines), so minimization
+//!   matters far less than it does for open-domain inputs.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+mod strategy;
+
+pub use strategy::{BoolAny, Just, Map, SizeRange, Strategy, TupleUnion, VecStrategy};
+
+/// Strategy constructors for collections, mirroring `proptest::collection`.
+pub mod collection {
+    use super::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy producing `Vec`s of values drawn from `element`, with a
+    /// length drawn from `size` (a fixed `usize` or a `usize` range).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy::new(element, size.into())
+    }
+}
+
+/// The `prop` namespace of the prelude (`prop::bool::ANY`, …).
+pub mod prop {
+    /// Boolean strategies, mirroring `proptest::bool`.
+    pub mod bool {
+        /// The uniform boolean strategy.
+        pub const ANY: crate::BoolAny = crate::BoolAny;
+    }
+}
+
+/// What every test body returns to the harness: pass, reject, or fail.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case did not satisfy a [`prop_assume!`] precondition; the harness
+    /// draws a fresh input without counting the case.
+    Reject(String),
+    /// An assertion failed; the harness panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed-assertion error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected-precondition error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Harness configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test (overridden by the
+    /// `PROPTEST_CASES` environment variable when set).
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(self.cases)
+            .max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// The deterministic case RNG (SplitMix64 over an FNV-seeded state).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// An RNG seeded from an arbitrary label (the test's qualified name).
+    pub fn deterministic(label: &str) -> Self {
+        let mut seed = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+        for b in label.bytes() {
+            seed ^= u64::from(b);
+            seed = seed.wrapping_mul(0x1_0000_0000_01B3);
+        }
+        Self { state: seed }
+    }
+
+    /// The next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `[0, bound)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sample bound");
+        self.next_u64() % bound
+    }
+}
+
+/// Runs one proptest-style test: draws inputs with `draw`, passes them to
+/// `body`, and counts accepted cases until `config.cases` pass or an
+/// assertion fails. Used by the [`proptest!`] macro; callable directly when
+/// a test wants a custom harness.
+///
+/// # Panics
+///
+/// Panics when a case fails, or when rejection exhausts the retry budget.
+pub fn run_cases<T>(
+    name: &str,
+    config: &ProptestConfig,
+    mut draw: impl FnMut(&mut TestRng) -> T,
+    mut body: impl FnMut(T) -> Result<(), TestCaseError>,
+) {
+    let cases = config.effective_cases();
+    let mut rng = TestRng::deterministic(name);
+    let mut accepted = 0u32;
+    let mut attempts = 0u64;
+    let budget = u64::from(cases) * 16 + 1024;
+    while accepted < cases {
+        attempts += 1;
+        assert!(
+            attempts <= budget,
+            "{name}: too many rejected cases ({accepted}/{cases} accepted after {attempts} attempts)"
+        );
+        let input = draw(&mut rng);
+        match body(input) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{name}: case {accepted} failed\n{msg}")
+            }
+        }
+    }
+}
+
+/// Everything a property test needs in scope, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (not the
+/// whole process) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} at {}:{}",
+                format_args!($($fmt)*),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format_args!($($fmt)*),
+            l,
+            r
+        );
+    }};
+}
+
+/// Asserts two values are unequal inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Skips the current case (without counting it) unless the precondition
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Declares property tests: each function draws its arguments from the given
+/// strategies and runs [`run_cases`](crate::run_cases) many times.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///
+///     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// addition_commutes();
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let qualified = concat!(module_path!(), "::", stringify!($name));
+                $crate::run_cases(
+                    qualified,
+                    &config,
+                    |rng| ( $( $crate::Strategy::new_value(&($strat), rng), )* ),
+                    |( $($arg,)* )| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}

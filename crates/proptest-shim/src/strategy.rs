@@ -1,0 +1,403 @@
+//! The [`Strategy`] trait and the concrete strategies the workspace uses:
+//! integer ranges, tuples, mapped strategies, vectors, booleans, and
+//! constants.
+
+use crate::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike the real proptest there is no intermediate value tree (no
+/// shrinking): a strategy simply draws a value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy that post-processes this one's values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// The uniform boolean strategy (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                let off = rng.below(span);
+                ((self.start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.below(span + 1);
+                ((start as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A weighted-choice strategy over same-typed alternatives (a simplified
+/// `prop_oneof`): each case is drawn with probability proportional to its
+/// weight.
+pub struct TupleUnion<T> {
+    cases: Vec<UnionCase<T>>,
+}
+
+/// One weighted alternative of a [`TupleUnion`]: its weight and the closure
+/// that draws a value.
+pub type UnionCase<T> = (u32, Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> TupleUnion<T> {
+    /// Builds a union from `(weight, strategy)` cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty or all weights are zero.
+    pub fn new(cases: Vec<UnionCase<T>>) -> Self {
+        assert!(
+            cases.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "union needs positive total weight"
+        );
+        Self { cases }
+    }
+}
+
+impl<T> Strategy for TupleUnion<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.cases.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.below(total);
+        for (w, f) in &self.cases {
+            let w = u64::from(*w);
+            if pick < w {
+                return f(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights summed above")
+    }
+}
+
+/// A vector length specification: a fixed size or a `usize` range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        let span = (self.hi_inclusive - self.lo) as u64;
+        self.lo + rng.below(span + 1) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty vec size range");
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// The result of [`crate::collection::vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> VecStrategy<S> {
+    pub(crate) fn new(element: S, size: SizeRange) -> Self {
+        Self { element, size }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.pick(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// String strategies from a simplified regex pattern — the subset the
+/// workspace's tests draw on. A pattern is a concatenation of atoms; each
+/// atom is a character class `[...]` (with `a-z` ranges and `\x` escapes),
+/// an escaped character, a `.` (any printable ASCII), or a literal
+/// character, optionally followed by a quantifier `{n}`, `{m,n}`, `?`, `*`,
+/// or `+` (unbounded repetition is capped at 16).
+impl Strategy for str {
+    type Value = String;
+
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (chars, min, max) in parse_pattern(self) {
+            let n = min as u64 + rng.below((max - min + 1) as u64);
+            for _ in 0..n {
+                let k = rng.below(chars.len() as u64) as usize;
+                out.push(chars[k]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut it = pat.chars().peekable();
+    while let Some(c) = it.next() {
+        let chars: Vec<char> = match c {
+            '[' => parse_class(&mut it, pat),
+            '\\' => vec![it
+                .next()
+                .unwrap_or_else(|| panic!("dangling escape in {pat:?}"))],
+            '.' => (' '..='~').collect(),
+            other => vec![other],
+        };
+        assert!(!chars.is_empty(), "empty character class in {pat:?}");
+        let (min, max) = parse_quantifier(&mut it, pat);
+        atoms.push((chars, min, max));
+    }
+    atoms
+}
+
+fn parse_class(it: &mut core::iter::Peekable<core::str::Chars>, pat: &str) -> Vec<char> {
+    let mut chars = Vec::new();
+    let mut prev: Option<char> = None;
+    while let Some(c) = it.next() {
+        match c {
+            ']' => return chars,
+            '\\' => {
+                let e = it
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pat:?}"));
+                chars.push(e);
+                prev = Some(e);
+            }
+            '-' if prev.is_some() && it.peek().is_some_and(|&n| n != ']') => {
+                let hi = it.next().expect("peeked");
+                let lo = prev.take().expect("checked");
+                assert!(lo <= hi, "inverted range {lo}-{hi} in {pat:?}");
+                for x in (lo as u32 + 1)..=(hi as u32) {
+                    chars.extend(char::from_u32(x));
+                }
+            }
+            other => {
+                chars.push(other);
+                prev = Some(other);
+            }
+        }
+    }
+    panic!("unterminated character class in {pat:?}")
+}
+
+fn parse_quantifier(it: &mut core::iter::Peekable<core::str::Chars>, pat: &str) -> (usize, usize) {
+    match it.peek() {
+        Some('{') => {
+            it.next();
+            let mut spec = String::new();
+            for c in it.by_ref() {
+                if c == '}' {
+                    let (lo, hi) = match spec.split_once(',') {
+                        Some((lo, hi)) => (lo, hi),
+                        None => (spec.as_str(), spec.as_str()),
+                    };
+                    let lo: usize = lo.trim().parse().expect("quantifier bound");
+                    let hi: usize = hi.trim().parse().expect("quantifier bound");
+                    assert!(lo <= hi, "inverted quantifier in {pat:?}");
+                    return (lo, hi);
+                }
+                spec.push(c);
+            }
+            panic!("unterminated quantifier in {pat:?}")
+        }
+        Some('?') => {
+            it.next();
+            (0, 1)
+        }
+        Some('*') => {
+            it.next();
+            (0, 16)
+        }
+        Some('+') => {
+            it.next();
+            (1, 16)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges");
+        for _ in 0..500 {
+            let v = (-3i64..=3).new_value(&mut rng);
+            assert!((-3..=3).contains(&v));
+            let u = (10usize..20).new_value(&mut rng);
+            assert!((10..20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::deterministic("vec");
+        let s = crate::collection::vec(0u64..10, 2..5);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let fixed = crate::collection::vec(0u64..10, 7usize);
+        assert_eq!(fixed.new_value(&mut rng).len(), 7);
+    }
+
+    #[test]
+    fn string_patterns_draw_from_their_classes() {
+        let mut rng = TestRng::deterministic("string");
+        let pat = "[a-c0-1\\]]{0,6}";
+        for _ in 0..200 {
+            let s = pat.new_value(&mut rng);
+            assert!(s.len() <= 6, "{s:?}");
+            assert!(
+                s.chars().all(|c| "abc01]".contains(c)),
+                "{s:?} escaped its class"
+            );
+        }
+        let lit = "ab{2}c?".new_value(&mut rng);
+        assert!(lit == "abbc" || lit == "abb", "{lit:?}");
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::deterministic("map");
+        let s = (0i64..5, 0i64..5).prop_map(|(a, b)| a * 10 + b);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((0..45).contains(&v));
+        }
+    }
+}

@@ -69,11 +69,7 @@ pub fn dunnington() -> Machine {
 pub fn dunnington_scaled(n_sockets: usize) -> Machine {
     assert!(n_sockets > 0, "need at least one socket");
     // ~50ns off-chip at 2.4GHz = 120 cycles.
-    let mut b = Machine::builder(
-        &format!("Dunnington-{}c", n_sockets * 6),
-        2.4,
-        120,
-    );
+    let mut b = Machine::builder(&format!("Dunnington-{}c", n_sockets * 6), 2.4, 120);
     let l1 = CacheParams::new(32 * KB, 8, 64, 4);
     let l2 = CacheParams::new(3 * MB, 12, 64, 10);
     let l3 = CacheParams::new(12 * MB, 16, 64, 36); // paper: 32-40 cycles

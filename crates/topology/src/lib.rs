@@ -33,6 +33,9 @@
 //! assert_eq!(dun.affinity_level(0.into(), 6.into()), None);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod catalog;
 mod machine;
 mod params;

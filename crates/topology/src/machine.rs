@@ -173,10 +173,13 @@ impl Machine {
     pub fn affinity_level(&self, a: CoreId, b: CoreId) -> Option<u8> {
         if a == b {
             // A core trivially has affinity with itself at its private L1.
-            return self.lookup_path(a).first().and_then(|&n| match self.kind(n) {
-                NodeKind::Cache { level, .. } => Some(level),
-                _ => None,
-            });
+            return self
+                .lookup_path(a)
+                .first()
+                .and_then(|&n| match self.kind(n) {
+                    NodeKind::Cache { level, .. } => Some(level),
+                    _ => None,
+                });
         }
         let path_b: Vec<NodeId> = self.lookup_path(b);
         for n in self.lookup_path(a) {
@@ -376,10 +379,7 @@ impl Machine {
             let NodeKind::Cache { params, .. } = self.kind(caches[0]) else {
                 unreachable!("caches_at returns cache nodes");
             };
-            let widths: Vec<usize> = caches
-                .iter()
-                .map(|&c| self.cores_under(c).len())
-                .collect();
+            let widths: Vec<usize> = caches.iter().map(|&c| self.cores_under(c).len()).collect();
             let sharing = if widths.iter().all(|&w| w == 1) {
                 "private".to_owned()
             } else {

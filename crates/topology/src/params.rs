@@ -31,11 +31,14 @@ impl CacheParams {
     /// and `size_bytes` is a positive multiple of
     /// `associativity * line_bytes` (so the set count is integral).
     pub fn new(size_bytes: u64, associativity: u32, line_bytes: u32, latency: u32) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(associativity >= 1, "associativity must be at least 1");
         let way_bytes = u64::from(associativity) * u64::from(line_bytes);
         assert!(
-            size_bytes > 0 && size_bytes % way_bytes == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(way_bytes),
             "cache size {size_bytes} is not a multiple of assoc*line = {way_bytes}"
         );
         Self {
@@ -101,7 +104,7 @@ impl CacheParams {
 
 impl fmt::Display for CacheParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let size = if self.size_bytes % crate::MB == 0 {
+        let size = if self.size_bytes.is_multiple_of(crate::MB) {
             format!("{}MB", self.size_bytes / crate::MB)
         } else {
             format!("{}KB", self.size_bytes / crate::KB)

@@ -281,10 +281,8 @@ mod tests {
 
     #[test]
     fn harpertown_two_level_spec() {
-        let m = parse_machine(
-            "Harpertown 3.2GHz 320c: 4x[L2 6M 24w 15c: 2x[L1 32K 8w 3c]]",
-        )
-        .unwrap();
+        let m =
+            parse_machine("Harpertown 3.2GHz 320c: 4x[L2 6M 24w 15c: 2x[L1 32K 8w 3c]]").unwrap();
         assert_eq!(m.n_cores(), 8);
         assert_eq!(m.levels(), vec![1, 2]);
     }
@@ -292,8 +290,7 @@ mod tests {
     #[test]
     fn custom_line_size() {
         let m = parse_machine("w 1.0GHz 100c: 1x[L1 32K 8w 3c 128b]").unwrap();
-        let crate::machine::NodeKind::Cache { params, .. } = m.kind(m.caches_at(1)[0])
-        else {
+        let crate::machine::NodeKind::Cache { params, .. } = m.kind(m.caches_at(1)[0]) else {
             panic!("expected a cache");
         };
         assert_eq!(params.line_bytes(), 128);

@@ -1,0 +1,56 @@
+//! # ctam-verify — static verification of CTAM mappings and schedules
+//!
+//! The pipeline of [`ctam`] turns a loop nest and a cache topology into a
+//! barrier-structured [`ctam::Schedule`]. This crate checks, *statically*,
+//! that such a schedule upholds the invariants the paper's correctness
+//! argument rests on, and reports violations as coded, severity-ranked
+//! [`Diagnostic`]s rather than panics:
+//!
+//! | code | name | severity | invariant |
+//! |------|------|----------|-----------|
+//! | `CTAM-E001` | `IterationUnmapped` | error | every mapping unit is scheduled (Section 3.3) |
+//! | `CTAM-E002` | `IterationDoubleMapped` | error | no unit is scheduled twice (Section 3.3) |
+//! | `CTAM-E003` | `DependenceViolation` | error | dependence edges cross a barrier or same-core order (Section 3.5.3) |
+//! | `CTAM-E004` | `RaceOnBlock` | error | no cross-core same-round conflicting element access |
+//! | `CTAM-W101` | `BalanceThresholdExceeded` | warning | per-core load within the Figure 6 threshold |
+//! | `CTAM-W102` | `DegreeMismatch` | warning | schedule fan-out matches the machine's core count |
+//! | `CTAM-W103` | `TagMismatch` | warning | stored group tags cover recomputed block footprints |
+//! | `CTAM-W201` | `SubscriptOutOfBounds` | warning | affine subscripts stay inside declared array extents |
+//! | `CTAM-W202` | `NonAffineSubscript` | warning | subscripts are affine (exact dependence model) |
+//!
+//! The checking engine lives in [`ctam::verify`] (the pipeline calls it when
+//! [`ctam::CtamParams::verify`] is set); this crate re-exports it and adds
+//! the program-level [`report`] layer used by tools and CI.
+//!
+//! # Example
+//!
+//! ```
+//! use ctam::pipeline::{map_nest, CtamParams, Strategy};
+//! use ctam_verify::{is_clean, verify_mapping};
+//! use ctam_loopir::{ArrayRef, LoopNest, Program};
+//! use ctam_poly::{AffineMap, IntegerSet};
+//! use ctam_topology::catalog;
+//!
+//! let mut program = Program::new("quickstart");
+//! let a = program.add_array("A", &[1024], 8);
+//! let domain = IntegerSet::builder(1).bounds(0, 0, 1023).build();
+//! let nest = program.add_nest(
+//!     LoopNest::new("touch", domain).with_ref(ArrayRef::read(a, AffineMap::identity(1))),
+//! );
+//! let machine = catalog::dunnington();
+//! let mapping =
+//!     map_nest(&program, nest, &machine, Strategy::Combined, &CtamParams::default()).unwrap();
+//! let diags = verify_mapping(&program, &machine, &mapping, &mapping.schedule);
+//! assert!(is_clean(&diags));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use ctam::verify::{
+    is_clean, render_json, verify_mapping, verify_mapping_with, Code, Diagnostic, Severity,
+    VerifyOptions,
+};
+pub use report::{verify_evaluation, NestReport, VerificationReport};

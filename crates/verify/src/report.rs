@@ -1,0 +1,175 @@
+//! Program-level verification reports.
+//!
+//! [`verify_mapping`](crate::verify_mapping) checks one nest's mapping;
+//! this module aggregates those checks over every mapping of an
+//! [`EvalResult`] and renders the findings for humans (via [`fmt::Display`])
+//! or machines (via [`VerificationReport::to_json`]).
+
+use std::fmt;
+
+use ctam::pipeline::EvalResult;
+use ctam::verify::{self, Diagnostic, Severity, VerifyOptions};
+use ctam_loopir::Program;
+use ctam_topology::Machine;
+
+/// The verifier's findings for one nest of a program.
+#[derive(Debug, Clone)]
+pub struct NestReport {
+    /// Index of the nest within the program.
+    pub nest: usize,
+    /// Diagnostics for this nest's mapping, errors first.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl NestReport {
+    /// `true` when no error-severity diagnostic was found for this nest.
+    pub fn is_clean(&self) -> bool {
+        verify::is_clean(&self.diagnostics)
+    }
+}
+
+/// Aggregated verification findings for every nest of an evaluated program.
+#[derive(Debug, Clone)]
+pub struct VerificationReport {
+    /// Per-nest findings, in nest order.
+    pub nests: Vec<NestReport>,
+}
+
+impl VerificationReport {
+    /// `true` when no nest produced an error-severity diagnostic.
+    pub fn is_clean(&self) -> bool {
+        self.nests.iter().all(NestReport::is_clean)
+    }
+
+    /// Total number of error-severity diagnostics across all nests.
+    pub fn n_errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Total number of warning-severity diagnostics across all nests.
+    pub fn n_warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    fn count(&self, sev: Severity) -> usize {
+        self.nests
+            .iter()
+            .flat_map(|n| n.diagnostics.iter())
+            .filter(|d| d.severity() == sev)
+            .count()
+    }
+
+    /// Renders the report as a JSON array of per-nest objects
+    /// (`{"nest": n, "diagnostics": [...]}`), using the same hand-rolled
+    /// encoding as [`Diagnostic::to_json`].
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, n) in self.nests.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"nest\":{},\"diagnostics\":{}}}",
+                n.nest,
+                verify::render_json(&n.diagnostics)
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
+impl fmt::Display for VerificationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() && self.n_warnings() == 0 {
+            return write!(
+                f,
+                "verification clean: {} nest(s), no findings",
+                self.nests.len()
+            );
+        }
+        writeln!(
+            f,
+            "verification: {} error(s), {} warning(s) across {} nest(s)",
+            self.n_errors(),
+            self.n_warnings(),
+            self.nests.len()
+        )?;
+        let mut first = true;
+        for n in &self.nests {
+            for d in &n.diagnostics {
+                if !first {
+                    writeln!(f)?;
+                }
+                first = false;
+                write!(f, "  {d}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Verifies every nest mapping of an [`EvalResult`] against the machine it
+/// was evaluated on.
+///
+/// This is the post-hoc form of [`ctam::CtamParams::verify`]: instead of
+/// aborting the pipeline on the first bad nest, it collects all findings
+/// into one report.
+pub fn verify_evaluation(
+    program: &Program,
+    machine: &Machine,
+    result: &EvalResult,
+) -> VerificationReport {
+    let options = VerifyOptions::default();
+    let nests = result
+        .mappings
+        .iter()
+        .map(|m| NestReport {
+            nest: m.space.nest().index(),
+            diagnostics: verify::verify_mapping_with(program, machine, m, &m.schedule, &options),
+        })
+        .collect();
+    VerificationReport { nests }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam::pipeline::{evaluate, CtamParams, Strategy};
+    use ctam_loopir::{ArrayRef, LoopNest};
+    use ctam_poly::{AffineMap, IntegerSet};
+    use ctam_topology::catalog;
+
+    #[test]
+    fn clean_evaluation_yields_clean_report() {
+        let mut p = Program::new("two-nests");
+        let a = p.add_array("A", &[512], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 511).build();
+        p.add_nest(
+            LoopNest::new("first", d.clone()).with_ref(ArrayRef::write(a, AffineMap::identity(1))),
+        );
+        p.add_nest(LoopNest::new("second", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
+        let m = catalog::dunnington();
+        let r = evaluate(&p, &m, Strategy::Combined, &CtamParams::default()).unwrap();
+        let report = verify_evaluation(&p, &m, &r);
+        assert_eq!(report.nests.len(), 2);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.to_json().starts_with("[{\"nest\":0,"));
+    }
+
+    #[test]
+    fn degree_mismatch_surfaces_in_report() {
+        let mut p = Program::new("one-nest");
+        let a = p.add_array("A", &[256], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 255).build();
+        p.add_nest(LoopNest::new("touch", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
+        let m = catalog::dunnington();
+        let r = evaluate(&p, &m, Strategy::Base, &CtamParams::default()).unwrap();
+        // Verify against a machine with a different core count: warning-only.
+        let other = catalog::harpertown();
+        let report = verify_evaluation(&p, &other, &r);
+        assert!(report.is_clean());
+        assert!(report.n_warnings() >= 1, "{report}");
+        assert!(format!("{report}").contains("CTAM-W102"));
+    }
+}

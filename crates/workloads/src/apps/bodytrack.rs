@@ -62,7 +62,11 @@ pub fn build(size: SizeClass) -> Workload {
         .with_ref(ArrayRef::read(poses, id1()))
         .with_ref(ArrayRef::write(weights, id1()));
     for k in 0..K {
-        nest = nest.with_ref(ArrayRef::new(image, gather1(K, k, &table), AccessKind::Read));
+        nest = nest.with_ref(ArrayRef::new(
+            image,
+            gather1(K, k, &table),
+            AccessKind::Read,
+        ));
     }
     p.add_nest(nest);
 

@@ -118,6 +118,9 @@ mod tests {
         };
         let a = node_of(10);
         let b = node_of(10 + per_color);
-        assert!((a - b).abs() <= 2 * 48 + 8, "expected nearby gathers: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 2 * 48 + 8,
+            "expected nearby gathers: {a} vs {b}"
+        );
     }
 }

@@ -59,8 +59,7 @@ pub fn build(size: SizeClass) -> Workload {
         .names(["txn"])
         .bounds(0, 0, transactions as i64 - 1)
         .build();
-    let mut nest =
-        LoopNest::new("fp_walk", domain).with_ref(ArrayRef::write(counts, id1()));
+    let mut nest = LoopNest::new("fp_walk", domain).with_ref(ArrayRef::write(counts, id1()));
     for k in 0..K {
         nest = nest.with_ref(ArrayRef::new(tree, gather1(K, k, &table), AccessKind::Read));
     }

@@ -69,10 +69,12 @@ pub fn build(size: SizeClass) -> Workload {
         .iter()
         .flat_map(|&mb| {
             let mb = mb as i64;
-            [0i64, -1, 1, -(MB_PER_ROW as i64)].into_iter().map(move |d| {
-                let target = (mb + d).clamp(0, n_mb as i64 - 1) as u64;
-                target * MB_ELEMS
-            })
+            [0i64, -1, 1, -(MB_PER_ROW as i64)]
+                .into_iter()
+                .map(move |d| {
+                    let target = (mb + d).clamp(0, n_mb as i64 - 1) as u64;
+                    target * MB_ELEMS
+                })
         })
         .collect::<Vec<u64>>()
         .into();
@@ -150,7 +152,10 @@ mod tests {
         let pos_of = |mb: u64| order.iter().position(|&x| x == mb).unwrap() as i64;
         let mid = 12 * MB_PER_ROW + 20; // safely interior
         let gap = (pos_of(mid + 1) - pos_of(mid)).abs();
-        assert!(gap > 5, "wavefront should separate raster neighbours: {gap}");
+        assert!(
+            gap > 5,
+            "wavefront should separate raster neighbours: {gap}"
+        );
     }
 
     #[test]

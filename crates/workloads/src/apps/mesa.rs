@@ -69,12 +69,19 @@ pub fn build(size: SizeClass) -> Workload {
         .names(["tri"])
         .bounds(0, 0, triangles as i64 - 1)
         .build();
-    let mut nest =
-        LoopNest::new("rasterize", domain).with_ref(ArrayRef::write(span, id1()));
+    let mut nest = LoopNest::new("rasterize", domain).with_ref(ArrayRef::write(span, id1()));
     for k in 0..PIX {
         nest = nest
-            .with_ref(ArrayRef::new(z, gather1(PIX, k, &pix_table), AccessKind::Read))
-            .with_ref(ArrayRef::new(fb, gather1(PIX, k, &pix_table), AccessKind::Write));
+            .with_ref(ArrayRef::new(
+                z,
+                gather1(PIX, k, &pix_table),
+                AccessKind::Read,
+            ))
+            .with_ref(ArrayRef::new(
+                fb,
+                gather1(PIX, k, &pix_table),
+                AccessKind::Write,
+            ));
     }
     for k in 0..TEX {
         nest = nest.with_ref(ArrayRef::new(

@@ -28,16 +28,14 @@ pub fn build(size: SizeClass) -> Workload {
 
     let mut rng = rng_for("povray");
     // One row of rays shares a scene region (geometry coherence).
-    let table: Arc<[u64]> =
-        region_table(h * w, w, K, 1024, scene_elems, &mut rng).into();
+    let table: Arc<[u64]> = region_table(h * w, w, K, 1024, scene_elems, &mut rng).into();
 
     let domain = IntegerSet::builder(2)
         .names(["y", "x"])
         .bounds(0, 0, h as i64 - 1)
         .bounds(1, 0, w as i64 - 1)
         .build();
-    let mut nest =
-        LoopNest::new("trace", domain).with_ref(ArrayRef::write(fb, shift2(0, 0)));
+    let mut nest = LoopNest::new("trace", domain).with_ref(ArrayRef::write(fb, shift2(0, 0)));
     for k in 0..K {
         nest = nest.with_ref(ArrayRef::new(
             scene,

@@ -25,6 +25,9 @@
 //! assert!(galgel.program.nests().count() >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 mod apps;
 mod registry;
 pub mod util;

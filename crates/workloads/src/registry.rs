@@ -90,9 +90,8 @@ pub fn by_name(name: &str, size: SizeClass) -> Option<Workload> {
 
 /// Renders a Table 2-style listing of the suite.
 pub fn table2(size: SizeClass) -> String {
-    let mut out = String::from(
-        "Table 2: applications (name, suite, input kind, data size, iterations)\n",
-    );
+    let mut out =
+        String::from("Table 2: applications (name, suite, input kind, data size, iterations)\n");
     for w in all(size) {
         out.push_str(&format!(
             "  {:<10} {:<9} {:<10} {:>8} KB {:>8} iters — {}\n",

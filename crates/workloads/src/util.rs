@@ -55,7 +55,10 @@ pub fn region_table(
     universe: u64,
     rng: &mut SmallRng,
 ) -> Vec<u64> {
-    assert!(per_region > 0 && region_size > 0, "regions must be non-empty");
+    assert!(
+        per_region > 0 && region_size > 0,
+        "regions must be non-empty"
+    );
     let n_regions = universe.div_ceil(region_size);
     let mut out = Vec::with_capacity(n_iters as usize * k);
     for i in 0..n_iters {

@@ -77,8 +77,14 @@ fn per_iteration_footprints_are_modest() {
 fn data_sizes_span_the_cache_spectrum() {
     // The suite should include both sub-L2 and multi-L2-sized footprints so
     // the sharing effects have room to appear at several levels.
-    let sizes: Vec<u64> = all(SizeClass::Small).iter().map(|w| w.data_bytes()).collect();
-    assert!(sizes.iter().any(|&s| s < 1024 * 1024), "need a small-footprint app");
+    let sizes: Vec<u64> = all(SizeClass::Small)
+        .iter()
+        .map(|w| w.data_bytes())
+        .collect();
+    assert!(
+        sizes.iter().any(|&s| s < 1024 * 1024),
+        "need a small-footprint app"
+    );
     assert!(
         sizes.iter().any(|&s| s > 3 * 1024 * 1024 / 2),
         "need a multi-MB-footprint app"

@@ -36,8 +36,11 @@ fn main() -> Result<(), ctam::pipeline::CtamError> {
     println!();
     for (v, tuned) in machines.iter().enumerate() {
         print!("{:<22}", format!("{} version", tuned.name()));
-        for h in 0..machines.len() {
-            let best = (0..machines.len()).map(|x| cycles[x][h]).min().expect("3 versions");
+        for (h, _) in machines.iter().enumerate() {
+            let best = (0..machines.len())
+                .map(|x| cycles[x][h])
+                .min()
+                .expect("3 versions");
             print!("{:>14.3}", cycles[v][h] as f64 / best as f64);
         }
         println!();

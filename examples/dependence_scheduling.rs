@@ -27,8 +27,12 @@ fn main() {
         .names(["j"])
         .bounds(0, 2 * k, m - 2 * k)
         .build();
-    let sub =
-        |off: i64| AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, off)]);
+    let sub = |off: i64| {
+        AffineMap::new(
+            1,
+            vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, off)],
+        )
+    };
     let nest = program.add_nest(
         LoopNest::new("fig5", domain)
             .with_ref(ArrayRef::write(b, sub(0)))
@@ -46,7 +50,11 @@ fn main() {
     let space = IterationSpace::build(&program, nest);
     let blocks = BlockMap::new(&program, 256);
     let groups = group_iterations(&space, &blocks);
-    println!("\n{} iteration groups over {} blocks", groups.len(), blocks.n_blocks());
+    println!(
+        "\n{} iteration groups over {} blocks",
+        groups.len(),
+        blocks.n_blocks()
+    );
     for g in groups.iter().take(4) {
         println!("  {:?} with {} iterations", g.tag(), g.size());
     }
@@ -57,9 +65,14 @@ fn main() {
     let assignment = distribute(groups, &machine, 0.10);
     let flat = flatten_assignment(&assignment);
     let graph = GroupDepGraph::build(&flat, &space, &dep);
-    println!("\ngroup dependence graph: {} nodes, acyclic: {}", graph.len(), graph.is_acyclic());
+    println!(
+        "\ngroup dependence graph: {} nodes, acyclic: {}",
+        graph.len(),
+        graph.is_acyclic()
+    );
 
-    let schedule = schedule_local(assignment, &machine, &graph, ScheduleWeights::default());
+    let schedule = schedule_local(assignment, &machine, &graph, ScheduleWeights::default())
+        .expect("acyclic condensed graph schedules");
     println!(
         "schedule: {} rounds ({} barriers) across {} cores",
         schedule.n_rounds(),

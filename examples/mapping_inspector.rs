@@ -16,15 +16,16 @@ use ctam_workloads::{by_name, SizeClass};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "povray".into());
-    let w = by_name(&name, SizeClass::Test)
-        .ok_or_else(|| format!("unknown workload '{name}'"))?;
+    let w = by_name(&name, SizeClass::Test).ok_or_else(|| format!("unknown workload '{name}'"))?;
     let machine = catalog::dunnington();
     println!("{} on {}\n", w.name, machine.name());
 
     let (nest, _) = w.program.nests().next().expect("workloads have nests");
     let dep = dependence::analyze(&w.program, nest);
     let depth = w.program.nest(nest).depth();
-    let prefix = dep.outermost_parallel().map_or(depth, |l| (l + 1).min(depth));
+    let prefix = dep
+        .outermost_parallel()
+        .map_or(depth, |l| (l + 1).min(depth));
     let space = IterationSpace::build_units(&w.program, nest, prefix);
     let blocks = BlockMap::new(&w.program, 2048);
     let groups = group_iterations(&space, &blocks);
@@ -38,8 +39,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Static view: Base's contiguous chunks vs topology-aware distribution.
     let base = ctam::baselines::base_assignment(&space, &blocks, machine.n_cores());
     let topo = distribute(groups, &machine, 0.10);
-    println!("\nBase chunks:\n{}", MappingMetrics::compute(&base, &machine));
-    println!("TopologyAware:\n{}", MappingMetrics::compute(&topo, &machine));
+    println!(
+        "\nBase chunks:\n{}",
+        MappingMetrics::compute(&base, &machine)
+    );
+    println!(
+        "TopologyAware:\n{}",
+        MappingMetrics::compute(&topo, &machine)
+    );
 
     // Dynamic view: the simulated outcome.
     let params = CtamParams::default();
@@ -66,8 +73,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         for &u in g.iterations() {
                             for &i in mapping.space.unit_members(u as usize) {
                                 for a in mapping.space.accesses(i as usize) {
-                                    per_core[c]
-                                        .push(w.program.address_of(a.array, a.element) / 64);
+                                    per_core[c].push(w.program.address_of(a.array, a.element) / 64);
                                 }
                             }
                         }

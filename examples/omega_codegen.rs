@@ -10,9 +10,7 @@ use ctam::cluster::distribute;
 use ctam::group::group_iterations;
 use ctam::space::IterationSpace;
 use ctam_loopir::{ArrayRef, LoopNest, Program};
-use ctam_poly::{
-    generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, IntegerSet,
-};
+use ctam_poly::{generate_loop_nest, AffineExpr, AffineMap, CodegenOptions, IntegerSet};
 use ctam_topology::{CacheParams, Machine, NodeId, KB, MB};
 
 fn main() {

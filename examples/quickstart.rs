@@ -53,7 +53,10 @@ fn main() -> Result<(), ctam::pipeline::CtamError> {
         Strategy::Combined,
     ] {
         let r = evaluate(&program, &machine, strategy, &params)?;
-        let l1 = r.report.level_stats(1).map_or(0.0, |s| s.miss_rate() * 100.0);
+        let l1 = r
+            .report
+            .level_stats(1)
+            .map_or(0.0, |s| s.miss_rate() * 100.0);
         println!(
             "{:<14} {:>8}    {:>6.3}   {:>7.1}  {:>7}",
             strategy.name(),

@@ -14,6 +14,9 @@
 //! * [`ctam_loopir`] — loop-nest IR and dependence analysis.
 //! * [`ctam_workloads`] — the twelve applications of the paper's evaluation.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use ctam;
 pub use ctam_cachesim;
 pub use ctam_loopir;

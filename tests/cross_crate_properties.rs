@@ -18,18 +18,18 @@ use proptest::prelude::*;
 /// random constant offsets plus an optional gather.
 fn arb_program() -> impl Strategy<Value = Program> {
     (
-        16u64..200,                                  // iterations
-        proptest::collection::vec(-8i64..=8, 1..4),  // read offsets
-        prop::bool::ANY,                             // include a gather?
-        proptest::collection::vec(0u64..512, 16),    // gather table seed
+        16u64..200,                                 // iterations
+        proptest::collection::vec(-8i64..=8, 1..4), // read offsets
+        prop::bool::ANY,                            // include a gather?
+        proptest::collection::vec(0u64..512, 16),   // gather table seed
     )
         .prop_map(|(n, offsets, gather, table)| {
             let mut p = Program::new("prop");
             let a = p.add_array("A", &[n + 16], 8);
             let out = p.add_array("OUT", &[n], 8);
             let d = IntegerSet::builder(1).bounds(0, 0, n as i64 - 1).build();
-            let mut nest = LoopNest::new("n", d)
-                .with_ref(ArrayRef::write(out, AffineMap::identity(1)));
+            let mut nest =
+                LoopNest::new("n", d).with_ref(ArrayRef::write(out, AffineMap::identity(1)));
             for off in offsets {
                 nest = nest.with_ref(ArrayRef::read(
                     a,
@@ -109,7 +109,7 @@ proptest! {
         let flat = flatten_assignment(&a);
         let graph = GroupDepGraph::build(&flat, &space, &dep);
         prop_assume!(graph.is_acyclic());
-        let sched = schedule_local(a, &machine, &graph, ScheduleWeights::default());
+        let sched = schedule_local(a, &machine, &graph, ScheduleWeights::default()).unwrap();
 
         // Map each group (by first unit) to its round; every edge must not
         // point backwards in round order when it crosses cores, and within

@@ -58,8 +58,7 @@ fn native_version_beats_ported_versions_on_average() {
         let natives: Vec<f64> = suite
             .iter()
             .map(|w| {
-                evaluate_cycles(&w.program, host, Strategy::TopologyAware, &params).unwrap()
-                    as f64
+                evaluate_cycles(&w.program, host, Strategy::TopologyAware, &params).unwrap() as f64
             })
             .collect();
         for tuned in &machines {
@@ -70,15 +69,10 @@ fn native_version_beats_ported_versions_on_average() {
                 .iter()
                 .zip(&natives)
                 .map(|(w, &native)| {
-                    let ported = evaluate_ported(
-                        &w.program,
-                        tuned,
-                        host,
-                        Strategy::TopologyAware,
-                        &params,
-                    )
-                    .unwrap()
-                    .cycles() as f64;
+                    let ported =
+                        evaluate_ported(&w.program, tuned, host, Strategy::TopologyAware, &params)
+                            .unwrap()
+                            .cycles() as f64;
                     ported / native
                 })
                 .collect();
@@ -150,7 +144,10 @@ fn smaller_caches_amplify_the_gains() {
         g_halved <= g_full + 0.05,
         "halved caches should not materially shrink the win: {g_halved:.3} vs {g_full:.3}"
     );
-    assert!(g_halved < 0.9, "the win must stay large on small caches: {g_halved:.3}");
+    assert!(
+        g_halved < 0.9,
+        "the win must stay large on small caches: {g_halved:.3}"
+    );
 }
 
 #[test]
@@ -165,8 +162,7 @@ fn optimal_is_at_least_as_good_as_the_heuristic() {
             block_bytes: Some(block),
             ..CtamParams::default()
         };
-        let topo =
-            evaluate_cycles(&w.program, &m, Strategy::TopologyAware, &params).unwrap();
+        let topo = evaluate_cycles(&w.program, &m, Strategy::TopologyAware, &params).unwrap();
         let opt = evaluate_cycles(&w.program, &m, Strategy::Optimal, &params).unwrap();
         assert!(opt <= topo, "{name}: optimal {opt} vs heuristic {topo}");
     }

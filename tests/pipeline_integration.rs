@@ -70,8 +70,7 @@ fn porting_preserves_accesses_across_core_counts() {
     let harp = catalog::harpertown();
     for name in ["applu", "bodytrack"] {
         let w = by_name(name, SizeClass::Test).unwrap();
-        let r = evaluate_ported(&w.program, &dun, &harp, Strategy::TopologyAware, &params)
-            .unwrap();
+        let r = evaluate_ported(&w.program, &dun, &harp, Strategy::TopologyAware, &params).unwrap();
         assert_eq!(r.report.n_accesses(), expected_accesses(&w), "{name}");
         assert_eq!(r.report.per_core_cycles().len(), 8);
     }
@@ -85,8 +84,7 @@ fn mapper_views_run_on_the_full_machine() {
     let full = catalog::arch_i();
     let view = full.truncated(2);
     let w = by_name("cg", SizeClass::Test).unwrap();
-    let r = evaluate_ported(&w.program, &view, &full, Strategy::TopologyAware, &params)
-        .unwrap();
+    let r = evaluate_ported(&w.program, &view, &full, Strategy::TopologyAware, &params).unwrap();
     assert_eq!(r.report.n_accesses(), expected_accesses(&w));
 }
 
@@ -124,6 +122,11 @@ fn deeper_and_scaled_machines_work() {
     ] {
         let r = evaluate(&w.program, &machine, Strategy::TopologyAware, &params)
             .unwrap_or_else(|e| panic!("{}: {e}", machine.name()));
-        assert_eq!(r.report.n_accesses(), expected_accesses(&w), "{}", machine.name());
+        assert_eq!(
+            r.report.n_accesses(),
+            expected_accesses(&w),
+            "{}",
+            machine.name()
+        );
     }
 }
