@@ -9,6 +9,10 @@
 //!   *hierarchy* matters, not just grouping);
 //! * `no-balance` — a huge balance threshold (tests the load balancer);
 //! * `coarse-tags` — 16KB blocks instead of 2KB (tests tag resolution).
+//!
+//! The pipeline-backed variants go through the parallel engine
+//! (`CTAM_JOBS` workers); the bespoke `flat` variant fans over
+//! [`ctam_bench::parallel_map`], which preserves application order.
 
 use ctam::blocks::BlockMap;
 use ctam::cluster::{partition_groups, Assignment};
@@ -17,6 +21,7 @@ use ctam::group::group_iterations;
 use ctam::pipeline::{append_schedule_trace, map_nest, CtamParams, NestMapping, Strategy};
 use ctam::schedule::schedule_dependence_only;
 use ctam::space::IterationSpace;
+use ctam_bench::{parallel_map, Cell};
 use ctam_cachesim::trace::MulticoreTrace;
 use ctam_cachesim::Simulator;
 use ctam_loopir::dependence;
@@ -65,8 +70,46 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
 
 fn main() {
     let size = ctam_bench::runner::size_from_env();
+    let engine = ctam_bench::Engine::from_env();
     let machine = catalog::dunnington();
     let sim = Simulator::new(&machine);
+    let apps = all(size);
+    let defaults = CtamParams::default();
+    let no_balance_p = CtamParams {
+        balance_threshold: 10.0,
+        ..CtamParams::default()
+    };
+    let coarse_p = CtamParams {
+        block_bytes: Some(16 * 1024),
+        ..CtamParams::default()
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &apps {
+        cells.push(Cell::native(w, &machine, Strategy::Base, &defaults));
+        cells.push(Cell::native(
+            w,
+            &machine,
+            Strategy::TopologyAware,
+            &defaults,
+        ));
+        cells.push(Cell::native(
+            w,
+            &machine,
+            Strategy::TopologyAware,
+            &no_balance_p,
+        ));
+        cells.push(Cell::native(
+            w,
+            &machine,
+            Strategy::TopologyAware,
+            &coarse_p,
+        ));
+    }
+    engine.prefetch(&cells);
+    let flats = parallel_map(engine.jobs(), &apps, |w| {
+        flat_cycles(w, &sim, machine.n_cores())
+    });
+
     let mut fig = ctam_bench::FigureData::new(
         "Ablation (Dunnington)",
         "cycles normalized to Base: full algorithm vs ablated variants",
@@ -77,39 +120,27 @@ fn main() {
             "coarse-tags".into(),
         ],
     );
-    for w in all(size) {
+    for (w, &flat) in apps.iter().zip(&flats) {
         let base =
-            ctam_bench::runner::cycles(&w, &machine, Strategy::Base, &CtamParams::default()) as f64;
-        let full = ctam_bench::runner::cycles(
-            &w,
-            &machine,
-            Strategy::TopologyAware,
-            &CtamParams::default(),
-        ) as f64;
-        let flat = flat_cycles(&w, &sim, machine.n_cores());
+            ctam_bench::runner::cycles(&engine, w, &machine, Strategy::Base, &defaults) as f64;
+        let full =
+            ctam_bench::runner::cycles(&engine, w, &machine, Strategy::TopologyAware, &defaults)
+                as f64;
         let flat = if flat == u64::MAX {
             f64::NAN
         } else {
             flat as f64
         };
         let no_balance = ctam_bench::runner::cycles(
-            &w,
+            &engine,
+            w,
             &machine,
             Strategy::TopologyAware,
-            &CtamParams {
-                balance_threshold: 10.0,
-                ..CtamParams::default()
-            },
+            &no_balance_p,
         ) as f64;
-        let coarse = ctam_bench::runner::cycles(
-            &w,
-            &machine,
-            Strategy::TopologyAware,
-            &CtamParams {
-                block_bytes: Some(16 * 1024),
-                ..CtamParams::default()
-            },
-        ) as f64;
+        let coarse =
+            ctam_bench::runner::cycles(&engine, w, &machine, Strategy::TopologyAware, &coarse_p)
+                as f64;
         fig.push_row(
             w.name,
             vec![full / base, flat / base, no_balance / base, coarse / base],
@@ -117,6 +148,7 @@ fn main() {
     }
     fig.push_geomean();
     println!("{fig}");
+    engine.eprint_timings();
     // Exercise map_nest to keep the public surface covered in this target.
     let w = &all(SizeClass::Test)[0];
     let (nest, _) = w.program.nests().next().unwrap();

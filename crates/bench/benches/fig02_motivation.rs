@@ -1,7 +1,14 @@
 //! Regenerates Figure 2 of the paper. Run with
 //! `cargo bench --bench fig02_motivation`; set `CTAM_SIZE=test|small|reference`
-//! to change the problem size (default: small).
+//! (default: test) for the problem size and `CTAM_JOBS=<n>` (default: all
+//! cores) for the parallel engine's worker count. `--timings` (or
+//! `CTAM_TIMINGS=1`) prints a per-stage/per-cell timing summary to stderr.
 fn main() {
     let size = ctam_bench::runner::size_from_env();
-    println!("{}", ctam_bench::experiments::fig02_motivation(size));
+    let engine = ctam_bench::Engine::from_env();
+    println!(
+        "{}",
+        ctam_bench::experiments::fig02_motivation(&engine, size)
+    );
+    engine.eprint_timings();
 }

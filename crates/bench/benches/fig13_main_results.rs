@@ -1,12 +1,17 @@
 //! Regenerates Figure 13 of the paper (the main results: Base / Base+ /
 //! TopologyAware on Harpertown, Nehalem and Dunnington, all 12 apps).
 //! Run with `cargo bench --bench fig13_main_results`; set
-//! `CTAM_SIZE=test|small|reference` to change the problem size.
+//! `CTAM_SIZE=test|small|reference` (default: test) for the problem size
+//! and `CTAM_JOBS=<n>` (default: all cores) for the parallel engine's
+//! worker count. `--timings` (or `CTAM_TIMINGS=1`) prints a
+//! per-stage/per-cell timing summary to stderr.
 fn main() {
     let size = ctam_bench::runner::size_from_env();
+    let engine = ctam_bench::Engine::from_env();
     println!("{}", ctam_bench::experiments::table1_machines());
     println!("{}", ctam_bench::experiments::table2_apps(size));
-    for fig in ctam_bench::experiments::fig13_main(size) {
+    for fig in ctam_bench::experiments::fig13_main(&engine, size) {
         println!("{fig}");
     }
+    engine.eprint_timings();
 }

@@ -6,6 +6,10 @@
 //! parallelization-only pipeline: enumerate + chunk) against
 //! `TopologyAware` and `Combined` (tagging, clustering, balancing,
 //! scheduling on top), per application.
+//!
+//! Unlike the figure targets, this one deliberately ignores `CTAM_JOBS`:
+//! it times the *pass itself*, single-threaded, which is the quantity the
+//! paper reports.
 
 use std::time::Duration;
 

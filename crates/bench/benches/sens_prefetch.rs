@@ -6,9 +6,14 @@
 //! narrows everyone's miss costs but does not invert the ordering —
 //! topology-aware mapping still wins, because prefetchers cannot fix
 //! cross-core replication or destructive sharing.
+//!
+//! The per-application rows re-simulate traces under a non-default
+//! simulator, so they bypass the engine's cell cache and instead fan over
+//! [`ctam_bench::parallel_map`] (`CTAM_JOBS` workers, output order
+//! preserved).
 
 use ctam::pipeline::{evaluate, CtamParams, Strategy};
-use ctam_bench::FigureData;
+use ctam_bench::{jobs::jobs_from_env, parallel_map, FigureData};
 use ctam_cachesim::{SimOptions, Simulator};
 use ctam_topology::catalog;
 use ctam_workloads::all;
@@ -29,7 +34,8 @@ fn main() {
         "cycles normalized to Base, with the L1 next-line prefetcher on",
         vec!["Base+pf".into(), "TopologyAware+pf".into()],
     );
-    for w in all(size) {
+    let apps = all(size);
+    let rows = parallel_map(jobs_from_env(), &apps, |w| {
         // Rebuild the traces via the pipeline, then re-simulate under the
         // prefetching simulator by replaying each strategy's mapping.
         let run = |strategy: Strategy| -> u64 {
@@ -50,13 +56,13 @@ fn main() {
                 .total_cycles()
         };
         let base = run(Strategy::Base) as f64;
-        fig.push_row(
-            w.name,
-            vec![
-                run(Strategy::BasePlus) as f64 / base,
-                run(Strategy::TopologyAware) as f64 / base,
-            ],
-        );
+        vec![
+            run(Strategy::BasePlus) as f64 / base,
+            run(Strategy::TopologyAware) as f64 / base,
+        ]
+    });
+    for (w, values) in apps.iter().zip(rows) {
+        fig.push_row(w.name, values);
     }
     fig.push_geomean();
     println!("{fig}");

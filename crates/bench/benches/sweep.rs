@@ -1,0 +1,17 @@
+//! The full sweep: every table and figure of the evaluation, in
+//! presentation order, through one shared engine — so cells that several
+//! figures need (Base and TopologyAware on the commercial machines, most
+//! prominently) are evaluated exactly once for the whole run.
+//!
+//! Run with `cargo bench --bench sweep`; set `CTAM_SIZE=test|small|reference`
+//! (default: test) for the problem size and `CTAM_JOBS=<n>` (default: all
+//! cores) for the worker count. Output on stdout is byte-identical across
+//! worker counts — `CTAM_JOBS=4 ... > a; CTAM_JOBS=1 ... > b; diff a b`
+//! is the determinism check CI runs. `--timings` (or `CTAM_TIMINGS=1`)
+//! prints a per-stage/per-cell timing summary to stderr.
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    let engine = ctam_bench::Engine::from_env();
+    print!("{}", ctam_bench::experiments::render_all(&engine, size));
+    engine.eprint_timings();
+}

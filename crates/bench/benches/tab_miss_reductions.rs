@@ -1,7 +1,14 @@
 //! Regenerates miss-reduction table of the paper. Run with
 //! `cargo bench --bench tab_miss_reductions`; set `CTAM_SIZE=test|small|reference`
-//! to change the problem size (default: small).
+//! (default: test) for the problem size and `CTAM_JOBS=<n>` (default: all
+//! cores) for the parallel engine's worker count. `--timings` (or
+//! `CTAM_TIMINGS=1`) prints a per-stage/per-cell timing summary to stderr.
 fn main() {
     let size = ctam_bench::runner::size_from_env();
-    println!("{}", ctam_bench::experiments::tab_miss_reductions(size));
+    let engine = ctam_bench::Engine::from_env();
+    println!(
+        "{}",
+        ctam_bench::experiments::tab_miss_reductions(&engine, size)
+    );
+    engine.eprint_timings();
 }

@@ -6,6 +6,14 @@
 //! *shape* — who wins, by roughly what factor, where the trend goes — is
 //! directly comparable with the paper. See EXPERIMENTS.md for the
 //! side-by-side record.
+//!
+//! Each function takes the [`Engine`] it evaluates on. The pattern is
+//! always the same: enumerate the figure's evaluation cells, hand them to
+//! [`Engine::prefetch`] (which fans them over `CTAM_JOBS` workers and
+//! memoizes — cells shared between figures are evaluated once per engine),
+//! then assemble the rows sequentially from the cache. Assembly order is
+//! fixed, so the rendered figures are byte-identical whatever the worker
+//! count.
 
 use ctam::blocks::BlockMap;
 use ctam::group::group_iterations;
@@ -16,6 +24,7 @@ use ctam_topology::{catalog, Machine};
 use ctam_workloads::{all, by_name, SizeClass, Workload};
 
 use crate::figure::FigureData;
+use crate::jobs::{Cell, Engine};
 use crate::runner::{cycles, geomean, ported_cycles, report};
 
 fn params() -> CtamParams {
@@ -38,10 +47,19 @@ pub fn table2_apps(size: SizeClass) -> String {
 
 /// Figure 2: galgel, specialized per machine, run on every machine;
 /// normalized per host machine to the best version.
-pub fn fig02_motivation(size: SizeClass) -> FigureData {
+pub fn fig02_motivation(engine: &Engine, size: SizeClass) -> FigureData {
     let galgel = by_name("galgel", size).expect("galgel exists");
     let machines = catalog::commercial_machines();
     let p = params();
+    let cells: Vec<Cell> = machines
+        .iter()
+        .flat_map(|tuned| {
+            machines
+                .iter()
+                .map(|host| Cell::ported(&galgel, tuned, host, Strategy::TopologyAware, &p))
+        })
+        .collect();
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 2",
         "galgel: rows = version (tuned for), columns = machine executed on; \
@@ -57,7 +75,9 @@ pub fn fig02_motivation(size: SizeClass) -> FigureData {
         .map(|tuned| {
             machines
                 .iter()
-                .map(|host| ported_cycles(&galgel, tuned, host, Strategy::TopologyAware, &p) as f64)
+                .map(|host| {
+                    ported_cycles(engine, &galgel, tuned, host, Strategy::TopologyAware, &p) as f64
+                })
                 .collect()
         })
         .collect();
@@ -77,9 +97,22 @@ pub fn fig02_motivation(size: SizeClass) -> FigureData {
 
 /// Figure 13: Base / Base+ / TopologyAware on the three machines, all
 /// twelve applications, normalized to Base. One table per machine.
-pub fn fig13_main(size: SizeClass) -> Vec<FigureData> {
+pub fn fig13_main(engine: &Engine, size: SizeClass) -> Vec<FigureData> {
+    let apps = all(size);
+    let machines = catalog::commercial_machines();
     let p = params();
-    catalog::commercial_machines()
+    let cells: Vec<Cell> = machines
+        .iter()
+        .flat_map(|m| {
+            apps.iter().flat_map(|w| {
+                [Strategy::Base, Strategy::BasePlus, Strategy::TopologyAware]
+                    .into_iter()
+                    .map(|s| Cell::native(w, m, s, &p))
+            })
+        })
+        .collect();
+    engine.prefetch(&cells);
+    machines
         .iter()
         .map(|m| {
             let mut fig = FigureData::new(
@@ -87,10 +120,10 @@ pub fn fig13_main(size: SizeClass) -> Vec<FigureData> {
                 "execution cycles normalized to Base (lower is better)",
                 vec!["Base".into(), "Base+".into(), "TopologyAware".into()],
             );
-            for w in all(size) {
-                let base = cycles(&w, m, Strategy::Base, &p) as f64;
-                let plus = cycles(&w, m, Strategy::BasePlus, &p) as f64;
-                let topo = cycles(&w, m, Strategy::TopologyAware, &p) as f64;
+            for w in &apps {
+                let base = cycles(engine, w, m, Strategy::Base, &p) as f64;
+                let plus = cycles(engine, w, m, Strategy::BasePlus, &p) as f64;
+                let topo = cycles(engine, w, m, Strategy::TopologyAware, &p) as f64;
                 fig.push_row(w.name, vec![1.0, plus / base, topo / base]);
             }
             fig.push_geomean();
@@ -101,9 +134,19 @@ pub fn fig13_main(size: SizeClass) -> Vec<FigureData> {
 
 /// Section 4.2 text: L1/L2/L3 miss reductions of TopologyAware over Base
 /// and Base+ on Dunnington (the paper reports 18/39/47% and 16/31/37%).
-pub fn tab_miss_reductions(size: SizeClass) -> FigureData {
+pub fn tab_miss_reductions(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let m = catalog::dunnington();
     let p = params();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .flat_map(|w| {
+            [Strategy::Base, Strategy::BasePlus, Strategy::TopologyAware]
+                .into_iter()
+                .map(|s| Cell::native(w, &m, s, &p))
+        })
+        .collect();
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Miss reductions (Dunnington)",
         "% cache-miss reduction of TopologyAware vs Base and vs Base+, per level",
@@ -123,10 +166,10 @@ pub fn tab_miss_reductions(size: SizeClass) -> FigureData {
             100.0 * (from as f64 - to as f64) / from as f64
         }
     };
-    for w in all(size) {
-        let base = report(&w, &m, Strategy::Base, &p);
-        let plus = report(&w, &m, Strategy::BasePlus, &p);
-        let topo = report(&w, &m, Strategy::TopologyAware, &p);
+    for w in &apps {
+        let base = report(engine, w, &m, Strategy::Base, &p);
+        let plus = report(engine, w, &m, Strategy::BasePlus, &p);
+        let topo = report(engine, w, &m, Strategy::TopologyAware, &p);
         let miss = |r: &ctam_cachesim::SimReport, l: u8| r.level_stats(l).map_or(0, |s| s.misses);
         fig.push_row(
             w.name,
@@ -145,12 +188,29 @@ pub fn tab_miss_reductions(size: SizeClass) -> FigureData {
 
 /// Figure 14: versions tuned for machine X executed on machine Y (all six
 /// cross pairs), normalized to the version tuned for Y on Y.
-pub fn fig14_cross_machine(size: SizeClass) -> FigureData {
+pub fn fig14_cross_machine(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let machines = catalog::commercial_machines();
     let p = params();
     let pairs: Vec<(usize, usize)> = (0..3)
         .flat_map(|host| (0..3).filter(move |&v| v != host).map(move |v| (v, host)))
         .collect();
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &apps {
+        for m in &machines {
+            cells.push(Cell::native(w, m, Strategy::TopologyAware, &p));
+        }
+        for &(v, h) in &pairs {
+            cells.push(Cell::ported(
+                w,
+                &machines[v],
+                &machines[h],
+                Strategy::TopologyAware,
+                &p,
+            ));
+        }
+    }
+    engine.prefetch(&cells);
     let columns = pairs
         .iter()
         .map(|&(v, h)| format!("{}→{}", machines[v].name(), machines[h].name()))
@@ -161,15 +221,22 @@ pub fn fig14_cross_machine(size: SizeClass) -> FigureData {
          higher = porting penalty)",
         columns,
     );
-    for w in all(size) {
+    for w in &apps {
         let native: Vec<f64> = machines
             .iter()
-            .map(|m| cycles(&w, m, Strategy::TopologyAware, &p) as f64)
+            .map(|m| cycles(engine, w, m, Strategy::TopologyAware, &p) as f64)
             .collect();
         let values = pairs
             .iter()
             .map(|&(v, h)| {
-                ported_cycles(&w, &machines[v], &machines[h], Strategy::TopologyAware, &p) as f64
+                ported_cycles(
+                    engine,
+                    w,
+                    &machines[v],
+                    &machines[h],
+                    Strategy::TopologyAware,
+                    &p,
+                ) as f64
                     / native[h]
             })
             .collect();
@@ -182,22 +249,37 @@ pub fn fig14_cross_machine(size: SizeClass) -> FigureData {
 /// Figure 15: global distribution alone (TopologyAware), local
 /// reorganization alone (Local) and Combined, on Dunnington, normalized to
 /// Base.
-pub fn fig15_scheduling(size: SizeClass) -> FigureData {
+pub fn fig15_scheduling(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let m = catalog::dunnington();
     let p = params();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .flat_map(|w| {
+            [
+                Strategy::Base,
+                Strategy::TopologyAware,
+                Strategy::Local,
+                Strategy::Combined,
+            ]
+            .into_iter()
+            .map(|s| Cell::native(w, &m, s, &p))
+        })
+        .collect();
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 15 (Dunnington)",
         "cycles normalized to Base: distribution alone, local scheduling alone, combined",
         vec!["TopologyAware".into(), "Local".into(), "Combined".into()],
     );
-    for w in all(size) {
-        let base = cycles(&w, &m, Strategy::Base, &p) as f64;
+    for w in &apps {
+        let base = cycles(engine, w, &m, Strategy::Base, &p) as f64;
         fig.push_row(
             w.name,
             vec![
-                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base,
-                cycles(&w, &m, Strategy::Local, &p) as f64 / base,
-                cycles(&w, &m, Strategy::Combined, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::TopologyAware, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::Local, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::Combined, &p) as f64 / base,
             ],
         );
     }
@@ -208,32 +290,40 @@ pub fn fig15_scheduling(size: SizeClass) -> FigureData {
 /// Section 4.2 text: α/β sensitivity of the combined scheme (the paper
 /// found equal weights best; too-large β misses shared-cache locality,
 /// too-large α hurts L1 locality).
-pub fn alpha_beta_sensitivity(size: SizeClass) -> FigureData {
+pub fn alpha_beta_sensitivity(engine: &Engine, size: SizeClass) -> FigureData {
     let m = catalog::dunnington();
-    let apps = ["galgel", "applu", "bodytrack", "freqmine"];
+    let apps: Vec<Workload> = ["galgel", "applu", "bodytrack", "freqmine"]
+        .iter()
+        .map(|n| by_name(n, size).expect("known app"))
+        .collect();
     let alphas = [0.0, 0.25, 0.5, 0.75, 1.0];
+    let weighted = |a: f64| CtamParams {
+        weights: ScheduleWeights {
+            alpha: a,
+            beta: 1.0 - a,
+        },
+        ..params()
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &apps {
+        cells.push(Cell::native(w, &m, Strategy::Base, &params()));
+        for &a in &alphas {
+            cells.push(Cell::native(w, &m, Strategy::Combined, &weighted(a)));
+        }
+    }
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "α/β sensitivity (Dunnington)",
         "Combined cycles normalized to Base, per α (β = 1 − α)",
         alphas.iter().map(|a| format!("α={a}")).collect(),
     );
-    for name in apps {
-        let w = by_name(name, size).expect("known app");
-        let base = cycles(&w, &m, Strategy::Base, &params()) as f64;
+    for w in &apps {
+        let base = cycles(engine, w, &m, Strategy::Base, &params()) as f64;
         let values = alphas
             .iter()
-            .map(|&a| {
-                let p = CtamParams {
-                    weights: ScheduleWeights {
-                        alpha: a,
-                        beta: 1.0 - a,
-                    },
-                    ..params()
-                };
-                cycles(&w, &m, Strategy::Combined, &p) as f64 / base
-            })
+            .map(|&a| cycles(engine, w, &m, Strategy::Combined, &weighted(a)) as f64 / base)
             .collect();
-        fig.push_row(name, values);
+        fig.push_row(w.name, values);
     }
     fig.push_geomean();
     fig
@@ -241,25 +331,32 @@ pub fn alpha_beta_sensitivity(size: SizeClass) -> FigureData {
 
 /// Figure 16: sensitivity to the data block size (Dunnington,
 /// TopologyAware normalized to Base).
-pub fn fig16_block_size(size: SizeClass) -> FigureData {
+pub fn fig16_block_size(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let m = catalog::dunnington();
     let sizes = [256u64, 512, 1024, 2048, 4096];
+    let blocked = |b: u64| CtamParams {
+        block_bytes: Some(b),
+        ..params()
+    };
+    let mut cells: Vec<Cell> = Vec::new();
+    for w in &apps {
+        cells.push(Cell::native(w, &m, Strategy::Base, &params()));
+        for &b in &sizes {
+            cells.push(Cell::native(w, &m, Strategy::TopologyAware, &blocked(b)));
+        }
+    }
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 16 (Dunnington)",
         "TopologyAware cycles normalized to Base, per data block size",
         sizes.iter().map(|s| format!("{s}B")).collect(),
     );
-    for w in all(size) {
-        let base = cycles(&w, &m, Strategy::Base, &params()) as f64;
+    for w in &apps {
+        let base = cycles(engine, w, &m, Strategy::Base, &params()) as f64;
         let values = sizes
             .iter()
-            .map(|&b| {
-                let p = CtamParams {
-                    block_bytes: Some(b),
-                    ..params()
-                };
-                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base
-            })
+            .map(|&b| cycles(engine, w, &m, Strategy::TopologyAware, &blocked(b)) as f64 / base)
             .collect();
         fig.push_row(w.name, values);
     }
@@ -269,26 +366,38 @@ pub fn fig16_block_size(size: SizeClass) -> FigureData {
 
 /// Figure 17: core-count scaling — Dunnington grown to 12/18/24 cores
 /// (simulated); average improvement of Base+ and TopologyAware over Base.
-pub fn fig17_core_scaling(size: SizeClass) -> FigureData {
-    let mut fig = FigureData::new(
-        "Figure 17",
-        "% improvement over Base (geomean over apps), per core count",
-        vec!["12 cores".into(), "18 cores".into(), "24 cores".into()],
-    );
+pub fn fig17_core_scaling(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let machines: Vec<Machine> = [2, 3, 4]
         .iter()
         .map(|&s| catalog::dunnington_scaled(s))
         .collect();
     let p = params();
+    let cells: Vec<Cell> = machines
+        .iter()
+        .flat_map(|m| {
+            apps.iter().flat_map(|w| {
+                [Strategy::Base, Strategy::BasePlus, Strategy::TopologyAware]
+                    .into_iter()
+                    .map(|s| Cell::native(w, m, s, &p))
+            })
+        })
+        .collect();
+    engine.prefetch(&cells);
+    let mut fig = FigureData::new(
+        "Figure 17",
+        "% improvement over Base (geomean over apps), per core count",
+        vec!["12 cores".into(), "18 cores".into(), "24 cores".into()],
+    );
     for strategy in [Strategy::BasePlus, Strategy::TopologyAware] {
         let values = machines
             .iter()
             .map(|m| {
-                let ratios: Vec<f64> = all(size)
+                let ratios: Vec<f64> = apps
                     .iter()
                     .map(|w| {
-                        let base = cycles(w, m, Strategy::Base, &p) as f64;
-                        cycles(w, m, strategy, &p) as f64 / base
+                        let base = cycles(engine, w, m, Strategy::Base, &p) as f64;
+                        cycles(engine, w, m, strategy, &p) as f64 / base
                     })
                     .collect();
                 100.0 * (1.0 - geomean(&ratios))
@@ -301,9 +410,21 @@ pub fn fig17_core_scaling(size: SizeClass) -> FigureData {
 
 /// Figure 18: deeper on-chip hierarchies — default Dunnington vs Arch-I vs
 /// Arch-II; TopologyAware improvement over Base.
-pub fn fig18_deep_hierarchies(size: SizeClass) -> FigureData {
+pub fn fig18_deep_hierarchies(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let machines = [catalog::dunnington(), catalog::arch_i(), catalog::arch_ii()];
     let p = params();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .flat_map(|w| {
+            machines.iter().flat_map(|m| {
+                [Strategy::Base, Strategy::TopologyAware]
+                    .into_iter()
+                    .map(|s| Cell::native(w, m, s, &p))
+            })
+        })
+        .collect();
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 18",
         "TopologyAware cycles normalized to Base, per hierarchy depth",
@@ -312,12 +433,12 @@ pub fn fig18_deep_hierarchies(size: SizeClass) -> FigureData {
             .map(|m| format!("{} (L{}max)", m.name(), m.levels().last().unwrap()))
             .collect(),
     );
-    for w in all(size) {
+    for w in &apps {
         let values = machines
             .iter()
             .map(|m| {
-                let base = cycles(&w, m, Strategy::Base, &p) as f64;
-                cycles(&w, m, Strategy::TopologyAware, &p) as f64 / base
+                let base = cycles(engine, w, m, Strategy::Base, &p) as f64;
+                cycles(engine, w, m, Strategy::TopologyAware, &p) as f64 / base
             })
             .collect();
         fig.push_row(w.name, values);
@@ -328,22 +449,37 @@ pub fn fig18_deep_hierarchies(size: SizeClass) -> FigureData {
 
 /// Figure 19: halved cache capacities (Dunnington/halved); Base+,
 /// TopologyAware and Combined normalized to Base.
-pub fn fig19_small_caches(size: SizeClass) -> FigureData {
+pub fn fig19_small_caches(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let m = catalog::dunnington().halved_capacities();
     let p = params();
+    let cells: Vec<Cell> = apps
+        .iter()
+        .flat_map(|w| {
+            [
+                Strategy::Base,
+                Strategy::BasePlus,
+                Strategy::TopologyAware,
+                Strategy::Combined,
+            ]
+            .into_iter()
+            .map(|s| Cell::native(w, &m, s, &p))
+        })
+        .collect();
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 19 (Dunnington, halved caches)",
         "cycles normalized to Base on the halved-capacity machine",
         vec!["Base+".into(), "TopologyAware".into(), "Combined".into()],
     );
-    for w in all(size) {
-        let base = cycles(&w, &m, Strategy::Base, &p) as f64;
+    for w in &apps {
+        let base = cycles(engine, w, &m, Strategy::Base, &p) as f64;
         fig.push_row(
             w.name,
             vec![
-                cycles(&w, &m, Strategy::BasePlus, &p) as f64 / base,
-                cycles(&w, &m, Strategy::TopologyAware, &p) as f64 / base,
-                cycles(&w, &m, Strategy::Combined, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::BasePlus, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::TopologyAware, &p) as f64 / base,
+                cycles(engine, w, &m, Strategy::Combined, &p) as f64 / base,
             ],
         );
     }
@@ -380,10 +516,27 @@ pub fn coarse_block_bytes(w: &Workload, max_groups: usize) -> u64 {
 /// L1+L2+L3 view vs the full four-level hierarchy, compared against the
 /// exact Optimal mapping. Uses coarse blocks so the ILP-scale search is
 /// tractable, exactly as the paper shrank its ILP instances.
-pub fn fig20_levels_and_optimal(size: SizeClass) -> FigureData {
+pub fn fig20_levels_and_optimal(engine: &Engine, size: SizeClass) -> FigureData {
+    let apps = all(size);
     let full = catalog::arch_i();
     let l12 = full.truncated(2);
     let l123 = full.truncated(3);
+    let ps: Vec<CtamParams> = apps
+        .iter()
+        .map(|w| CtamParams {
+            block_bytes: Some(coarse_block_bytes(w, 14)),
+            ..params()
+        })
+        .collect();
+    let mut cells: Vec<Cell> = Vec::new();
+    for (w, p) in apps.iter().zip(&ps) {
+        cells.push(Cell::native(w, &full, Strategy::Base, p));
+        cells.push(Cell::ported(w, &l12, &full, Strategy::TopologyAware, p));
+        cells.push(Cell::ported(w, &l123, &full, Strategy::TopologyAware, p));
+        cells.push(Cell::native(w, &full, Strategy::TopologyAware, p));
+        cells.push(Cell::native(w, &full, Strategy::Optimal, p));
+    }
+    engine.prefetch(&cells);
     let mut fig = FigureData::new(
         "Figure 20 (Arch-I)",
         "cycles normalized to Base: mapper sees L1+L2 / L1+L2+L3 / all levels / Optimal",
@@ -394,28 +547,59 @@ pub fn fig20_levels_and_optimal(size: SizeClass) -> FigureData {
             "Optimal".into(),
         ],
     );
-    for w in all(size) {
-        let p = CtamParams {
-            block_bytes: Some(coarse_block_bytes(&w, 14)),
-            ..params()
-        };
-        let base = cycles(&w, &full, Strategy::Base, &p) as f64;
+    for (w, p) in apps.iter().zip(&ps) {
+        let base = cycles(engine, w, &full, Strategy::Base, p) as f64;
         // Mapper sees the truncated view; execution is on the full machine.
         let view = |mapper: &Machine| {
-            ported_cycles(&w, mapper, &full, Strategy::TopologyAware, &p) as f64 / base
+            ported_cycles(engine, w, mapper, &full, Strategy::TopologyAware, p) as f64 / base
         };
         fig.push_row(
             w.name,
             vec![
                 view(&l12),
                 view(&l123),
-                cycles(&w, &full, Strategy::TopologyAware, &p) as f64 / base,
-                cycles(&w, &full, Strategy::Optimal, &p) as f64 / base,
+                cycles(engine, w, &full, Strategy::TopologyAware, p) as f64 / base,
+                cycles(engine, w, &full, Strategy::Optimal, p) as f64 / base,
             ],
         );
     }
     fig.push_geomean();
     fig
+}
+
+/// Renders the full sweep — every table and figure, in presentation order —
+/// into one string. This is what `cargo bench --bench sweep` prints and
+/// what the parallel-vs-sequential determinism test compares byte for byte.
+pub fn render_all(engine: &Engine, size: SizeClass) -> String {
+    let mut out = String::new();
+    out.push_str(&table1_machines());
+    out.push('\n');
+    out.push_str(&table2_apps(size));
+    out.push('\n');
+    out.push_str(&fig02_motivation(engine, size).to_string());
+    out.push('\n');
+    for fig in fig13_main(engine, size) {
+        out.push_str(&fig.to_string());
+        out.push('\n');
+    }
+    out.push_str(&tab_miss_reductions(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig14_cross_machine(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig15_scheduling(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&alpha_beta_sensitivity(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig16_block_size(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig17_core_scaling(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig18_deep_hierarchies(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig19_small_caches(engine, size).to_string());
+    out.push('\n');
+    out.push_str(&fig20_levels_and_optimal(engine, size).to_string());
+    out
 }
 
 #[cfg(test)]
@@ -437,4 +621,9 @@ mod tests {
         let space = IterationSpace::build(&w.program, id);
         assert!(group_iterations(&space, &bm).len() <= 14);
     }
+
+    // Cross-figure cell sharing and parallel-vs-sequential byte-identity
+    // of the real experiment functions are covered by the (slower)
+    // integration tests in `tests/determinism.rs` — full pipeline
+    // evaluations are too expensive for debug-profile unit tests.
 }

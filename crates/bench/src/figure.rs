@@ -72,6 +72,42 @@ impl FigureData {
     }
 }
 
+/// First line-level difference between two rendered outputs, formatted for
+/// a test failure message: the 1-based line number plus both versions of
+/// the line (or `<missing>` when one side is shorter). `None` when the
+/// strings are identical. The determinism tests use this so a
+/// parallel-vs-sequential mismatch names the first diverging figure line
+/// instead of dumping two multi-kilobyte renders.
+pub fn first_line_diff(a: &str, b: &str) -> Option<String> {
+    if a == b {
+        return None;
+    }
+    let mut la = a.lines();
+    let mut lb = b.lines();
+    let mut n = 0usize;
+    loop {
+        n += 1;
+        match (la.next(), lb.next()) {
+            (None, None) => {
+                // Same lines, different trailing bytes (e.g. a final newline).
+                return Some(format!(
+                    "outputs differ only in trailing bytes ({} vs {} bytes)",
+                    a.len(),
+                    b.len()
+                ));
+            }
+            (x, y) if x == y => continue,
+            (x, y) => {
+                return Some(format!(
+                    "first difference at line {n}:\n  left : {}\n  right: {}",
+                    x.unwrap_or("<missing>"),
+                    y.unwrap_or("<missing>")
+                ));
+            }
+        }
+    }
+}
+
 impl fmt::Display for FigureData {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "== {} ==", self.id)?;
@@ -135,5 +171,16 @@ mod tests {
     fn row_width_checked() {
         let mut fig = FigureData::new("F", "t", vec!["v".into()]);
         fig.push_row("a", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn line_diff_pinpoints_first_divergence() {
+        assert_eq!(first_line_diff("a\nb\n", "a\nb\n"), None);
+        let d = first_line_diff("a\nb\nc\n", "a\nX\nc\n").unwrap();
+        assert!(d.contains("line 2") && d.contains("X"), "{d}");
+        let d = first_line_diff("a\n", "a\nb\n").unwrap();
+        assert!(d.contains("<missing>"), "{d}");
+        let d = first_line_diff("a", "a\n").unwrap();
+        assert!(d.contains("trailing"), "{d}");
     }
 }

@@ -1,21 +1,49 @@
 //! Shared evaluation plumbing for the experiment definitions.
+//!
+//! The evaluation helpers ([`cycles`], [`report`], [`ported_cycles`]) route
+//! through the [`crate::jobs::Engine`], so bench targets that prefetch
+//! their cells get memoized, already-parallel results here; callers without
+//! an engine in hand still get the same values, just evaluated on demand.
 
-use ctam::pipeline::{evaluate, evaluate_ported, CtamParams, Strategy};
+use crate::jobs::{Cell, Engine};
+use ctam::pipeline::{CtamParams, Strategy};
 use ctam_cachesim::SimReport;
 use ctam_topology::Machine;
 use ctam_workloads::{SizeClass, Workload};
 
-/// Problem size from the `CTAM_SIZE` environment variable
-/// (`test` / `small` / `reference`). The default is `test`, which runs the
-/// full suite in minutes on one core; `small` is the reference
-/// configuration the recorded EXPERIMENTS.md numbers use (expect a couple
-/// of hours single-threaded).
-pub fn size_from_env() -> SizeClass {
-    match std::env::var("CTAM_SIZE").as_deref() {
-        Ok("small") => SizeClass::Small,
-        Ok("reference") => SizeClass::Reference,
-        _ => SizeClass::Test,
+/// Parses a `CTAM_SIZE`-style value (case-insensitively). `None` or an
+/// empty string selects the default, [`SizeClass::Test`]; anything else
+/// must be one of `test` / `small` / `reference`.
+pub fn parse_size(value: Option<&str>) -> Result<SizeClass, String> {
+    let Some(v) = value else {
+        return Ok(SizeClass::Test);
+    };
+    match v.trim().to_ascii_lowercase().as_str() {
+        "" => Ok(SizeClass::Test),
+        "test" => Ok(SizeClass::Test),
+        "small" => Ok(SizeClass::Small),
+        "reference" => Ok(SizeClass::Reference),
+        _ => Err(format!(
+            "unrecognized CTAM_SIZE value {v:?}: expected one of \"test\", \
+             \"small\", \"reference\" (case-insensitive; unset = test)"
+        )),
     }
+}
+
+/// Problem size from the `CTAM_SIZE` environment variable
+/// (`test` / `small` / `reference`, case-insensitive). The default is
+/// `test`, which runs the full suite in seconds; `small` is the reference
+/// configuration the recorded EXPERIMENTS.md numbers use — minutes of
+/// wall-clock with the parallel engine (`CTAM_JOBS`), longer with
+/// `CTAM_JOBS=1`.
+///
+/// # Panics
+///
+/// Panics on an unrecognized value instead of silently running the wrong
+/// problem size.
+pub fn size_from_env() -> SizeClass {
+    let v = std::env::var("CTAM_SIZE").ok();
+    parse_size(v.as_deref()).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Geometric mean (0 for an empty slice; non-positive entries are clamped
@@ -34,67 +62,60 @@ pub fn geomean(values: &[f64]) -> f64 {
 ///
 /// Panics if the slice is empty or the first entry is zero.
 pub fn normalize_to_first(values: &[f64]) -> Vec<f64> {
+    assert!(!values.is_empty(), "cannot normalize an empty series");
     let base = values[0];
     assert!(base != 0.0, "cannot normalize to zero");
     values.iter().map(|&v| v / base).collect()
 }
 
-/// Simulated execution cycles of `workload` on `machine` under `strategy`.
+/// Simulated execution cycles of `workload` on `machine` under `strategy`,
+/// served from `engine`'s cell cache (evaluated now if absent).
 ///
 /// # Panics
 ///
 /// Panics on pipeline errors — experiment configurations are fixed, so an
 /// error is a harness bug, not an input condition.
 pub fn cycles(
+    engine: &Engine,
     workload: &Workload,
     machine: &Machine,
     strategy: Strategy,
     params: &CtamParams,
 ) -> u64 {
-    evaluate(&workload.program, machine, strategy, params)
-        .unwrap_or_else(|e| panic!("{} on {} ({strategy}): {e}", workload.name, machine.name()))
-        .cycles()
+    engine.cycles(&Cell::native(workload, machine, strategy, params))
 }
 
-/// Full simulation report (for the cache-miss tables).
+/// Full simulation report (for the cache-miss tables), served from
+/// `engine`'s cell cache.
 ///
 /// # Panics
 ///
 /// As [`cycles`].
 pub fn report(
+    engine: &Engine,
     workload: &Workload,
     machine: &Machine,
     strategy: Strategy,
     params: &CtamParams,
 ) -> SimReport {
-    evaluate(&workload.program, machine, strategy, params)
-        .unwrap_or_else(|e| panic!("{} on {} ({strategy}): {e}", workload.name, machine.name()))
-        .report
+    (*engine.report(&Cell::native(workload, machine, strategy, params))).clone()
 }
 
 /// Cycles of the version tuned for `tuned_for` when run on `run_on`
-/// (Figures 2 and 14).
+/// (Figures 2 and 14), served from `engine`'s cell cache.
 ///
 /// # Panics
 ///
 /// As [`cycles`].
 pub fn ported_cycles(
+    engine: &Engine,
     workload: &Workload,
     tuned_for: &Machine,
     run_on: &Machine,
     strategy: Strategy,
     params: &CtamParams,
 ) -> u64 {
-    evaluate_ported(&workload.program, tuned_for, run_on, strategy, params)
-        .unwrap_or_else(|e| {
-            panic!(
-                "{} tuned for {} on {}: {e}",
-                workload.name,
-                tuned_for.name(),
-                run_on.name()
-            )
-        })
-        .cycles()
+    engine.cycles(&Cell::ported(workload, tuned_for, run_on, strategy, params))
 }
 
 #[cfg(test)]
@@ -111,5 +132,22 @@ mod tests {
     #[test]
     fn normalization() {
         assert_eq!(normalize_to_first(&[4.0, 2.0, 8.0]), vec![1.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn normalizing_nothing_panics_with_a_message() {
+        let _ = normalize_to_first(&[]);
+    }
+
+    #[test]
+    fn size_parsing_is_case_insensitive_with_default() {
+        assert_eq!(parse_size(None), Ok(SizeClass::Test));
+        assert_eq!(parse_size(Some("")), Ok(SizeClass::Test));
+        assert_eq!(parse_size(Some("TEST")), Ok(SizeClass::Test));
+        assert_eq!(parse_size(Some("Small")), Ok(SizeClass::Small));
+        assert_eq!(parse_size(Some(" reference ")), Ok(SizeClass::Reference));
+        let err = parse_size(Some("smal")).unwrap_err();
+        assert!(err.contains("smal") && err.contains("reference"), "{err}");
     }
 }

@@ -150,6 +150,20 @@ impl SetAssocCache {
         false
     }
 
+    /// Clears every line and all statistics, returning the cache to its
+    /// just-constructed cold state without reallocating. Lets simulation
+    /// scratch buffers be recycled across runs instead of re-cloning a cold
+    /// template per run.
+    pub fn reset(&mut self) {
+        for w in &mut self.lines {
+            w.tag = 0;
+            w.valid = false;
+            w.last_use = 0;
+        }
+        self.hits = 0;
+        self.misses = 0;
+    }
+
     /// Hits recorded so far.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -215,6 +229,22 @@ mod tests {
         assert!(c.invalidate(0));
         assert!(!c.probe(0));
         assert!(!c.invalidate(0));
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut c = tiny();
+        c.access(0, 1);
+        c.access(0, 2);
+        c.access(64, 3);
+        c.reset();
+        assert_eq!((c.hits(), c.misses()), (0, 0));
+        assert_eq!(c.occupancy(), 0);
+        assert!(!c.probe(0));
+        // A reset cache behaves exactly like a fresh one.
+        let mut fresh = tiny();
+        assert_eq!(c.access(0, 1), fresh.access(0, 1));
+        assert_eq!(c.access(0, 2), fresh.access(0, 2));
     }
 
     #[test]

@@ -51,4 +51,4 @@ pub mod sim;
 pub mod trace;
 
 pub use report::{LevelStats, SimReport};
-pub use sim::{SimError, SimOptions, Simulator};
+pub use sim::{SimError, SimOptions, SimScratch, Simulator};

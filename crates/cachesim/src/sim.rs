@@ -1,6 +1,7 @@
 //! The multicore simulation engine.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
 use std::error::Error;
 use std::fmt;
 
@@ -45,12 +46,34 @@ impl Error for SimError {}
 /// Tunable simulation options.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SimOptions {
-    /// Next-line prefetching in the L1: on an L1 miss, the following cache
-    /// line is installed into the L1 as well (without charging latency —
-    /// the fetch overlaps the demand miss). Models the adjacent-line
-    /// prefetcher the evaluated Intel parts ship with; useful for checking
-    /// that the mapping conclusions survive a prefetcher.
+    /// Next-line prefetching triggered by L1 misses: on an L1 miss, the
+    /// following cache line is filled into every level of the core's lookup
+    /// path that does not already hold it — the same inclusive fill a demand
+    /// access performs — without charging latency (the fetch overlaps the
+    /// demand miss). Models the adjacent-line prefetcher the evaluated Intel
+    /// parts ship with; useful for checking that the mapping conclusions
+    /// survive a prefetcher.
     pub l1_next_line_prefetch: bool,
+}
+
+/// Reusable per-run buffers for [`Simulator::run_with`].
+///
+/// A run needs a working copy of every cache plus per-core progress state;
+/// allocating (and cloning the cold-cache template into) those on every call
+/// dominates the cost of short probe runs. Callers that simulate many traces
+/// on the same machine — the pipeline's candidate measurement loop, the
+/// benchmark harness — pass one scratch to `run_with` and the buffers are
+/// recycled via [`SetAssocCache::reset`] instead of reallocated. A default
+/// scratch works with any machine; `run_with` (re)sizes it as needed.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    caches: Vec<SetAssocCache>,
+    pos: Vec<usize>,
+    clock: Vec<u64>,
+    at_barrier: Vec<bool>,
+    /// Min-heap of `(local clock, core)` over steppable cores: not blocked
+    /// on a barrier and not out of events.
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 /// A reusable simulator for one machine.
@@ -138,6 +161,21 @@ impl Simulator {
     /// the machine's; [`SimError::BarrierMismatch`] if cores disagree on the
     /// number of barriers (which would deadlock a real run).
     pub fn run(&self, trace: &MulticoreTrace) -> Result<SimReport, SimError> {
+        self.run_with(trace, &mut SimScratch::default())
+    }
+
+    /// [`Self::run`] with caller-owned buffers: identical results, but the
+    /// cache copies and progress vectors live in `scratch` and are recycled
+    /// across calls instead of reallocated (see [`SimScratch`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`].
+    pub fn run_with(
+        &self,
+        trace: &MulticoreTrace,
+        scratch: &mut SimScratch,
+    ) -> Result<SimReport, SimError> {
         if trace.n_cores() != self.n_cores {
             return Err(SimError::CoreCountMismatch {
                 expected: self.n_cores,
@@ -151,25 +189,59 @@ impl Simulator {
             });
         }
 
-        let mut caches = self.template.clone();
         let n = self.n_cores;
-        let mut pos = vec![0usize; n];
-        let mut clock = vec![0u64; n];
-        let mut at_barrier = vec![false; n];
+        // Recycle the scratch caches when they match this machine's
+        // hierarchy; otherwise (fresh scratch, or one last used with a
+        // different machine) fall back to cloning the cold template.
+        let geometry_matches = scratch.caches.len() == self.template.len()
+            && scratch
+                .caches
+                .iter()
+                .zip(&self.template)
+                .all(|(a, b)| a.params() == b.params());
+        if geometry_matches {
+            for c in &mut scratch.caches {
+                c.reset();
+            }
+        } else {
+            scratch.caches = self.template.clone();
+        }
+        scratch.pos.clear();
+        scratch.pos.resize(n, 0);
+        scratch.clock.clear();
+        scratch.clock.resize(n, 0);
+        scratch.at_barrier.clear();
+        scratch.at_barrier.resize(n, false);
+        scratch.ready.clear();
+        let SimScratch {
+            caches,
+            pos,
+            clock,
+            at_barrier,
+            ready,
+        } = scratch;
+
         let mut stamp: u64 = 0;
         let mut memory_accesses: u64 = 0;
         let mut invalidations: u64 = 0;
 
+        // Always step the non-blocked core with the smallest local clock
+        // (ties broken by core id): this interleaves accesses in shared
+        // caches in virtual-time order. The heap holds exactly the
+        // steppable cores keyed by `(clock, core)` — a core's clock only
+        // changes when it executes, so entries never go stale — replacing
+        // the O(n_cores) min-scan per event with O(log n_cores).
+        for c in 0..n {
+            if !trace.core(c).is_empty() {
+                ready.push(Reverse((0, c)));
+            }
+        }
         loop {
-            // Step the non-blocked core with the smallest local clock: this
-            // interleaves accesses in shared caches in virtual-time order.
-            let next = (0..n)
-                .filter(|&c| pos[c] < trace.core(c).len() && !at_barrier[c])
-                .min_by_key(|&c| (clock[c], c));
-            let Some(c) = next else {
+            let Some(Reverse((_, c))) = ready.pop() else {
                 if at_barrier.iter().any(|&b| b) {
                     // Everyone still running has reached the barrier
-                    // (guaranteed by the balanced-barrier check): release.
+                    // (guaranteed by the balanced-barrier check): release,
+                    // aligning the waiters to the latest arrival.
                     let t = (0..n)
                         .filter(|&c| at_barrier[c])
                         .map(|c| clock[c])
@@ -177,9 +249,12 @@ impl Simulator {
                         .unwrap_or(0);
                     for c in 0..n {
                         if at_barrier[c] {
-                            clock[c] = clock[c].max(t);
+                            clock[c] = t;
                             at_barrier[c] = false;
                             pos[c] += 1;
+                            if pos[c] < trace.core(c).len() {
+                                ready.push(Reverse((t, c)));
+                            }
                         }
                     }
                     continue;
@@ -208,14 +283,20 @@ impl Simulator {
                         memory_accesses += 1;
                     }
                     if self.options.l1_next_line_prefetch && l1_missed {
-                        // Install the adjacent line in the L1 (cost-free:
-                        // the prefetch overlaps the demand fill). Skipped
-                        // when already present to keep hit stats clean.
+                        // Install the adjacent line along the whole lookup
+                        // path, stopping at the first level that already
+                        // holds it — the fill rule a demand access follows,
+                        // so the inclusive-hierarchy invariant survives
+                        // prefetching. Cost-free: the prefetch overlaps the
+                        // demand fill. `install` keeps hit stats clean.
                         let l1 = self.paths[c][0];
                         let line = u64::from(caches[l1].params().line_bytes());
                         let next = a.addr.wrapping_add(line);
-                        if !caches[l1].probe(next) {
-                            caches[l1].install(next, stamp);
+                        for &ci in &self.paths[c] {
+                            if caches[ci].probe(next) {
+                                break;
+                            }
+                            caches[ci].install(next, stamp);
                         }
                     }
                     if a.op == Op::Write {
@@ -227,6 +308,9 @@ impl Simulator {
                     }
                     clock[c] += cost;
                     pos[c] += 1;
+                    if pos[c] < trace.core(c).len() {
+                        ready.push(Reverse((clock[c], c)));
+                    }
                 }
             }
         }
@@ -239,7 +323,7 @@ impl Simulator {
         }
         Ok(SimReport {
             total_cycles: clock.iter().copied().max().unwrap_or(0),
-            per_core_cycles: clock,
+            per_core_cycles: clock.clone(),
             levels,
             memory_accesses,
             n_accesses: trace.n_accesses() as u64,
@@ -422,6 +506,195 @@ mod tests {
         let r = pf.run(&t).unwrap();
         assert_eq!(r.n_accesses(), 32);
         assert_eq!(r.level_stats(1).unwrap().accesses(), 32);
+    }
+
+    #[test]
+    fn prefetch_fills_whole_lookup_path() {
+        // Regression: the next-line prefetch used to install the prefetched
+        // line into the L1 only, violating the inclusive-hierarchy invariant
+        // ("fills the line into every level it missed in"). Core 0's miss on
+        // line 0 must prefetch line 0x40 into its L1 *and* the shared L2, so
+        // core 1 (same L2, own L1) then finds 0x40 on chip.
+        let m = toy();
+        let pf = Simulator::with_options(
+            &m,
+            SimOptions {
+                l1_next_line_prefetch: true,
+            },
+        );
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x0, Op::Read);
+        t.push_barrier_all();
+        t.push_access(1, 0x40, Op::Read);
+        let r = pf.run(&t).unwrap();
+        assert_eq!(
+            r.memory_accesses(),
+            1,
+            "prefetched line must be resident in the shared L2"
+        );
+        assert_eq!(r.level_stats(2).unwrap().hits, 1);
+    }
+
+    #[test]
+    fn prefetch_stops_at_first_level_that_has_the_line() {
+        // Line 0x40 is already resident in the shared L2 (filled by core 1).
+        // A later prefetch of 0x40 triggered by core 0 stops at the L2 (it
+        // holds the line) but still fills core 0's L1.
+        let m = toy();
+        let pf = Simulator::with_options(
+            &m,
+            SimOptions {
+                l1_next_line_prefetch: true,
+            },
+        );
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(1, 0x40, Op::Read); // fills peer L1 + shared L2
+        t.push_barrier_all();
+        t.push_access(0, 0x0, Op::Read); // miss; prefetches 0x40
+        t.push_barrier_all();
+        t.push_access(0, 0x44, Op::Read); // L1 hit thanks to the prefetch
+        let r = pf.run(&t).unwrap();
+        assert_eq!(r.level_stats(1).unwrap().hits, 1);
+        assert_eq!(r.memory_accesses(), 2);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t1 = MulticoreTrace::new(4);
+        for i in 0..40u64 {
+            t1.push_access((i % 4) as usize, i * 64, Op::Read);
+        }
+        t1.push_barrier_all();
+        t1.push_access(3, 0, Op::Write);
+        let mut t2 = MulticoreTrace::new(4);
+        t2.push_access(2, 0x1000, Op::Read);
+        let mut scratch = SimScratch::default();
+        let a1 = sim.run_with(&t1, &mut scratch).unwrap();
+        let a2 = sim.run_with(&t2, &mut scratch).unwrap();
+        let a1_again = sim.run_with(&t1, &mut scratch).unwrap();
+        assert_eq!(a1, sim.run(&t1).unwrap());
+        assert_eq!(a2, sim.run(&t2).unwrap());
+        assert_eq!(a1, a1_again);
+    }
+
+    #[test]
+    fn scratch_adapts_across_machines() {
+        let toy_m = toy();
+        let mut b = Machine::builder("other", 1.0, 50);
+        let l1 = CacheParams::new(KB, 2, 64, 1);
+        let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(32 * KB, 4, 64, 7));
+        b.core_with_l1(l2, l1);
+        b.core_with_l1(l2, l1);
+        let other = b.build();
+        let sim_a = Simulator::new(&toy_m);
+        let sim_b = Simulator::new(&other);
+        let mut ta = MulticoreTrace::new(4);
+        ta.push_access(0, 0, Op::Read);
+        let mut tb = MulticoreTrace::new(2);
+        tb.push_access(1, 0, Op::Read);
+        let mut scratch = SimScratch::default();
+        assert_eq!(
+            sim_a.run_with(&ta, &mut scratch).unwrap(),
+            sim_a.run(&ta).unwrap()
+        );
+        assert_eq!(
+            sim_b.run_with(&tb, &mut scratch).unwrap(),
+            sim_b.run(&tb).unwrap()
+        );
+        assert_eq!(
+            sim_a.run_with(&ta, &mut scratch).unwrap(),
+            sim_a.run(&ta).unwrap()
+        );
+    }
+
+    #[test]
+    fn barrier_release_aligns_staggered_arrivals() {
+        // Cores reach the barrier at different clocks: 0 pays a full miss
+        // (112), 1 pays two (224), 2 pays nothing, 3 has an L1 hit after a
+        // miss (114). Release aligns everyone to the latest arrival.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x10_000, Op::Read);
+        t.push_access(1, 0x20_000, Op::Read);
+        t.push_access(1, 0x30_000, Op::Read);
+        t.push_access(3, 0x40_000, Op::Read);
+        t.push_access(3, 0x40_008, Op::Read);
+        t.push_barrier_all();
+        // One post-barrier access each, so the report's clocks show the
+        // aligned release time plus the access: fresh lines for cores 0-2
+        // (full misses), core 3 re-touches its own line (L1 hit).
+        for c in 0..3u64 {
+            t.push_access(c as usize, 0x80_000 + c * 0x100, Op::Read);
+        }
+        t.push_access(3, 0x40_010, Op::Read);
+        let r = sim.run(&t).unwrap();
+        // Latest arrival: core 1 at 224. Everyone restarts there.
+        let clocks = r.per_core_cycles();
+        assert_eq!(clocks[3], 224 + 2, "{clocks:?}");
+        assert_eq!(clocks[0], 224 + 112);
+        assert_eq!(clocks[1], 224 + 112);
+        assert_eq!(clocks[2], 224 + 112);
+    }
+
+    #[test]
+    fn uneven_segment_lengths_between_barriers() {
+        // Segments with very different event counts per core: core 0 does
+        // 10 accesses, core 1 does 1, cores 2-3 do none; then after the
+        // barrier core 1 does 5 and core 0 none. Totals must be exact.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        for i in 0..10u64 {
+            t.push_access(0, i * 64, Op::Read);
+        }
+        t.push_access(1, 0x100_000, Op::Read);
+        t.push_barrier_all();
+        for i in 0..5u64 {
+            t.push_access(1, 0x200_000 + i * 64, Op::Read);
+        }
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.n_accesses(), 16);
+        assert_eq!(r.level_stats(1).unwrap().accesses(), 16);
+        // All 16 accesses touch distinct lines: all go to memory.
+        assert_eq!(r.memory_accesses(), 16);
+        // Core 0 arrives at the barrier at 10*112; core 1's 5 post-barrier
+        // misses start there.
+        assert_eq!(r.per_core_cycles()[1], 10 * 112 + 5 * 112);
+    }
+
+    #[test]
+    fn trace_ending_exactly_at_a_barrier() {
+        // Core 0's trace ends with its barrier as the final event; core 2
+        // continues past it. The run must terminate (no deadlock) and the
+        // post-barrier work must still be simulated.
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x500, Op::Read);
+        t.push_barrier_all(); // last event of cores 0, 1, 3
+        t.push_access(2, 0x500, Op::Read);
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.n_accesses(), 2);
+        // Core 2 starts post-barrier at 112 and pays L1+L2+memory — the
+        // line sits in the *other* pair's L2, invisible from core 2's path.
+        assert_eq!(r.per_core_cycles()[2], 112 + 112);
+    }
+
+    #[test]
+    fn consecutive_barriers_release_in_order() {
+        let m = toy();
+        let sim = Simulator::new(&m);
+        let mut t = MulticoreTrace::new(4);
+        t.push_access(0, 0x40, Op::Read);
+        t.push_barrier_all();
+        t.push_barrier_all();
+        t.push_access(2, 0x80, Op::Read);
+        let r = sim.run(&t).unwrap();
+        assert_eq!(r.n_accesses(), 2);
+        assert_eq!(r.per_core_cycles()[2], 112 + 112);
     }
 
     #[test]

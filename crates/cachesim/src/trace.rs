@@ -88,6 +88,16 @@ impl MulticoreTrace {
         }
     }
 
+    /// Removes every event from every core's stream, keeping the core count
+    /// and the allocated capacity. Harnesses that measure many candidate
+    /// schedules rebuild the trace in place instead of reallocating one per
+    /// candidate.
+    pub fn clear(&mut self) {
+        for c in &mut self.per_core {
+            c.clear();
+        }
+    }
+
     /// The event stream of one core.
     ///
     /// # Panics
@@ -146,6 +156,17 @@ mod tests {
         t.push_barrier_all();
         assert_eq!(t.n_accesses(), 2);
         assert_eq!(t.barrier_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn clear_keeps_core_count() {
+        let mut t = MulticoreTrace::new(2);
+        t.push_access(0, 1, Op::Read);
+        t.push_barrier_all();
+        t.clear();
+        assert_eq!(t.n_cores(), 2);
+        assert_eq!(t.n_accesses(), 0);
+        assert_eq!(t.barrier_counts(), vec![0, 0]);
     }
 
     #[test]

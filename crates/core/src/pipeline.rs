@@ -10,9 +10,11 @@
 
 use std::error::Error;
 use std::fmt;
+use std::ops::AddAssign;
+use std::time::{Duration, Instant};
 
 use ctam_cachesim::trace::{MulticoreTrace, Op};
-use ctam_cachesim::{SimError, SimReport, Simulator};
+use ctam_cachesim::{SimError, SimReport, SimScratch, Simulator};
 use ctam_loopir::{dependence, AccessKind, NestId, Program};
 use ctam_topology::Machine;
 
@@ -190,6 +192,49 @@ impl From<ScheduleError> for PipelineError {
     }
 }
 
+/// Wall-clock spent in each stage of one evaluation, filled in by
+/// [`evaluate`] / [`evaluate_ported`]. The benchmark harness aggregates
+/// these across experiment cells into its `--timings` summary, so perf work
+/// on the pipeline has a per-stage baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Time in [`map_nest`]: analysis, grouping, distribution, scheduling —
+    /// including the candidate-measurement simulations the topology-aware
+    /// strategies run internally.
+    pub mapping: Duration,
+    /// Time spent appending schedules to the multicore trace.
+    pub tracegen: Duration,
+    /// Time in the final [`Simulator::run`] over the assembled trace.
+    pub simulation: Duration,
+}
+
+impl StageTimings {
+    /// Sum of all stages.
+    pub fn total(&self) -> Duration {
+        self.mapping + self.tracegen + self.simulation
+    }
+}
+
+impl AddAssign for StageTimings {
+    fn add_assign(&mut self, rhs: Self) {
+        self.mapping += rhs.mapping;
+        self.tracegen += rhs.tracegen;
+        self.simulation += rhs.simulation;
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "mapping {:.3}s, tracegen {:.3}s, simulation {:.3}s",
+            self.mapping.as_secs_f64(),
+            self.tracegen.as_secs_f64(),
+            self.simulation.as_secs_f64()
+        )
+    }
+}
+
 /// The mapping of one nest: its schedule plus the artifacts the harness
 /// reports on.
 #[derive(Debug, Clone)]
@@ -303,6 +348,11 @@ pub fn map_nest(
             // faster on this nest — the same measured selection the paper
             // applies to its Base+ tile size.
             let sim = Simulator::new(machine);
+            // Candidate measurement is the mapping hot path: recycle one
+            // trace buffer and one simulator scratch across candidates
+            // instead of allocating (and cloning cold caches) per probe.
+            let mut scratch = SimScratch::default();
+            let mut trace = MulticoreTrace::new(n_cores);
             let mut best: Option<(Schedule, usize, u64)> = None;
             for leaf in [
                 LeafSplit::Separate,
@@ -317,15 +367,9 @@ pub fn map_nest(
                 } else {
                     schedule_dependence_only(a, &graph)?
                 };
-                let mut trace = MulticoreTrace::new(n_cores);
-                let probe = NestMapping {
-                    schedule: schedule.clone(),
-                    space: space.clone(),
-                    block_bytes,
-                    n_groups: n,
-                };
-                append_schedule_trace(&mut trace, program, &probe);
-                let cycles = sim.run(&trace)?.total_cycles();
+                trace.clear();
+                append_trace_for(&mut trace, program, &space, &schedule);
+                let cycles = sim.run_with(&trace, &mut scratch)?.total_cycles();
                 if best.as_ref().is_none_or(|(_, _, c)| cycles < *c) {
                     best = Some((schedule, n, cycles));
                 }
@@ -357,19 +401,15 @@ pub fn map_nest(
             // semantics: measure the model-optimal assignment against the
             // heuristic's and keep whichever simulates faster.
             let sim = Simulator::new(machine);
-            let measure = |a: &Assignment| -> Result<(Schedule, usize, u64), CtamError> {
+            let mut scratch = SimScratch::default();
+            let mut trace = MulticoreTrace::new(n_cores);
+            let mut measure = |a: &Assignment| -> Result<(Schedule, usize, u64), CtamError> {
                 let (a, graph) = acyclic_assignment(a.clone(), &space, &dep);
                 let n = a.per_core().iter().map(Vec::len).sum();
                 let schedule = schedule_dependence_only(a, &graph)?;
-                let mut trace = MulticoreTrace::new(n_cores);
-                let probe = NestMapping {
-                    schedule: schedule.clone(),
-                    space: space.clone(),
-                    block_bytes,
-                    n_groups: n,
-                };
-                append_schedule_trace(&mut trace, program, &probe);
-                let cycles = sim.run(&trace)?.total_cycles();
+                trace.clear();
+                append_trace_for(&mut trace, program, &space, &schedule);
+                let cycles = sim.run_with(&trace, &mut scratch)?.total_cycles();
                 Ok((schedule, n, cycles))
             };
             let (s_model, n_model, c_model) = measure(&a_model)?;
@@ -421,15 +461,26 @@ fn verify_or_fail(
 /// core's groups in order, each group's iterations in stored order, each
 /// iteration's references in body order; a global barrier between rounds.
 pub fn append_schedule_trace(trace: &mut MulticoreTrace, program: &Program, mapping: &NestMapping) {
-    for (r, round) in mapping.schedule.rounds().iter().enumerate() {
+    append_trace_for(trace, program, &mapping.space, &mapping.schedule);
+}
+
+/// [`append_schedule_trace`] without requiring an assembled [`NestMapping`]:
+/// the candidate-measurement loop traces schedules before one exists.
+pub fn append_trace_for(
+    trace: &mut MulticoreTrace,
+    program: &Program,
+    space: &IterationSpace,
+    schedule: &Schedule,
+) {
+    for (r, round) in schedule.rounds().iter().enumerate() {
         if r > 0 {
             trace.push_barrier_all();
         }
         for (core, groups) in round.iter().enumerate() {
             for g in groups {
                 for &u in g.iterations() {
-                    for &i in mapping.space.unit_members(u as usize) {
-                        for acc in mapping.space.accesses(i as usize) {
+                    for &i in space.unit_members(u as usize) {
+                        for acc in space.accesses(i as usize) {
                             let addr = program.address_of(acc.array, acc.element);
                             let op = match acc.kind {
                                 AccessKind::Read => Op::Read,
@@ -451,6 +502,8 @@ pub struct EvalResult {
     pub report: SimReport,
     /// Per-nest mappings (in nest order).
     pub mappings: Vec<NestMapping>,
+    /// Wall-clock per pipeline stage for this evaluation.
+    pub timings: StageTimings,
 }
 
 impl EvalResult {
@@ -472,18 +525,29 @@ pub fn evaluate(
     strategy: Strategy,
     params: &CtamParams,
 ) -> Result<EvalResult, CtamError> {
+    let mut timings = StageTimings::default();
     let mut trace = MulticoreTrace::new(machine.n_cores());
     let mut mappings = Vec::new();
     for (nest_id, _) in program.nests() {
+        let t0 = Instant::now();
         let mapping = map_nest(program, nest_id, machine, strategy, params)?;
+        timings.mapping += t0.elapsed();
+        let t0 = Instant::now();
         if !mappings.is_empty() {
             trace.push_barrier_all();
         }
         append_schedule_trace(&mut trace, program, &mapping);
+        timings.tracegen += t0.elapsed();
         mappings.push(mapping);
     }
+    let t0 = Instant::now();
     let report = Simulator::new(machine).run(&trace)?;
-    Ok(EvalResult { report, mappings })
+    timings.simulation += t0.elapsed();
+    Ok(EvalResult {
+        report,
+        mappings,
+        timings,
+    })
 }
 
 /// Convenience: evaluate and return just the cycle count.
@@ -539,9 +603,11 @@ pub fn evaluate_ported(
     strategy: Strategy,
     params: &CtamParams,
 ) -> Result<EvalResult, CtamError> {
+    let mut timings = StageTimings::default();
     let mut trace = MulticoreTrace::new(run_on.n_cores());
     let mut mappings = Vec::new();
     for (nest_id, _) in program.nests() {
+        let t0 = Instant::now();
         let mut mapping = map_nest(program, nest_id, tuned_for, strategy, params)?;
         mapping.schedule = fold_schedule(&mapping.schedule, run_on.n_cores())?;
         if params.verify {
@@ -549,14 +615,23 @@ pub fn evaluate_ported(
             // machine the folded schedule actually runs on.
             verify_or_fail(program, run_on, &mapping, params)?;
         }
+        timings.mapping += t0.elapsed();
+        let t0 = Instant::now();
         if !mappings.is_empty() {
             trace.push_barrier_all();
         }
         append_schedule_trace(&mut trace, program, &mapping);
+        timings.tracegen += t0.elapsed();
         mappings.push(mapping);
     }
+    let t0 = Instant::now();
     let report = Simulator::new(run_on).run(&trace)?;
-    Ok(EvalResult { report, mappings })
+    timings.simulation += t0.elapsed();
+    Ok(EvalResult {
+        report,
+        mappings,
+        timings,
+    })
 }
 
 #[cfg(test)]
