@@ -33,7 +33,9 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
     let mut trace = MulticoreTrace::new(n_cores);
     let mut first = true;
     for (nest, _) in w.program.nests() {
-        let dep = dependence::analyze(&w.program, nest);
+        let analysis = dependence::analyze_nest(&w.program, nest);
+        let parallelism = analysis.classify();
+        let dep = analysis.info;
         let depth = w.program.nest(nest).depth();
         let prefix = dep
             .outermost_parallel()
@@ -56,6 +58,7 @@ fn flat_cycles(w: &ctam_workloads::Workload, sim: &Simulator, n_cores: usize) ->
             space,
             block_bytes: 2048,
             n_groups: 0,
+            parallelism,
         };
         if !first {
             trace.push_barrier_all();

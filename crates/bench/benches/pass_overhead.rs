@@ -15,8 +15,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctam::pipeline::{map_nest, CtamParams, Strategy};
+use ctam_loopir::dependence;
 use ctam_topology::catalog;
-use ctam_workloads::{by_name, SizeClass};
+use ctam_workloads::{by_name, stress, SizeClass};
 
 fn pass_overhead(c: &mut Criterion) {
     let machine = catalog::dunnington();
@@ -46,5 +47,57 @@ fn pass_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pass_overhead);
+/// Symbolic vs. enumerated dependence analysis — the cost the hybrid
+/// engine's per-pair ladder saves (or pays) per nest.
+///
+/// `galgel` is the registry's under-constrained case (`mode_reduce` forced
+/// whole-nest enumeration before the symbolic engine); `scaled_rowsum` is
+/// the stress kernel whose enumeration cost grows as `O(n³)` while the
+/// symbolic cost scales with the distance count only. Enumerated timings use `Test`
+/// size; the symbolic path is additionally timed at `Reference` size, where
+/// enumeration is no longer a reasonable baseline.
+fn dependence_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dependence_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    let cases: Vec<(&str, ctam_workloads::Workload)> = vec![
+        ("galgel", by_name("galgel", SizeClass::Test).expect("known")),
+        ("scaled_rowsum", stress::scaled_rowsum(SizeClass::Test)),
+        (
+            "coupled_diagonal",
+            stress::coupled_diagonal(SizeClass::Test),
+        ),
+    ];
+    for (name, w) in &cases {
+        group.bench_with_input(BenchmarkId::new("symbolic", name), w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    std::hint::black_box(dependence::analyze_nest(&w.program, nest));
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("enumerated", name), w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    std::hint::black_box(dependence::analyze_exact(&w.program, nest));
+                }
+            });
+        });
+    }
+    let rowsum_ref = stress::scaled_rowsum(SizeClass::Reference);
+    group.bench_with_input(
+        BenchmarkId::new("symbolic_ref", "scaled_rowsum"),
+        &rowsum_ref,
+        |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    std::hint::black_box(dependence::analyze_nest(&w.program, nest));
+                }
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, pass_overhead, dependence_cost);
 criterion_main!(benches);

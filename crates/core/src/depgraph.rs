@@ -29,6 +29,13 @@ impl GroupDepGraph {
     /// every dependence distance `d`, if `I + d` is in the domain and lands
     /// in a different group, add an edge from `I`'s group to `I + d`'s
     /// group.
+    ///
+    /// Distances whose first [`IterationSpace::unit_prefix`] components are
+    /// all zero are skipped up front: iterations sharing that prefix always
+    /// belong to the same mapping unit, so such dependences can never cross
+    /// groups. For nests dominated by intra-unit dependences (e.g. a row
+    /// reduction whose carried distances all sit below the unit prefix) this
+    /// turns an `O(iterations × distances)` sweep into a no-op.
     pub fn build(groups: &[IterationGroup], space: &IterationSpace, dep: &DependenceInfo) -> Self {
         let mut owner = vec![usize::MAX; space.n_units()];
         for (gi, g) in groups.iter().enumerate() {
@@ -38,13 +45,20 @@ impl GroupDepGraph {
         }
         let mut succs = vec![BTreeSet::new(); groups.len()];
         let mut preds = vec![BTreeSet::new(); groups.len()];
-        if !dep.distances().is_empty() {
+        let prefix = space.unit_prefix();
+        let cross_unit: Vec<&Vec<i64>> = dep
+            .distances()
+            .iter()
+            .filter(|d| d[..prefix.min(d.len())].iter().any(|&x| x != 0))
+            .collect();
+        if !cross_unit.is_empty() {
             for (gi, g) in groups.iter().enumerate() {
                 for &u in g.iterations() {
                     for &i in space.unit_members(u as usize) {
                         let point = space.point(i as usize);
-                        for d in dep.distances() {
-                            let sink: Vec<i64> = point.iter().zip(d).map(|(p, q)| p + q).collect();
+                        for d in &cross_unit {
+                            let sink: Vec<i64> =
+                                point.iter().zip(d.iter()).map(|(p, q)| p + q).collect();
                             if let Some(j) = space.index_of(&sink) {
                                 let gj = owner[space.unit_of(j)];
                                 if gj != usize::MAX && gj != gi {

@@ -247,6 +247,10 @@ pub struct NestMapping {
     pub block_bytes: u64,
     /// Number of iteration groups after grouping/condensation.
     pub n_groups: usize,
+    /// The nest's parallelism classification (DOALL levels, carried levels
+    /// with their blocking reference pairs) from the dependence engine —
+    /// what decided the mapping-unit granularity below.
+    pub parallelism: dependence::ParallelismReport,
 }
 
 /// Rebuilds an acyclic per-core dependence graph after distribution: groups
@@ -258,8 +262,12 @@ fn acyclic_assignment(
     dep: &dependence::DependenceInfo,
 ) -> (Assignment, GroupDepGraph) {
     let n_cores = assignment.n_cores();
-    // Fast path: already acyclic.
     let flat = flatten_assignment(&assignment);
+    // Fast path: a fully parallel nest constrains nothing.
+    if dep.is_fully_parallel() {
+        return (assignment, GroupDepGraph::edgeless(flat.len()));
+    }
+    // Fast path: already acyclic.
     let graph = GroupDepGraph::build(&flat, space, dep);
     if graph.is_acyclic() {
         return (assignment, graph);
@@ -311,7 +319,9 @@ pub fn map_nest(
     // 4.1) — each carrying its whole inner sweep. Nests with no parallel
     // level fall back to point granularity and rely on the dependence
     // machinery of Section 3.5.2.
-    let dep = dependence::analyze(program, nest);
+    let analysis = dependence::analyze_nest(program, nest);
+    let parallelism = analysis.classify();
+    let dep = analysis.info;
     let depth = program.nest(nest).depth();
     let unit_prefix = dep
         .outermost_parallel()
@@ -426,6 +436,7 @@ pub fn map_nest(
         space,
         block_bytes,
         n_groups,
+        parallelism,
     };
     if params.verify {
         verify_or_fail(program, machine, &mapping, params)?;
@@ -443,7 +454,7 @@ fn verify_or_fail(
 ) -> Result<(), PipelineError> {
     let options = VerifyOptions {
         balance_threshold: params.balance_threshold,
-        lint_subscripts: true,
+        ..VerifyOptions::default()
     };
     let diagnostics =
         verify::verify_mapping_with(program, machine, mapping, &mapping.schedule, &options);

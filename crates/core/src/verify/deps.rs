@@ -8,7 +8,7 @@
 //! order needs no barrier — this is exactly the case in which the schedulers
 //! collapse rounds, see [`crate::schedule`]).
 
-use ctam_loopir::{dependence, Program};
+use ctam_loopir::DependenceInfo;
 
 use crate::depgraph::GroupDepGraph;
 use crate::space::IterationSpace;
@@ -17,13 +17,12 @@ use super::diag::{Code, Diagnostic};
 use super::FlatSchedule;
 
 pub(super) fn check(
-    program: &Program,
+    dep: &DependenceInfo,
     space: &IterationSpace,
     flat: &FlatSchedule<'_>,
     nest: usize,
     diags: &mut Vec<Diagnostic>,
 ) {
-    let dep = dependence::analyze(program, space.nest());
     if dep.distances().is_empty() {
         return;
     }
@@ -39,7 +38,7 @@ pub(super) fn check(
         return;
     }
     let groups = flat.groups();
-    let graph = GroupDepGraph::build(&groups, space, &dep);
+    let graph = GroupDepGraph::build(&groups, space, dep);
     for (a, &(ra, ca, pa, _)) in flat.entries.iter().enumerate() {
         for &b in graph.succs(a) {
             let (rb, cb, pb, _) = flat.entries[b];

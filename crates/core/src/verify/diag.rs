@@ -13,6 +13,10 @@ pub enum Severity {
     /// (imbalance, stale tags, topology mismatch) or the input program is
     /// suspicious (subscript lints).
     Warning,
+    /// Informational: records *how* a property was established (e.g. a race
+    /// proof obtained symbolically vs. by enumeration). Never indicates a
+    /// problem.
+    Note,
 }
 
 impl fmt::Display for Severity {
@@ -20,6 +24,7 @@ impl fmt::Display for Severity {
         f.write_str(match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Note => "note",
         })
     }
 }
@@ -61,6 +66,19 @@ pub enum Code {
     /// `CTAM-W202`: a non-affine (indirect) subscript — outside the exact
     /// dependence model, handled conservatively.
     NonAffineSubscript,
+    /// `CTAM-W203`: an affine subscript row coupling two or more loop
+    /// variables (e.g. `A[i+j]`) — handled exactly by the symbolic engine,
+    /// but outside the per-row screens, so analysis costs a conflict-set
+    /// projection.
+    CoupledSubscript,
+    /// `CTAM-N301`: the race check proved every round race-free from the
+    /// symbolic dependence relations and the unit placement alone, without
+    /// replaying element accesses.
+    SymbolicRaceProof,
+    /// `CTAM-N302`: the race check fell back to element-access enumeration
+    /// (indirect subscripts, symbolic resource limits, or a potential
+    /// cross-core conflict that needed element-level resolution).
+    RaceCheckEnumerated,
 }
 
 impl Code {
@@ -76,6 +94,9 @@ impl Code {
             Code::TagMismatch => "CTAM-W103",
             Code::SubscriptOutOfBounds => "CTAM-W201",
             Code::NonAffineSubscript => "CTAM-W202",
+            Code::CoupledSubscript => "CTAM-W203",
+            Code::SymbolicRaceProof => "CTAM-N301",
+            Code::RaceCheckEnumerated => "CTAM-N302",
         }
     }
 
@@ -91,6 +112,9 @@ impl Code {
             Code::TagMismatch => "TagMismatch",
             Code::SubscriptOutOfBounds => "SubscriptOutOfBounds",
             Code::NonAffineSubscript => "NonAffineSubscript",
+            Code::CoupledSubscript => "CoupledSubscript",
+            Code::SymbolicRaceProof => "SymbolicRaceProof",
+            Code::RaceCheckEnumerated => "RaceCheckEnumerated",
         }
     }
 
@@ -105,7 +129,9 @@ impl Code {
             | Code::DegreeMismatch
             | Code::TagMismatch
             | Code::SubscriptOutOfBounds
-            | Code::NonAffineSubscript => Severity::Warning,
+            | Code::NonAffineSubscript
+            | Code::CoupledSubscript => Severity::Warning,
+            Code::SymbolicRaceProof | Code::RaceCheckEnumerated => Severity::Note,
         }
     }
 }

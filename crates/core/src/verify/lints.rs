@@ -1,4 +1,4 @@
-//! `CTAM-W201`/`W202`: the loop-IR subscript lints of
+//! `CTAM-W201`–`W203`: the loop-IR subscript lints of
 //! [`ctam_loopir::lint`], lifted into verifier diagnostics.
 
 use ctam_loopir::{lint_nest, LintKind, NestId, Program};
@@ -10,6 +10,7 @@ pub(super) fn check(program: &Program, nest: NestId, diags: &mut Vec<Diagnostic>
         let code = match lint.kind {
             LintKind::OutOfBounds => Code::SubscriptOutOfBounds,
             LintKind::NonAffine => Code::NonAffineSubscript,
+            LintKind::Coupled => Code::CoupledSubscript,
         };
         diags.push(
             Diagnostic::new(

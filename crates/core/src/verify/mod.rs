@@ -10,12 +10,15 @@
 //! * **dependences** (`CTAM-E003`): every group-dependence edge is enforced
 //!   by a barrier or by same-core program order (Section 3.5.3),
 //! * **races** (`CTAM-E004`): no two cores touch the same element in the
-//!   same barrier round with a write involved,
+//!   same barrier round with a write involved — proved symbolically from the
+//!   dependence relations where possible (`CTAM-N301`), by element
+//!   enumeration otherwise (`CTAM-N302`),
 //! * **structure** (`CTAM-W101`–`W103`): load balance within the Figure 6
 //!   threshold, core fan-out matching the machine, stored tags covering the
 //!   recomputed block footprints,
-//! * **subscript lints** (`CTAM-W201`/`W202`): bounds and affinity checks
-//!   over the nest's array references (see [`ctam_loopir::lint`]).
+//! * **subscript lints** (`CTAM-W201`–`W203`): bounds, affinity, and
+//!   coupled-subscript checks over the nest's array references (see
+//!   [`ctam_loopir::lint`]).
 //!
 //! The checks are pure: they never mutate their inputs and never panic on
 //! malformed schedules — a schedule referencing out-of-range units or cores
@@ -45,10 +48,15 @@ pub struct VerifyOptions {
     /// Load-balance threshold for `CTAM-W101` (same meaning as
     /// [`crate::pipeline::CtamParams::balance_threshold`]).
     pub balance_threshold: f64,
-    /// Run the `CTAM-W201`/`W202` subscript lints (skippable because they
+    /// Run the `CTAM-W201`–`W203` subscript lints (skippable because they
     /// depend only on the program, not the schedule, and re-firing them
     /// after every pipeline step would be noise).
     pub lint_subscripts: bool,
+    /// Attempt the symbolic race proof (`CTAM-N301`) before falling back to
+    /// element-access enumeration (`CTAM-N302`). The proof is only attempted
+    /// when coverage is clean — a schedule that drops or duplicates units
+    /// invalidates the unit-placement reasoning the proof rests on.
+    pub symbolic_races: bool,
 }
 
 impl Default for VerifyOptions {
@@ -56,6 +64,7 @@ impl Default for VerifyOptions {
         Self {
             balance_threshold: 0.10,
             lint_subscripts: true,
+            symbolic_races: true,
         }
     }
 }
@@ -125,10 +134,31 @@ pub fn verify_mapping_with(
     let flat = FlatSchedule::new(schedule);
     let blocks = BlockMap::new(program, mapping.block_bytes);
 
+    // The verifier derives its own dependence summary (it must not trust the
+    // pass that produced the mapping), once, shared by the dependence and
+    // race checks.
+    let analysis = ctam_loopir::dependence::analyze_nest(program, mapping.space.nest());
+
     let mut diags = Vec::new();
     coverage::check(&mapping.space, &flat, nest, &mut diags);
-    deps::check(program, &mapping.space, &flat, nest, &mut diags);
-    races::check(program, &mapping.space, &blocks, &flat, nest, &mut diags);
+    let coverage_clean = diags.is_empty();
+    deps::check(&analysis.info, &mapping.space, &flat, nest, &mut diags);
+    let symbolic = if !(options.symbolic_races && coverage_clean) {
+        races::SymbolicRaces::Off
+    } else if analysis.enumeration_free() {
+        races::SymbolicRaces::From(&analysis.info)
+    } else {
+        races::SymbolicRaces::Unavailable
+    };
+    races::check(
+        program,
+        &mapping.space,
+        &blocks,
+        &flat,
+        nest,
+        symbolic,
+        &mut diags,
+    );
     structure::check(
         machine,
         schedule,

@@ -7,10 +7,30 @@
 //! construction) — not a correctness race. A genuine conflict is reported
 //! once per `(round, array, block)` with the data block named in the
 //! message, since blocks are the unit the rest of the pass reasons in.
+//!
+//! # Symbolic proof path
+//!
+//! When the nest is all-affine, the check first attempts a *symbolic* proof
+//! (`CTAM-N301`) that avoids replaying any element access: every conflicting
+//! iteration pair is `(I, I ± d)` for a dependence distance `d` of the
+//! symbolic engine (the enumeration-free summary of
+//! [`ctam_loopir::dependence::analyze_nest`], supplied by the caller so one
+//! analysis serves every check), and iterations
+//! sharing their first `unit_prefix` coordinates always land in the same
+//! mapping unit (units are maximal runs of lexicographically consecutive
+//! points sharing that prefix). So if, for every unit and every non-zero
+//! distance prefix `δ`, the unit at `prefix ± δ` runs on the same core or in
+//! a different round, no cross-core same-round conflict can exist. The scan
+//! costs `O(units × distinct prefixes)` instead of
+//! `O(iterations × refs)` per round. Any potential cross-core hit — or an
+//! unavailable symbolic analysis — falls back to the element-level
+//! enumeration below (`CTAM-N302`), which decides exactly; the proof path
+//! only ever *skips* enumeration when race freedom is established, so both
+//! paths report the same errors.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
-use ctam_loopir::{AccessKind, ArrayId, Program};
+use ctam_loopir::{AccessKind, ArrayId, DependenceInfo, Program};
 
 use crate::blocks::BlockMap;
 use crate::space::IterationSpace;
@@ -18,14 +38,143 @@ use crate::space::IterationSpace;
 use super::diag::{Code, Diagnostic};
 use super::FlatSchedule;
 
+/// How the race check should attempt the symbolic proof.
+pub(super) enum SymbolicRaces<'a> {
+    /// Don't attempt it and don't note anything (the caller opted out, or
+    /// coverage errors invalidated the unit-placement reasoning).
+    Off,
+    /// The nest is outside the enumeration-free symbolic model; note the
+    /// fallback and enumerate.
+    Unavailable,
+    /// Attempt the proof from this (symbolically derived, exact) dependence
+    /// summary.
+    From(&'a DependenceInfo),
+}
+
+/// Outcome of the symbolic proof attempt.
+enum Proof {
+    /// Race freedom established; enumeration can be skipped.
+    Proven { distances: usize, deltas: usize },
+    /// Could not establish it symbolically; enumerate (the reason is
+    /// reported in the `CTAM-N302` note).
+    Fallback(String),
+}
+
+fn symbolic_proof(dep: &DependenceInfo, space: &IterationSpace, flat: &FlatSchedule<'_>) -> Proof {
+    if dep.distances().is_empty() {
+        return Proof::Proven {
+            distances: 0,
+            deltas: 0,
+        };
+    }
+    let prefix = space.unit_prefix();
+    let deltas: BTreeSet<Vec<i64>> = dep
+        .distances()
+        .iter()
+        .map(|d| d[..prefix].to_vec())
+        .filter(|d| d.iter().any(|&x| x != 0))
+        .collect();
+    if deltas.is_empty() {
+        // Every dependence stays within a unit: units are atomic per core.
+        return Proof::Proven {
+            distances: dep.distances().len(),
+            deltas: 0,
+        };
+    }
+    let n_units = space.n_units();
+    let mut unit_at: HashMap<&[i64], usize> = HashMap::with_capacity(n_units);
+    for u in 0..n_units {
+        let first = space.unit_members(u)[0] as usize;
+        unit_at.insert(&space.point(first)[..prefix], u);
+    }
+    let mut placement: Vec<Option<(usize, usize)>> = vec![None; n_units];
+    for &(r, core, _, g) in &flat.entries {
+        for &u in g.iterations() {
+            if u as usize >= n_units {
+                return Proof::Fallback("schedule references out-of-range units".to_owned());
+            }
+            placement[u as usize] = Some((r, core));
+        }
+    }
+    let mut target = vec![0i64; prefix];
+    for u in 0..n_units {
+        let Some((round, core)) = placement[u] else {
+            continue; // unmapped: the coverage check reports it
+        };
+        let first = space.unit_members(u)[0] as usize;
+        let p = &space.point(first)[..prefix];
+        for delta in &deltas {
+            for sign in [1i64, -1] {
+                for (t, (&pv, &dv)) in target.iter_mut().zip(p.iter().zip(delta)) {
+                    *t = pv + sign * dv;
+                }
+                let Some(&v) = unit_at.get(target.as_slice()) else {
+                    continue;
+                };
+                if let Some((r2, c2)) = placement[v] {
+                    if r2 == round && c2 != core {
+                        return Proof::Fallback(format!(
+                            "units {u} and {v} share round {round} on cores {core} \
+                             and {c2} with dependence direction {delta:?}; resolving \
+                             at element granularity"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Proof::Proven {
+        distances: dep.distances().len(),
+        deltas: deltas.len(),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 pub(super) fn check(
     program: &Program,
     space: &IterationSpace,
     blocks: &BlockMap,
     flat: &FlatSchedule<'_>,
     nest: usize,
+    symbolic: SymbolicRaces<'_>,
     diags: &mut Vec<Diagnostic>,
 ) {
+    let attempt = match symbolic {
+        SymbolicRaces::Off => None,
+        SymbolicRaces::Unavailable => Some(Proof::Fallback(
+            "symbolic dependence analysis unavailable (indirect or out-of-bounds \
+             subscripts, or resource limits exceeded)"
+                .to_owned(),
+        )),
+        SymbolicRaces::From(dep) => Some(symbolic_proof(dep, space, flat)),
+    };
+    if let Some(proof) = attempt {
+        match proof {
+            Proof::Proven { distances, deltas } => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::SymbolicRaceProof,
+                        format!(
+                            "race freedom proved symbolically: {distances} dependence \
+                             distance(s), {deltas} cross-unit direction(s), none \
+                             crossing cores within a round; element enumeration skipped"
+                        ),
+                    )
+                    .with_nest(nest),
+                );
+                return;
+            }
+            Proof::Fallback(reason) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::RaceCheckEnumerated,
+                        format!("race check fell back to element enumeration: {reason}"),
+                    )
+                    .with_nest(nest),
+                );
+            }
+        }
+    }
     let n_units = space.n_units();
     let n_rounds = flat.entries.iter().map(|&(r, ..)| r + 1).max().unwrap_or(0);
     for round in 0..n_rounds {

@@ -1,21 +1,36 @@
-//! Dependence analysis: distance vectors, loop-carried dependence detection
-//! and outermost-parallel-loop selection.
+//! Dependence analysis: distance vectors, loop-carried dependence detection,
+//! parallelism classification and outermost-parallel-loop selection.
 //!
-//! Two analyses are provided:
+//! The engine resolves each same-array reference pair through a ladder of
+//! tests, cheapest first, and only ever enumerates the iteration domain for
+//! the pairs no symbolic test can see through:
 //!
-//! * [`analyze_static`] — the classic compile-time test for *uniformly
-//!   generated* affine references (equal linear parts, constant offset
-//!   difference), which covers the stencil-style kernels that dominate the
-//!   paper's domain;
-//! * [`analyze_exact`] — an exact, enumeration-based analysis of the
-//!   concrete iteration domain, used as the fallback for irregular
-//!   (index-array) references the static test cannot see through.
+//! 1. read/read pairs never conflict — skipped;
+//! 2. the classic *uniformly generated* test (equal linear parts, constant
+//!    offset difference) pins the distance directly, with a symbolic
+//!    realizability check against the concrete domain;
+//! 3. GCD and Banerjee screens ([`ctam_poly::screen_pair`]) prove many
+//!    remaining pairs independent outright;
+//! 4. conflict-set projection ([`ctam_poly::pair_distances`]) extracts the
+//!    exact distance set of any affine pair by Fourier–Motzkin elimination
+//!    with per-candidate integer rechecks — no domain enumeration;
+//! 5. pairs involving indirect (index-array) subscripts, out-of-bounds
+//!    affine references (whose accesses are clamped at evaluation time), or
+//!    pairs whose symbolic test exceeds its resource limits fall back to a
+//!    *pair-restricted* enumeration of the concrete domain.
 //!
-//! [`analyze`] picks the static test when it applies and falls back to the
-//! exact one otherwise, mirroring how the paper's infrastructure (Phoenix +
-//! Omega) resolves what it can statically and treats the rest conservatively.
+//! [`analyze_nest`] runs the ladder and reports per-pair provenance;
+//! [`analyze`] returns just the resulting [`DependenceInfo`];
+//! [`analyze_symbolic`] refuses enumeration entirely (used by the verifier's
+//! symbolic race proof); [`analyze_static`] and [`analyze_exact`] remain as
+//! the classic whole-nest tests.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+use ctam_poly::{
+    pair_distances, AffineExpr, AffineMap, ConstraintKind, DependenceOptions, IntegerSet,
+};
 
 use crate::nest::{AccessKind, NestId, Subscript};
 use crate::program::Program;
@@ -32,6 +47,24 @@ pub enum Direction {
     Gt,
 }
 
+/// How a [`DependenceInfo`] was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Provenance {
+    /// The conservative whole-nest uniform test ([`analyze_static`]):
+    /// distances may include vectors not realized by any iteration pair of
+    /// the concrete domain.
+    Static,
+    /// Every pair was settled symbolically (uniform test with realizability
+    /// check, screening, or conflict-set projection): exact, and obtained
+    /// without enumerating the iteration domain.
+    Symbolic,
+    /// Whole-domain enumeration ([`analyze_exact`]): exact.
+    Enumerated,
+    /// Mixed: affine pairs symbolic, the rest by pair-restricted
+    /// enumeration. Exact.
+    Hybrid,
+}
+
 /// The dependence structure of one loop nest.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DependenceInfo {
@@ -39,9 +72,7 @@ pub struct DependenceInfo {
     /// Distinct lexicographically-positive distance vectors
     /// (`sink iteration - source iteration`), sorted.
     distances: Vec<Vec<i64>>,
-    /// True if produced by [`analyze_exact`] (precise for the concrete
-    /// domain), false for the conservative static test.
-    exact: bool,
+    provenance: Provenance,
 }
 
 impl DependenceInfo {
@@ -55,9 +86,15 @@ impl DependenceInfo {
         &self.distances
     }
 
-    /// Whether the info came from the exact (enumeration) analysis.
+    /// How the info was obtained.
+    pub fn provenance(&self) -> Provenance {
+        self.provenance
+    }
+
+    /// Whether the distance set is exact for the concrete domain (true for
+    /// every analysis except the conservative [`analyze_static`]).
     pub fn is_exact(&self) -> bool {
-        self.exact
+        self.provenance != Provenance::Static
     }
 
     /// True if no iteration depends on another — "fully parallel" in the
@@ -95,6 +132,154 @@ impl DependenceInfo {
     }
 }
 
+/// Which rung of the ladder settled a reference pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PairMethod {
+    /// Uniformly generated references: constant distance, checked for
+    /// realizability against the concrete domain.
+    Uniform,
+    /// A GCD or Banerjee screen proved the pair independent.
+    Screened,
+    /// Conflict-set projection (Fourier–Motzkin plus integer rechecks).
+    Symbolic,
+    /// Pair-restricted enumeration of the concrete domain.
+    Enumerated,
+}
+
+impl PairMethod {
+    /// Short human-readable label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PairMethod::Uniform => "uniform",
+            PairMethod::Screened => "screened",
+            PairMethod::Symbolic => "symbolic",
+            PairMethod::Enumerated => "enumerated",
+        }
+    }
+}
+
+/// Per-pair outcome of [`analyze_nest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairSummary {
+    /// Body index of the first reference of the pair.
+    pub ref_a: usize,
+    /// Body index of the second reference (`>= ref_a`; equal for a write's
+    /// self-pair).
+    pub ref_b: usize,
+    /// The ladder rung that settled the pair.
+    pub method: PairMethod,
+    /// The pair's distance vectors, lexicographically positive, sorted.
+    pub distances: Vec<Vec<i64>>,
+    /// Why this rung (e.g. the screen that fired, or the reason for the
+    /// enumeration fallback).
+    pub detail: String,
+}
+
+/// Full result of the hybrid dependence engine: the merged
+/// [`DependenceInfo`] plus how every pair was settled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NestAnalysis {
+    /// The merged dependence structure of the nest.
+    pub info: DependenceInfo,
+    /// One entry per same-array pair with at least one write, in body order.
+    pub pairs: Vec<PairSummary>,
+}
+
+impl NestAnalysis {
+    /// True if no pair needed domain enumeration — the distance set was
+    /// obtained purely symbolically.
+    pub fn enumeration_free(&self) -> bool {
+        self.pairs
+            .iter()
+            .all(|p| p.method != PairMethod::Enumerated)
+    }
+
+    /// Classifies the nest's loop levels from the per-pair distances.
+    pub fn classify(&self) -> ParallelismReport {
+        let depth = self.info.depth;
+        let mut carriers: BTreeMap<usize, LevelCarriers> = BTreeMap::new();
+        for p in &self.pairs {
+            for d in &p.distances {
+                let Some(level) = d.iter().position(|&x| x != 0) else {
+                    continue;
+                };
+                let entry = carriers.entry(level).or_insert_with(|| LevelCarriers {
+                    level,
+                    pairs: Vec::new(),
+                    example: d.clone(),
+                });
+                if !entry.pairs.contains(&(p.ref_a, p.ref_b)) {
+                    entry.pairs.push((p.ref_a, p.ref_b));
+                }
+                if *d < entry.example {
+                    entry.example = d.clone();
+                }
+            }
+        }
+        let doall = (0..depth).filter(|l| !carriers.contains_key(l)).collect();
+        ParallelismReport {
+            depth,
+            doall,
+            carried: carriers.into_values().collect(),
+            outermost_parallel: self.info.outermost_parallel(),
+            exact: self.info.is_exact(),
+        }
+    }
+}
+
+/// What blocks parallelism at one loop level.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LevelCarriers {
+    /// The carried level (0-based, outermost first).
+    pub level: usize,
+    /// Reference pairs (body indices) contributing a distance carried here.
+    pub pairs: Vec<(usize, usize)>,
+    /// Lexicographically smallest distance carried at this level.
+    pub example: Vec<i64>,
+}
+
+/// Per-nest parallelism classification: which levels are DOALL, which carry
+/// dependences, and which reference pairs block parallelism where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelismReport {
+    /// Nest depth.
+    pub depth: usize,
+    /// Levels carrying no dependence (parallelizable as-is).
+    pub doall: Vec<usize>,
+    /// Carried levels, outermost first, with the blocking pairs.
+    pub carried: Vec<LevelCarriers>,
+    /// The level the mapper parallelizes (outermost DOALL), if any.
+    pub outermost_parallel: Option<usize>,
+    /// Whether the underlying distance set is exact for the concrete domain.
+    pub exact: bool,
+}
+
+impl fmt::Display for ParallelismReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "depth {}", self.depth)?;
+        if self.carried.is_empty() {
+            write!(f, ": fully parallel (DOALL at every level)")?;
+        } else {
+            write!(f, ": DOALL levels {:?}", self.doall)?;
+            for c in &self.carried {
+                write!(
+                    f,
+                    "; level {} carried by pairs {:?} (e.g. distance {:?})",
+                    c.level, c.pairs, c.example
+                )?;
+            }
+        }
+        match self.outermost_parallel {
+            Some(l) => write!(f, "; parallelized at level {l}")?,
+            None => write!(f, "; no parallel level")?,
+        }
+        if !self.exact {
+            write!(f, " [conservative]")?;
+        }
+        Ok(())
+    }
+}
+
 /// Returns the lexicographically positive version of `d`, or `None` if `d`
 /// is all zeros (an intra-iteration "dependence", which is not loop-carried).
 fn lex_positive(mut d: Vec<i64>) -> Option<Vec<i64>> {
@@ -111,11 +296,334 @@ fn lex_positive(mut d: Vec<i64>) -> Option<Vec<i64>> {
     }
 }
 
+/// Outcome of the uniformly-generated pair test.
+enum Uniform {
+    /// Not uniformly generated (or rows the test cannot handle).
+    NotApplicable,
+    /// Constant subscript rows differ: the pair can never conflict.
+    Inconsistent,
+    /// The rows do not pin every loop variable.
+    UnderConstrained,
+    /// The single possible distance `I_a - I_b`.
+    Delta(Vec<i64>),
+}
+
+/// The classic test for uniformly generated references: equal linear parts,
+/// every row a constant or a single-variable `±1` row, rows collectively
+/// pinning every variable.
+fn uniform_delta(ma: &AffineMap, mb: &AffineMap, depth: usize) -> Uniform {
+    if ma.n_out() != mb.n_out() {
+        return Uniform::NotApplicable;
+    }
+    let uniform = ma
+        .exprs()
+        .iter()
+        .zip(mb.exprs())
+        .all(|(ea, eb)| ea.coeffs() == eb.coeffs());
+    if !uniform {
+        return Uniform::NotApplicable;
+    }
+    let mut delta = vec![None; depth]; // I_a - I_b per variable
+    for (ea, eb) in ma.exprs().iter().zip(mb.exprs()) {
+        let nz: Vec<usize> = (0..depth).filter(|&v| ea.coeff(v) != 0).collect();
+        match nz.as_slice() {
+            [] => {
+                if ea.constant_term() != eb.constant_term() {
+                    return Uniform::Inconsistent;
+                }
+            }
+            [v] if ea.coeff(*v).abs() == 1 => {
+                // c*(Ia[v] - Ib[v]) = offB - offA
+                let rhs = eb.constant_term() - ea.constant_term();
+                let val = rhs * ea.coeff(*v); // c is +/-1 so this divides
+                match delta[*v] {
+                    None => delta[*v] = Some(val),
+                    Some(prev) if prev == val => {}
+                    Some(_) => return Uniform::Inconsistent,
+                }
+            }
+            _ => return Uniform::NotApplicable, // coupled or scaled row
+        }
+    }
+    if delta.iter().any(Option::is_none) {
+        return Uniform::UnderConstrained;
+    }
+    Uniform::Delta(delta.into_iter().map(|x| x.expect("checked")).collect())
+}
+
+/// The domain's constraints in `>= 0` form.
+fn domain_ge(dom: &IntegerSet) -> Vec<AffineExpr> {
+    let mut out = Vec::new();
+    for c in dom.constraints() {
+        match c.kind() {
+            ConstraintKind::Ge => out.push(c.expr().clone()),
+            ConstraintKind::Eq => {
+                out.push(c.expr().clone());
+                out.push(-c.expr().clone());
+            }
+        }
+    }
+    out
+}
+
+/// True if some iteration `I` has both `I` and `I + d` in the domain — i.e.
+/// the uniform distance `d` is actually realized.
+fn shift_realizable(dom: &IntegerSet, d: &[i64]) -> bool {
+    let mut b = IntegerSet::builder(dom.dim());
+    for e in domain_ge(dom) {
+        let mut shifted = e.constant_term();
+        for (v, &dv) in d.iter().enumerate() {
+            shifted += e.coeff(v) * dv;
+        }
+        b = b
+            .ge(AffineExpr::new(e.coeffs().to_vec(), shifted))
+            .ge(e.clone());
+    }
+    !b.build().is_empty()
+}
+
+/// True if the affine reference can be modelled symbolically: its rank
+/// matches the array's and every subscript row stays in bounds over the
+/// domain's bounding box (out-of-bounds accesses are clamped by
+/// [`Program::nest_accesses`], which symbolic subscript equations do not
+/// model).
+fn symbol_safe(program: &Program, r: &crate::nest::ArrayRef, bbox: &[(i64, i64)]) -> bool {
+    let Subscript::Affine(m) = r.subscript() else {
+        return false;
+    };
+    let decl = program.array(r.array());
+    if m.n_out() != decl.dims().len() {
+        return false;
+    }
+    for (row, e) in m.exprs().iter().enumerate() {
+        let extent = decl.dims()[row] as i64;
+        let mut lo = e.constant_term();
+        let mut hi = e.constant_term();
+        for (v, &(blo, bhi)) in bbox.iter().enumerate() {
+            let c = e.coeff(v);
+            if c > 0 {
+                lo += c * blo;
+                hi += c * bhi;
+            } else if c < 0 {
+                lo += c * bhi;
+                hi += c * blo;
+            }
+        }
+        if lo < 0 || hi >= extent {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the per-pair ladder. With `allow_enumeration == false`, returns
+/// `None` as soon as any pair would need the enumeration fallback.
+fn analyze_pairs(program: &Program, nest: NestId, allow_enumeration: bool) -> Option<NestAnalysis> {
+    let n = program.nest(nest);
+    let depth = n.depth();
+    let dom = n.domain();
+    let bbox = dom.bounding_box();
+    let opts = DependenceOptions::default();
+
+    let mut pairs: Vec<PairSummary> = Vec::new();
+    // (ref_a, ref_b, why) for pairs needing the enumeration fallback.
+    let mut pending: Vec<(usize, usize, String)> = Vec::new();
+    for (i, a) in n.refs().iter().enumerate() {
+        for (j, b) in n.refs().iter().enumerate().skip(i) {
+            if a.array() != b.array() {
+                continue;
+            }
+            if a.kind() == AccessKind::Read && b.kind() == AccessKind::Read {
+                continue;
+            }
+            let symbolic_ok = bbox
+                .as_ref()
+                .is_some_and(|bb| symbol_safe(program, a, bb) && symbol_safe(program, b, bb));
+            if !symbolic_ok {
+                pending.push((
+                    i,
+                    j,
+                    "indirect, out-of-bounds or rank-mismatched subscript".to_owned(),
+                ));
+                continue;
+            }
+            let (Subscript::Affine(ma), Subscript::Affine(mb)) = (a.subscript(), b.subscript())
+            else {
+                unreachable!("symbol_safe only accepts affine references");
+            };
+            match uniform_delta(ma, mb, depth) {
+                Uniform::Inconsistent => {
+                    pairs.push(PairSummary {
+                        ref_a: i,
+                        ref_b: j,
+                        method: PairMethod::Uniform,
+                        distances: Vec::new(),
+                        detail: "uniform references with mismatched constant rows".to_owned(),
+                    });
+                    continue;
+                }
+                Uniform::Delta(d) => {
+                    let distances = lex_positive(d)
+                        .filter(|d| {
+                            // The constant distance must be realized by some
+                            // iteration pair of the concrete domain.
+                            shift_realizable(dom, d)
+                        })
+                        .map(|d| vec![d])
+                        .unwrap_or_default();
+                    pairs.push(PairSummary {
+                        ref_a: i,
+                        ref_b: j,
+                        method: PairMethod::Uniform,
+                        distances,
+                        detail: "uniformly generated references".to_owned(),
+                    });
+                    continue;
+                }
+                Uniform::NotApplicable | Uniform::UnderConstrained => {}
+            }
+            match pair_distances(dom, ma, mb, &opts) {
+                Ok(pd) => {
+                    let (method, detail) = match pd.screened {
+                        Some(why) => (PairMethod::Screened, format!("{why:?}")),
+                        None => (PairMethod::Symbolic, "conflict-set projection".to_owned()),
+                    };
+                    pairs.push(PairSummary {
+                        ref_a: i,
+                        ref_b: j,
+                        method,
+                        distances: pd.distances,
+                        detail,
+                    });
+                }
+                Err(e) => pending.push((i, j, e.to_string())),
+            }
+        }
+    }
+
+    if !pending.is_empty() {
+        if !allow_enumeration {
+            return None;
+        }
+        enumerate_pairs(program, nest, &pending, &mut pairs);
+    }
+    pairs.sort_by_key(|p| (p.ref_a, p.ref_b));
+
+    let enumeration_used = pairs.iter().any(|p| p.method == PairMethod::Enumerated);
+    let provenance = if !enumeration_used {
+        Provenance::Symbolic
+    } else if pairs.iter().all(|p| p.method == PairMethod::Enumerated) {
+        Provenance::Enumerated
+    } else {
+        Provenance::Hybrid
+    };
+    let mut distances: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for p in &pairs {
+        for d in &p.distances {
+            distances.insert(d.clone());
+        }
+    }
+    Some(NestAnalysis {
+        info: DependenceInfo {
+            depth,
+            distances: distances.into_iter().collect(),
+            provenance,
+        },
+        pairs,
+    })
+}
+
+/// Enumerates the concrete domain once, recording distances only for the
+/// `pending` pairs (body-index pairs the symbolic ladder could not settle).
+fn enumerate_pairs(
+    program: &Program,
+    nest: NestId,
+    pending: &[(usize, usize, String)],
+    pairs: &mut Vec<PairSummary>,
+) {
+    let n = program.nest(nest);
+    let wanted: BTreeSet<(usize, usize)> = pending.iter().map(|&(a, b, _)| (a, b)).collect();
+    let involved: BTreeSet<usize> = wanted.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let iterations = n.iterations();
+    // element (array, flat) -> list of (iteration index, ref index)
+    let mut touched: HashMap<(usize, u64), Vec<(usize, usize)>> = HashMap::new();
+    for (it_idx, point) in iterations.iter().enumerate() {
+        for (ref_idx, acc) in program.nest_accesses(nest, point).into_iter().enumerate() {
+            if involved.contains(&ref_idx) {
+                touched
+                    .entry((acc.array.index(), acc.element))
+                    .or_default()
+                    .push((it_idx, ref_idx));
+            }
+        }
+    }
+    let mut per_pair: BTreeMap<(usize, usize), BTreeSet<Vec<i64>>> =
+        wanted.iter().map(|&k| (k, BTreeSet::new())).collect();
+    for users in touched.values() {
+        for (i, &(ia, ra)) in users.iter().enumerate() {
+            for &(ib, rb) in &users[i..] {
+                if ia == ib {
+                    continue;
+                }
+                let key = (ra.min(rb), ra.max(rb));
+                let Some(set) = per_pair.get_mut(&key) else {
+                    continue; // e.g. a read/read combination of involved refs
+                };
+                let d: Vec<i64> = iterations[ib]
+                    .iter()
+                    .zip(&iterations[ia])
+                    .map(|(x, y)| x - y)
+                    .collect();
+                if let Some(d) = lex_positive(d) {
+                    set.insert(d);
+                }
+            }
+        }
+    }
+    for &(a, b, ref why) in pending {
+        let distances = per_pair
+            .remove(&(a, b))
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        pairs.push(PairSummary {
+            ref_a: a,
+            ref_b: b,
+            method: PairMethod::Enumerated,
+            distances,
+            detail: format!("enumerated: {why}"),
+        });
+    }
+}
+
+/// Hybrid per-pair dependence analysis: symbolic wherever possible,
+/// pair-restricted enumeration only where not. The result is always exact
+/// for the concrete domain.
+pub fn analyze_nest(program: &Program, nest: NestId) -> NestAnalysis {
+    analyze_pairs(program, nest, true).expect("enumeration fallback was allowed")
+}
+
+/// Purely symbolic analysis: like [`analyze_nest`] but returns `None` if any
+/// pair would need domain enumeration (indirect or out-of-bounds subscripts,
+/// or symbolic resource limits exceeded). The result never enumerates the
+/// iteration domain, so it scales to domains enumeration cannot touch.
+pub fn analyze_symbolic(program: &Program, nest: NestId) -> Option<DependenceInfo> {
+    analyze_pairs(program, nest, false).map(|a| a.info)
+}
+
+/// Convenience: [`analyze_nest`]'s classification report.
+pub fn classify(program: &Program, nest: NestId) -> ParallelismReport {
+    analyze_nest(program, nest).classify()
+}
+
 /// Static, conservative dependence test for uniformly generated affine
 /// references. Returns `None` when the nest contains reference pairs the
 /// test cannot analyze (indirect subscripts, or affine pairs on the same
 /// array with different linear parts or rows that are not single-variable
 /// `±1` rows).
+///
+/// Unlike [`analyze_nest`] this performs no realizability check: the
+/// reported distances are the classic conservative set, which may include
+/// vectors no iteration pair of the concrete domain realizes.
 pub fn analyze_static(program: &Program, nest: NestId) -> Option<DependenceInfo> {
     let n = program.nest(nest);
     let depth = n.depth();
@@ -132,61 +640,21 @@ pub fn analyze_static(program: &Program, nest: NestId) -> Option<DependenceInfo>
             else {
                 return None; // indirect: not statically analyzable
             };
-            if ma.n_out() != mb.n_out() {
-                return None;
-            }
-            // Uniformly generated: equal linear parts.
-            let uniform = ma
-                .exprs()
-                .iter()
-                .zip(mb.exprs())
-                .all(|(ea, eb)| ea.coeffs() == eb.coeffs());
-            if !uniform {
-                return None;
-            }
-            // Every row must pin exactly one variable with coefficient +/-1,
-            // and collectively the rows must pin every variable.
-            let mut delta = vec![None; depth]; // I_a - I_b per variable
-            let mut consistent = true;
-            for (ea, eb) in ma.exprs().iter().zip(mb.exprs()) {
-                let nz: Vec<usize> = (0..depth).filter(|&v| ea.coeff(v) != 0).collect();
-                match nz.as_slice() {
-                    [] => {
-                        // Constant subscript row: elements differ unless the
-                        // offsets match.
-                        if ea.constant_term() != eb.constant_term() {
-                            consistent = false;
-                        }
+            match uniform_delta(ma, mb, depth) {
+                Uniform::NotApplicable | Uniform::UnderConstrained => return None,
+                Uniform::Inconsistent => continue, // provably no dependence
+                Uniform::Delta(d) => {
+                    if let Some(d) = lex_positive(d) {
+                        distances.insert(d);
                     }
-                    [v] if ea.coeff(*v).abs() == 1 => {
-                        // c*(Ia[v] - Ib[v]) = offB - offA
-                        let rhs = eb.constant_term() - ea.constant_term();
-                        let val = rhs * ea.coeff(*v); // c is +/-1 so this divides
-                        match delta[*v] {
-                            None => delta[*v] = Some(val),
-                            Some(prev) if prev == val => {}
-                            Some(_) => consistent = false,
-                        }
-                    }
-                    _ => return None, // coupled or scaled row: fall back
                 }
-            }
-            if !consistent {
-                continue; // provably no dependence for this pair
-            }
-            if delta.iter().any(Option::is_none) {
-                return None; // under-constrained: fall back to exact
-            }
-            let d: Vec<i64> = delta.into_iter().map(|x| x.expect("checked")).collect();
-            if let Some(d) = lex_positive(d) {
-                distances.insert(d);
             }
         }
     }
     Some(DependenceInfo {
         depth,
         distances: distances.into_iter().collect(),
-        exact: false,
+        provenance: Provenance::Static,
     })
 }
 
@@ -196,8 +664,9 @@ pub fn analyze_static(program: &Program, nest: NestId) -> Option<DependenceInfo>
 /// side writes.
 ///
 /// Precise (it sees through indirect subscripts) but costs
-/// `O(iterations × refs)` time and memory; intended for the moderate domain
-/// sizes of the evaluation.
+/// `O(iterations × refs)` time and memory plus quadratic work per shared
+/// element; intended for moderate domain sizes and as the reference
+/// implementation the symbolic engine is tested against.
 pub fn analyze_exact(program: &Program, nest: NestId) -> DependenceInfo {
     let n = program.nest(nest);
     let depth = n.depth();
@@ -234,13 +703,15 @@ pub fn analyze_exact(program: &Program, nest: NestId) -> DependenceInfo {
     DependenceInfo {
         depth,
         distances: distances.into_iter().collect(),
-        exact: true,
+        provenance: Provenance::Enumerated,
     }
 }
 
-/// Static analysis when possible, exact analysis otherwise.
+/// The hybrid analysis' merged result (always exact for the concrete
+/// domain): symbolic wherever the ladder applies, pair-restricted
+/// enumeration otherwise.
 pub fn analyze(program: &Program, nest: NestId) -> DependenceInfo {
-    analyze_static(program, nest).unwrap_or_else(|| analyze_exact(program, nest))
+    analyze_nest(program, nest).info
 }
 
 #[cfg(test)]
@@ -280,6 +751,7 @@ mod tests {
         assert_eq!(info.distances(), &[vec![4]]);
         assert!(!info.is_fully_parallel());
         assert_eq!(info.outermost_parallel(), None);
+        assert!(!info.is_exact());
     }
 
     #[test]
@@ -288,6 +760,17 @@ mod tests {
         let s = analyze_static(&p, id).unwrap();
         let e = analyze_exact(&p, id);
         assert_eq!(s.distances(), e.distances());
+    }
+
+    #[test]
+    fn fig5_symbolic_matches_exact_without_enumeration() {
+        let (p, id) = fig5();
+        let a = analyze_nest(&p, id);
+        assert!(a.enumeration_free());
+        assert_eq!(a.info.provenance(), Provenance::Symbolic);
+        assert_eq!(a.info.distances(), analyze_exact(&p, id).distances());
+        let sym = analyze_symbolic(&p, id).expect("all-affine nest");
+        assert_eq!(sym.distances(), &[vec![4]]);
     }
 
     #[test]
@@ -351,10 +834,152 @@ mod tests {
             AccessKind::Write,
         )));
         assert!(analyze_static(&p, id).is_none());
+        assert!(analyze_symbolic(&p, id).is_none());
         let info = analyze(&p, id);
         assert!(info.is_exact());
+        assert_eq!(info.provenance(), Provenance::Enumerated);
         // Iterations j and j+4 write the same element.
         assert_eq!(info.distances(), &[vec![4]]);
+    }
+
+    #[test]
+    fn hybrid_nest_keeps_symbolic_pairs_symbolic() {
+        // Satellite regression: one indirect pair must no longer force the
+        // whole nest into enumeration — the affine pair stays symbolic.
+        let mut p = Program::new("hybrid");
+        let a = p.add_array("A", &[64], 8);
+        let x = p.add_array("x", &[64], 8);
+        let d = IntegerSet::builder(1).bounds(0, 1, 31).build();
+        let shift = AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 1)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(a, AffineMap::identity(1)))
+                .with_ref(ArrayRef::read(a, shift))
+                .with_ref(ArrayRef::new(
+                    x,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0),
+                        table: (0..16u64).chain(0..16).collect::<Vec<_>>().into(),
+                    },
+                    AccessKind::Write,
+                )),
+        );
+        let analysis = analyze_nest(&p, id);
+        assert!(!analysis.enumeration_free());
+        assert_eq!(analysis.info.provenance(), Provenance::Hybrid);
+        let affine_pair = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 1))
+            .expect("A-pair analyzed");
+        assert_eq!(affine_pair.method, PairMethod::Uniform);
+        assert_eq!(affine_pair.distances, vec![vec![1]]);
+        let indirect_pair = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (2, 2))
+            .expect("x self-pair analyzed");
+        assert_eq!(indirect_pair.method, PairMethod::Enumerated);
+        assert_eq!(indirect_pair.distances, vec![vec![16]]);
+        // The merged result matches full enumeration.
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+    }
+
+    #[test]
+    fn scaled_subscripts_are_integer_exact() {
+        // A[2i] vs A[2i+1]: rationally dependent, integrally independent.
+        // The GCD screen must prove independence (satellite: the rational FM
+        // core alone would not).
+        let mut p = Program::new("evenodd");
+        let a = p.add_array("A", &[130], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 63).build();
+        let even = AffineMap::new(1, vec![AffineExpr::var(1, 0) * 2]);
+        let odd = AffineMap::new(
+            1,
+            vec![AffineExpr::var(1, 0) * 2 + AffineExpr::constant(1, 1)],
+        );
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(a, even))
+                .with_ref(ArrayRef::read(a, odd)),
+        );
+        let analysis = analyze_nest(&p, id);
+        assert!(analysis.info.is_fully_parallel());
+        assert!(analysis.enumeration_free());
+        let pair = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 1))
+            .expect("pair analyzed");
+        assert_eq!(pair.method, PairMethod::Screened);
+        assert_eq!(analyze_exact(&p, id).distances(), &[] as &[Vec<i64>]);
+    }
+
+    #[test]
+    fn under_constrained_rows_resolve_symbolically() {
+        // W[i] += A[i][j] over (i,j): the uniform test cannot pin delta_j,
+        // but the conflict set yields exactly the (0, t) distances.
+        let mut p = Program::new("rowsum");
+        let w = p.add_array("W", &[8], 8);
+        let a = p.add_array("A", &[8, 8], 8);
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 7)
+            .bounds(1, 0, 7)
+            .build();
+        let row = AffineMap::new(2, vec![AffineExpr::var(2, 0)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(w, row.clone()))
+                .with_ref(ArrayRef::read(w, row))
+                .with_ref(ArrayRef::read(a, AffineMap::identity(2))),
+        );
+        assert!(analyze_static(&p, id).is_none());
+        let analysis = analyze_nest(&p, id);
+        assert!(analysis.enumeration_free());
+        assert_eq!(analysis.info.provenance(), Provenance::Symbolic);
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+        assert_eq!(analysis.info.carried_levels(), BTreeSet::from([1]));
+        assert_eq!(analysis.info.outermost_parallel(), Some(0));
+    }
+
+    #[test]
+    fn classification_names_blocking_pairs() {
+        let (p, id) = fig5();
+        let report = classify(&p, id);
+        assert_eq!(report.depth, 1);
+        assert!(report.doall.is_empty());
+        assert_eq!(report.outermost_parallel, None);
+        assert!(report.exact);
+        assert_eq!(report.carried.len(), 1);
+        let c = &report.carried[0];
+        assert_eq!(c.level, 0);
+        assert_eq!(c.example, vec![4]);
+        // B[j] (write, ref 0) against B[j+4] and B[j-4] (refs 2 and 3).
+        assert_eq!(c.pairs, vec![(0, 2), (0, 3)]);
+        let shown = report.to_string();
+        assert!(shown.contains("level 0 carried"), "{shown}");
+    }
+
+    #[test]
+    fn unrealized_uniform_distance_is_dropped() {
+        // A[i] vs A[i-12] over i in [0, 8): the static test reports distance
+        // 12, but no iteration pair of the concrete domain realizes it.
+        let mut p = Program::new("short");
+        let a = p.add_array("A", &[24], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let far = AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 12)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::write(a, AffineMap::identity(1)))
+                .with_ref(ArrayRef::read(a, far)),
+        );
+        // Out-of-bounds subscript (i-12 < 0): the engine falls back to
+        // enumeration, which sees the clamped accesses.
+        let info = analyze(&p, id);
+        assert_eq!(info.distances(), analyze_exact(&p, id).distances());
+        let s = analyze_static(&p, id).unwrap();
+        assert_eq!(s.distances(), &[vec![12]]);
+        assert!(!s.is_exact());
     }
 
     #[test]

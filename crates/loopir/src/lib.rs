@@ -57,7 +57,10 @@ mod program;
 pub mod transform;
 
 pub use array::{ArrayDecl, ArrayId};
-pub use dependence::{DependenceInfo, Direction};
+pub use dependence::{
+    analyze_nest, analyze_symbolic, classify, DependenceInfo, Direction, LevelCarriers,
+    NestAnalysis, PairMethod, PairSummary, ParallelismReport, Provenance,
+};
 pub use lint::{lint_nest, LintKind, SubscriptLint};
 pub use nest::{AccessKind, ArrayRef, ElementAccess, LoopNest, NestId, Subscript};
 pub use program::Program;

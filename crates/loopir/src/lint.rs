@@ -18,6 +18,11 @@ pub enum LintKind {
     OutOfBounds,
     /// The subscript is not an affine function of the iteration vector.
     NonAffine,
+    /// A subscript row couples two or more loop variables (e.g. `A[i+j]`):
+    /// still affine — the symbolic engine handles it exactly — but outside
+    /// the single-subscript tests (GCD/Banerjee screen per row, uniform
+    /// test), so such rows typically cost a conflict-set projection.
+    Coupled,
 }
 
 /// One finding of [`lint_nest`].
@@ -99,6 +104,18 @@ pub fn lint_nest(program: &Program, nest: NestId) -> Vec<SubscriptLint> {
                             ),
                         ));
                     }
+                    let coupled = expr.coeffs().iter().filter(|&&c| c != 0).count() >= 2;
+                    if coupled {
+                        out.push(lint(
+                            LintKind::Coupled,
+                            format!(
+                                "dimension {d} of `{}` couples {} loop variables \
+                                 in one subscript row",
+                                decl.name(),
+                                expr.coeffs().iter().filter(|&&c| c != 0).count()
+                            ),
+                        ));
+                    }
                 }
             }
             Subscript::Indirect { table, .. } => {
@@ -170,6 +187,22 @@ mod tests {
         let shifted = AffineMap::new(1, vec![AffineExpr::var(1, 0) - AffineExpr::constant(1, 1)]);
         let id = p.add_nest(LoopNest::new("n", domain(64)).with_ref(ArrayRef::read(a, shifted)));
         assert_eq!(lint_nest(&p, id).len(), 1);
+    }
+
+    #[test]
+    fn coupled_row_flagged() {
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[32], 8);
+        let d = IntegerSet::builder(2)
+            .bounds(0, 0, 7)
+            .bounds(1, 0, 7)
+            .build();
+        let sum = AffineMap::new(2, vec![AffineExpr::var(2, 0) + AffineExpr::var(2, 1)]);
+        let id = p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::read(a, sum)));
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].kind, LintKind::Coupled);
+        assert!(lints[0].detail.contains("couples 2"), "{}", lints[0].detail);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Property tests for the symbolic dependence engine: on random all-affine
+//! nests small enough to enumerate, the enumeration-free symbolic path must
+//! agree exactly with [`dependence::analyze_exact`].
+//!
+//! Subscripts are generated *in-bounds by construction* (coefficients in
+//! `[-2, 2]`, a `+40` base offset, extents of 96), so the clamping semantics
+//! of out-of-range flattening never distinguish the two paths and the
+//! comparison is exact equality of distance sets — not containment.
+
+use ctam_loopir::{dependence, AccessKind, ArrayRef, LoopNest, Program, Subscript};
+use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+use proptest::prelude::*;
+
+const EXTENT: u64 = 96;
+const BASE: i64 = 40;
+
+/// One affine subscript row `BASE + c · I + k`, in-bounds for any
+/// `c ∈ [-2,2]^depth`, `I ∈ [0,9]^depth`, `k ∈ [0,3]`.
+fn arb_row(depth: usize) -> impl Strategy<Value = AffineExpr> {
+    (proptest::collection::vec(-2i64..=2, depth), 0i64..=3).prop_map(move |(coeffs, k)| {
+        let mut e = AffineExpr::constant(depth, BASE + k);
+        for (v, &c) in coeffs.iter().enumerate() {
+            e = e + AffineExpr::var(depth, v).scaled(c);
+        }
+        e
+    })
+}
+
+/// A random nest: depth 1 or 2, loop bounds at most 10 points per level,
+/// 2–4 references (the first a write) into a shared rank-`depth` array.
+fn arb_nest() -> impl Strategy<Value = Program> {
+    (1usize..=2)
+        .prop_flat_map(|depth| {
+            (
+                Just(depth),
+                proptest::collection::vec(3i64..=9, depth),
+                proptest::collection::vec(proptest::collection::vec(arb_row(depth), depth), 2..=4),
+            )
+        })
+        .prop_map(|(depth, his, subscripts)| {
+            let mut p = Program::new("prop");
+            let dims: Vec<u64> = vec![EXTENT; depth];
+            let a = p.add_array("A", &dims, 8);
+            let mut b = IntegerSet::builder(depth);
+            for (v, &hi) in his.iter().enumerate() {
+                b = b.bounds(v, 0, hi);
+            }
+            let mut nest = LoopNest::new("n", b.build());
+            for (i, rows) in subscripts.into_iter().enumerate() {
+                let kind = if i == 0 {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
+                nest = nest.with_ref(ArrayRef::new(
+                    a,
+                    Subscript::Affine(AffineMap::new(depth, rows)),
+                    kind,
+                ));
+            }
+            p.add_nest(nest);
+            p
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The symbolic engine is available on every all-affine in-bounds nest
+    /// and reproduces the enumerated distance set exactly.
+    #[test]
+    fn symbolic_matches_exact_on_random_affine_nests(p in arb_nest()) {
+        let (id, _) = p.nests().next().unwrap();
+        let exact = dependence::analyze_exact(&p, id);
+        let sym = dependence::analyze_symbolic(&p, id)
+            .expect("all-affine in-bounds nest must be symbolically analyzable");
+        prop_assert_eq!(sym.distances(), exact.distances());
+
+        let analysis = dependence::analyze_nest(&p, id);
+        prop_assert!(analysis.enumeration_free(), "pairs: {:?}", analysis.pairs);
+        prop_assert_eq!(analysis.info.distances(), exact.distances());
+        prop_assert!(analysis.info.is_exact());
+    }
+
+    /// The classification is consistent with the distance set it reports:
+    /// DOALL levels carry nothing, carried levels name a blocking pair with
+    /// a witness distance.
+    #[test]
+    fn classification_is_consistent(p in arb_nest()) {
+        let (id, _) = p.nests().next().unwrap();
+        let analysis = dependence::analyze_nest(&p, id);
+        let report = analysis.classify();
+        let carried = analysis.info.carried_levels();
+        for level in 0..report.depth {
+            prop_assert_eq!(report.doall.contains(&level), !carried.contains(&level));
+        }
+        for c in &report.carried {
+            prop_assert!(carried.contains(&c.level));
+            prop_assert!(!c.pairs.is_empty());
+            prop_assert!(c.example[..c.level].iter().all(|&x| x == 0));
+            prop_assert!(c.example[c.level] > 0);
+        }
+        prop_assert_eq!(report.outermost_parallel, analysis.info.outermost_parallel());
+    }
+}

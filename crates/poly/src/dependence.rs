@@ -1,0 +1,530 @@
+//! Symbolic dependence testing between two affine references over a shared
+//! iteration domain.
+//!
+//! Given subscript maps `S` and `S'` (one per reference) over a domain `K`,
+//! the *conflict set* is `{(D, I) : I ∈ K, I + D ∈ K, S(I) = S'(I + D)}`.
+//! Projecting it onto the distance block `D` by Fourier–Motzkin elimination
+//! yields every candidate dependence distance without enumerating `K`.
+//! Because FM is exact over the rationals only, each candidate is re-checked
+//! for *integer* realizability by testing the slice
+//! `{I : I ∈ K, I + D ∈ K, S(I) = S'(I + D)}` for integer emptiness —
+//! so the returned distance set is exact.
+//!
+//! Two cheap screens run first and often settle a pair outright:
+//!
+//! * the **GCD row test** — `S_k(I) = S'_k(I')` has integer solutions only
+//!   if the gcd of all variable coefficients divides the constant gap;
+//! * the **Banerjee bounds test** — the ranges of `S_k` and `S'_k` over the
+//!   domain's bounding box must overlap.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::expr::AffineExpr;
+use crate::fm::{normalize_to_ge, try_project_onto_prefix, FmError, FmLimits};
+use crate::map::AffineMap;
+use crate::set::IntegerSet;
+
+/// Resource limits for a symbolic pair test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DependenceOptions {
+    /// Maximum number of candidate distance vectors the projected distance
+    /// polyhedron may contain before the test gives up (callers fall back
+    /// to enumeration); weakly-constrained subscripts (e.g. a constant
+    /// subscript over a large domain) produce domain-sized candidate sets.
+    pub max_candidates: usize,
+    /// Limits for the Fourier–Motzkin projection.
+    pub fm: FmLimits,
+}
+
+impl Default for DependenceOptions {
+    fn default() -> Self {
+        Self {
+            max_candidates: 1 << 16,
+            fm: FmLimits::default(),
+        }
+    }
+}
+
+/// Which screen proved a reference pair independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Independence {
+    /// The GCD row test: the gcd of subscript-row coefficients does not
+    /// divide the constant gap (e.g. `A[2i]` vs `A[2j+1]`).
+    Gcd {
+        /// The subscript row that proved independence.
+        row: usize,
+    },
+    /// The Banerjee bounds test: the two subscript-row ranges over the
+    /// domain's bounding box do not intersect.
+    Bounds {
+        /// The subscript row that proved independence.
+        row: usize,
+    },
+}
+
+/// Why a symbolic pair test could not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DependenceError {
+    /// The Fourier–Motzkin projection exceeded its limits.
+    Fm(FmError),
+    /// The projected distance polyhedron holds more candidates than
+    /// [`DependenceOptions::max_candidates`].
+    TooManyCandidates {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The iteration domain (and hence the distance polyhedron) is
+    /// unbounded; distance sets are only extracted for bounded domains.
+    Unbounded,
+}
+
+impl fmt::Display for DependenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependenceError::Fm(e) => write!(f, "projection failed: {e}"),
+            DependenceError::TooManyCandidates { limit } => {
+                write!(f, "more than {limit} candidate distances")
+            }
+            DependenceError::Unbounded => write!(f, "unbounded iteration domain"),
+        }
+    }
+}
+
+impl std::error::Error for DependenceError {}
+
+impl From<FmError> for DependenceError {
+    fn from(e: FmError) -> Self {
+        DependenceError::Fm(e)
+    }
+}
+
+/// Outcome of a symbolic pair test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairDependence {
+    /// Exact dependence distances, lexicographically normalized (first
+    /// non-zero component positive) and sorted. Empty means independent.
+    pub distances: Vec<Vec<i64>>,
+    /// Set when a screen proved independence before any projection ran
+    /// (`distances` is then empty).
+    pub screened: Option<Independence>,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Range of an affine expression over a bounding box, corner-selected per
+/// coefficient sign. Returns `None` on overflow (screens then abstain).
+fn expr_range(e: &AffineExpr, bbox: &[(i64, i64)]) -> Option<(i64, i64)> {
+    let mut lo = e.constant_term();
+    let mut hi = e.constant_term();
+    for (v, &(blo, bhi)) in bbox.iter().enumerate() {
+        let c = e.coeff(v);
+        if c > 0 {
+            lo = lo.checked_add(c.checked_mul(blo)?)?;
+            hi = hi.checked_add(c.checked_mul(bhi)?)?;
+        } else if c < 0 {
+            lo = lo.checked_add(c.checked_mul(bhi)?)?;
+            hi = hi.checked_add(c.checked_mul(blo)?)?;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Runs the GCD and Banerjee screens on every subscript row of the pair.
+///
+/// Returns `Some` if any row proves the references can never touch the same
+/// element for *any* two iterations in `domain` (including equal ones);
+/// `None` means the screens are inconclusive, not that a dependence exists.
+///
+/// # Panics
+///
+/// Panics if the maps' input dimensionality differs from the domain's, or
+/// if their output dimensionalities differ from each other.
+pub fn screen_pair(domain: &IntegerSet, a: &AffineMap, b: &AffineMap) -> Option<Independence> {
+    assert_eq!(a.n_in(), domain.dim(), "map/domain dimensionality mismatch");
+    assert_eq!(b.n_in(), domain.dim(), "map/domain dimensionality mismatch");
+    assert_eq!(a.n_out(), b.n_out(), "subscript rank mismatch");
+    let bbox = domain.bounding_box();
+    for (row, (ea, eb)) in a.exprs().iter().zip(b.exprs()).enumerate() {
+        // Solve ea(I) = eb(I'): variable part gcd must divide the gap.
+        let mut g = 0;
+        for &c in ea.coeffs().iter().chain(eb.coeffs()) {
+            g = gcd(g, c);
+        }
+        let gap = eb.constant_term() - ea.constant_term();
+        if g == 0 {
+            if gap != 0 {
+                return Some(Independence::Gcd { row });
+            }
+        } else if gap.rem_euclid(g) != 0 {
+            return Some(Independence::Gcd { row });
+        }
+        if let Some(bbox) = &bbox {
+            if let (Some((alo, ahi)), Some((blo, bhi))) =
+                (expr_range(ea, bbox), expr_range(eb, bbox))
+            {
+                if ahi < blo || bhi < alo {
+                    return Some(Independence::Bounds { row });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Shifts a domain expression `e(I) >= 0` into the `(D, I)` space:
+/// `I` lives at dimensions `d..2d`.
+fn over_i(e: &AffineExpr, d: usize) -> AffineExpr {
+    let mut coeffs = vec![0; 2 * d];
+    for v in 0..d {
+        coeffs[d + v] = e.coeff(v);
+    }
+    AffineExpr::new(coeffs, e.constant_term())
+}
+
+/// Shifts a domain expression into the `(D, I)` space evaluated at `I + D`.
+fn over_i_plus_d(e: &AffineExpr, d: usize) -> AffineExpr {
+    let mut coeffs = vec![0; 2 * d];
+    for v in 0..d {
+        coeffs[v] = e.coeff(v);
+        coeffs[d + v] = e.coeff(v);
+    }
+    AffineExpr::new(coeffs, e.constant_term())
+}
+
+/// The subscript-equality row `ea(I) - eb(I + D) = 0` over the `(D, I)`
+/// space.
+fn equality_row(ea: &AffineExpr, eb: &AffineExpr, d: usize) -> AffineExpr {
+    let mut coeffs = vec![0; 2 * d];
+    for v in 0..d {
+        coeffs[v] = -eb.coeff(v);
+        coeffs[d + v] = ea.coeff(v) - eb.coeff(v);
+    }
+    AffineExpr::new(coeffs, ea.constant_term() - eb.constant_term())
+}
+
+/// The slice `{I : I ∈ domain, I + cand ∈ domain, a(I) = b(I + cand)}`.
+fn slice_for_candidate(
+    dom_ge: &[AffineExpr],
+    a: &AffineMap,
+    b: &AffineMap,
+    cand: &[i64],
+    dim: usize,
+) -> IntegerSet {
+    let mut builder = IntegerSet::builder(dim);
+    for e in dom_ge {
+        builder = builder.ge(e.clone());
+        // e(I + cand) >= 0: fold the shift into the constant.
+        let mut shifted = e.constant_term();
+        for (v, &dv) in cand.iter().enumerate() {
+            shifted += e.coeff(v) * dv;
+        }
+        builder = builder.ge(AffineExpr::new(e.coeffs().to_vec(), shifted));
+    }
+    for (ea, eb) in a.exprs().iter().zip(b.exprs()) {
+        let mut coeffs = Vec::with_capacity(dim);
+        let mut constant = ea.constant_term() - eb.constant_term();
+        for (v, &dv) in cand.iter().enumerate().take(dim) {
+            coeffs.push(ea.coeff(v) - eb.coeff(v));
+            constant -= eb.coeff(v) * dv;
+        }
+        builder = builder.eq(AffineExpr::new(coeffs, constant));
+    }
+    builder.build()
+}
+
+/// Normalizes a distance lexicographically: the first non-zero component is
+/// made positive (a conflict between `I` and `I'` yields both `I' - I` and
+/// its negation; only one is kept). Returns `None` for the zero vector.
+fn lex_normalize(mut dv: Vec<i64>) -> Option<Vec<i64>> {
+    match dv.iter().find(|&&x| x != 0) {
+        None => None,
+        Some(&x) if x > 0 => Some(dv),
+        _ => {
+            for x in &mut dv {
+                *x = -*x;
+            }
+            Some(dv)
+        }
+    }
+}
+
+/// Computes the exact dependence distance set between two affine references
+/// over `domain`, screening first and then projecting the conflict set.
+///
+/// Distances relate *distinct* iterations only (the zero vector is never
+/// reported), are normalized so the first non-zero component is positive,
+/// and are sorted. An empty set with `screened == None` means the conflict
+/// polyhedron itself admits no non-zero integer distance.
+///
+/// # Panics
+///
+/// Panics if the maps' input dimensionality differs from the domain's, or
+/// if their output dimensionalities differ from each other.
+pub fn pair_distances(
+    domain: &IntegerSet,
+    a: &AffineMap,
+    b: &AffineMap,
+    opts: &DependenceOptions,
+) -> Result<PairDependence, DependenceError> {
+    if let Some(why) = screen_pair(domain, a, b) {
+        return Ok(PairDependence {
+            distances: Vec::new(),
+            screened: Some(why),
+        });
+    }
+    let d = domain.dim();
+    if d == 0 {
+        return Ok(PairDependence {
+            distances: Vec::new(),
+            screened: None,
+        });
+    }
+    if domain.bounding_box().is_none() {
+        // Either rationally empty (no conflicts) or unbounded (unsupported).
+        return if domain.is_empty() {
+            Ok(PairDependence {
+                distances: Vec::new(),
+                screened: None,
+            })
+        } else {
+            Err(DependenceError::Unbounded)
+        };
+    }
+
+    // Conflict system over (D, I): I and I + D in the domain, subscripts
+    // equal. Projecting out the I block leaves the distance polyhedron.
+    let dom_ge = normalize_to_ge(domain.constraints());
+    let mut sys: Vec<AffineExpr> = Vec::with_capacity(2 * dom_ge.len() + 2 * a.n_out());
+    for e in &dom_ge {
+        sys.push(over_i(e, d));
+        sys.push(over_i_plus_d(e, d));
+    }
+    for (ea, eb) in a.exprs().iter().zip(b.exprs()) {
+        let row = equality_row(ea, eb, d);
+        sys.push(-row.clone());
+        sys.push(row);
+    }
+    let proj = try_project_onto_prefix(&sys, d, 2 * d, &opts.fm)?;
+
+    // Materialize the distance polyhedron as a set over the D block.
+    let mut builder = IntegerSet::builder(d);
+    for e in &proj {
+        debug_assert!(e.coeffs()[d..].iter().all(|&c| c == 0));
+        builder = builder.ge(AffineExpr::new(e.coeffs()[..d].to_vec(), e.constant_term()));
+    }
+    let dset = builder.build();
+
+    let Some(bbox) = dset.bounding_box() else {
+        // Rationally empty (a bounded domain always bounds D).
+        return Ok(PairDependence {
+            distances: Vec::new(),
+            screened: None,
+        });
+    };
+    let volume: u128 = bbox
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1).max(0) as u128)
+        .product();
+    if volume > opts.max_candidates as u128 {
+        return Err(DependenceError::TooManyCandidates {
+            limit: opts.max_candidates,
+        });
+    }
+    // The point iterator re-runs the same projections infallibly; validate
+    // them under the caller's limits first so it cannot panic.
+    let dset_ge = normalize_to_ge(dset.constraints());
+    for k in 1..d {
+        try_project_onto_prefix(&dset_ge, k, d, &opts.fm)?;
+    }
+
+    let mut out: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for (count, cand) in dset.iter().enumerate() {
+        if count >= opts.max_candidates {
+            return Err(DependenceError::TooManyCandidates {
+                limit: opts.max_candidates,
+            });
+        }
+        if cand.iter().all(|&x| x == 0) {
+            continue;
+        }
+        // FM candidates are rational-shadow points; keep only distances
+        // realized by an integer iteration pair.
+        if !slice_for_candidate(&dom_ge, a, b, &cand, d).is_empty() {
+            if let Some(norm) = lex_normalize(cand) {
+                out.insert(norm);
+            }
+        }
+    }
+    Ok(PairDependence {
+        distances: out.into_iter().collect(),
+        screened: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map1(coeff: i64, konst: i64) -> AffineMap {
+        AffineMap::new(
+            1,
+            vec![AffineExpr::var(1, 0) * coeff + AffineExpr::constant(1, konst)],
+        )
+    }
+
+    fn line(n: i64) -> IntegerSet {
+        IntegerSet::builder(1).bounds(0, 0, n - 1).build()
+    }
+
+    #[test]
+    fn even_vs_odd_subscripts_are_independent_by_gcd() {
+        // A[2i] vs A[2i'+1]: rationally dependent (i' = i - 1/2), but gcd 2
+        // does not divide the gap 1 — the integer-exactness case.
+        let dom = line(64);
+        let w = map1(2, 0);
+        let r = map1(2, 1);
+        assert_eq!(
+            screen_pair(&dom, &w, &r),
+            Some(Independence::Gcd { row: 0 })
+        );
+        let pd = pair_distances(&dom, &w, &r, &DependenceOptions::default()).unwrap();
+        assert!(pd.distances.is_empty());
+        assert_eq!(pd.screened, Some(Independence::Gcd { row: 0 }));
+    }
+
+    #[test]
+    fn disjoint_ranges_are_independent_by_bounds() {
+        // A[i] vs A[i + 100] over i in [0, 50): ranges [0,49] and [100,149].
+        let dom = line(50);
+        let pd = pair_distances(
+            &dom,
+            &map1(1, 0),
+            &map1(1, 100),
+            &DependenceOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pd.screened, Some(Independence::Bounds { row: 0 }));
+    }
+
+    #[test]
+    fn shifted_reference_has_unit_distance() {
+        // A[i] vs A[i-1]: conflict at I' = I + 1, distance 1.
+        let dom = line(10);
+        let pd = pair_distances(
+            &dom,
+            &map1(1, 0),
+            &map1(1, -1),
+            &DependenceOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pd.distances, vec![vec![1]]);
+        assert_eq!(pd.screened, None);
+    }
+
+    #[test]
+    fn scaled_pair_distance_respects_integrality() {
+        // A[2i] vs A[2i-4]: distance 2 (not the rational 2i = 2i'-4 family).
+        let dom = line(32);
+        let pd = pair_distances(
+            &dom,
+            &map1(2, 0),
+            &map1(2, -4),
+            &DependenceOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pd.distances, vec![vec![2]]);
+    }
+
+    #[test]
+    fn two_dimensional_diagonal_conflicts() {
+        // B[i+j] vs B[i+j-1] over a square: distances along i+j = 1.
+        let dom = IntegerSet::builder(2)
+            .bounds(0, 0, 3)
+            .bounds(1, 0, 3)
+            .build();
+        let sum = AffineMap::new(2, vec![AffineExpr::var(2, 0) + AffineExpr::var(2, 1)]);
+        let sum_m1 = AffineMap::new(
+            2,
+            vec![AffineExpr::var(2, 0) + AffineExpr::var(2, 1) - AffineExpr::constant(2, 1)],
+        );
+        let pd = pair_distances(&dom, &sum, &sum_m1, &DependenceOptions::default()).unwrap();
+        // D0 + D1 = 1 with both iterations in the box, normalized: includes
+        // (0,1) and (1,0), plus skewed pairs like (1,-2) .. (3,-2) etc.
+        assert!(pd.distances.contains(&vec![0, 1]));
+        assert!(pd.distances.contains(&vec![1, 0]));
+        assert!(pd.distances.iter().all(|dv| (dv[0] + dv[1]).abs() == 1));
+    }
+
+    #[test]
+    fn self_pair_of_injective_reference_has_no_distance() {
+        let dom = line(16);
+        let pd = pair_distances(
+            &dom,
+            &map1(1, 0),
+            &map1(1, 0),
+            &DependenceOptions::default(),
+        )
+        .unwrap();
+        assert!(pd.distances.is_empty());
+        assert!(pd.screened.is_none());
+    }
+
+    #[test]
+    fn candidate_cap_is_reported() {
+        // S[0] vs S[0] over a long line: every non-zero D is a candidate.
+        let dom = line(1 << 10);
+        let konst = map1(0, 0);
+        let opts = DependenceOptions {
+            max_candidates: 64,
+            ..DependenceOptions::default()
+        };
+        assert_eq!(
+            pair_distances(&dom, &konst, &konst, &opts),
+            Err(DependenceError::TooManyCandidates { limit: 64 })
+        );
+    }
+
+    #[test]
+    fn empty_domain_has_no_distances() {
+        let dom = IntegerSet::builder(1).bounds(0, 5, 2).build();
+        let pd = pair_distances(
+            &dom,
+            &map1(1, 0),
+            &map1(1, -1),
+            &DependenceOptions::default(),
+        )
+        .unwrap();
+        assert!(pd.distances.is_empty());
+    }
+
+    #[test]
+    fn matches_enumeration_on_a_triangle() {
+        // Non-rectangular domain: 0 <= i <= 7, 0 <= j <= i, A[i][j] vs
+        // A[i-1][j]: distance (1, 0) wherever both points are in the
+        // triangle.
+        let dom = IntegerSet::builder(2)
+            .bounds(0, 0, 7)
+            .lower(1, 0)
+            .le_var(1, 0)
+            .build();
+        let id = AffineMap::identity(2);
+        let up = AffineMap::new(
+            2,
+            vec![
+                AffineExpr::var(2, 0) - AffineExpr::constant(2, 1),
+                AffineExpr::var(2, 1),
+            ],
+        );
+        let pd = pair_distances(&dom, &id, &up, &DependenceOptions::default()).unwrap();
+        assert_eq!(pd.distances, vec![vec![1, 0]]);
+    }
+}

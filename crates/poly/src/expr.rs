@@ -130,6 +130,37 @@ impl AffineExpr {
         }
     }
 
+    /// Returns a copy scaled by `k`, or `None` if any coefficient or the
+    /// constant overflows `i64`.
+    pub fn checked_scaled(&self, k: i64) -> Option<Self> {
+        let mut coeffs = Vec::with_capacity(self.coeffs.len());
+        for &c in &self.coeffs {
+            coeffs.push(c.checked_mul(k)?);
+        }
+        Some(Self {
+            coeffs,
+            constant: self.constant.checked_mul(k)?,
+        })
+    }
+
+    /// Returns `self + rhs`, or `None` if any coefficient or the constant
+    /// overflows `i64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn checked_plus(&self, rhs: &Self) -> Option<Self> {
+        assert_eq!(self.dim(), rhs.dim(), "dimensionality mismatch");
+        let mut coeffs = Vec::with_capacity(self.coeffs.len());
+        for (&a, &b) in self.coeffs.iter().zip(&rhs.coeffs) {
+            coeffs.push(a.checked_add(b)?);
+        }
+        Some(Self {
+            coeffs,
+            constant: self.constant.checked_add(rhs.constant)?,
+        })
+    }
+
     /// The highest variable index with a non-zero coefficient, if any.
     pub fn last_var(&self) -> Option<usize> {
         self.coeffs.iter().rposition(|&c| c != 0)

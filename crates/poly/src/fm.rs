@@ -5,8 +5,82 @@
 //! integer feasibility of individual points is re-checked against the
 //! original constraints wherever it matters (see [`crate::IntegerSet::iter`]).
 
+use std::fmt;
+
 use crate::expr::AffineExpr;
 use crate::set::{Constraint, ConstraintKind};
+
+/// Resource limits for a Fourier–Motzkin elimination.
+///
+/// One elimination step replaces `|lowers| × |uppers|` constraint pairs by
+/// their combinations, so intermediate systems can grow quadratically per
+/// eliminated dimension; `max_constraints` bounds that growth. The checked
+/// combination arithmetic independently guards against `i64` overflow of
+/// scaled coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmLimits {
+    /// Maximum number of constraints any intermediate system may reach.
+    pub max_constraints: usize,
+}
+
+impl FmLimits {
+    /// No constraint-count cap (overflow is still checked).
+    pub fn unbounded() -> Self {
+        Self {
+            max_constraints: usize::MAX,
+        }
+    }
+}
+
+impl Default for FmLimits {
+    /// A generous default (4096 constraints) suitable for dependence
+    /// analysis of real loop nests, where systems stay tiny.
+    fn default() -> Self {
+        Self {
+            max_constraints: 4096,
+        }
+    }
+}
+
+/// Why a fallible Fourier–Motzkin elimination gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FmError {
+    /// Combining a lower/upper pair overflowed `i64` coefficient arithmetic.
+    Overflow {
+        /// The dimension being eliminated when the overflow occurred.
+        dim: usize,
+    },
+    /// An elimination step would exceed [`FmLimits::max_constraints`].
+    TooManyConstraints {
+        /// The dimension being eliminated when the cap was hit.
+        dim: usize,
+        /// Constraints the step would have produced.
+        required: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for FmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FmError::Overflow { dim } => {
+                write!(f, "i64 overflow while eliminating dimension {dim}")
+            }
+            FmError::TooManyConstraints {
+                dim,
+                required,
+                limit,
+            } => write!(
+                f,
+                "eliminating dimension {dim} needs {required} constraints \
+                 (limit {limit})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FmError {}
 
 /// Normalizes a constraint list to pure `>= 0` form (each equality becomes
 /// two opposing inequalities).
@@ -52,7 +126,25 @@ fn reduce(expr: &AffineExpr) -> AffineExpr {
 /// Eliminates dimension `dim` from a list of `expr >= 0` inequalities by
 /// Fourier–Motzkin, returning inequalities over the remaining dimensions
 /// (the eliminated dimension keeps its slot with a zero coefficient).
+///
+/// # Panics
+///
+/// Panics if combining a lower/upper constraint pair overflows `i64`
+/// coefficient arithmetic; use [`try_eliminate_dim`] to handle that case.
+/// (Sets built from loop bounds and subscripts stay far below the overflow
+/// range.)
 pub fn eliminate_dim(ge_exprs: &[AffineExpr], dim: usize) -> Vec<AffineExpr> {
+    try_eliminate_dim(ge_exprs, dim, &FmLimits::unbounded())
+        .unwrap_or_else(|e| panic!("Fourier–Motzkin elimination failed: {e}"))
+}
+
+/// Fallible [`eliminate_dim`]: checked coefficient arithmetic plus a cap on
+/// the number of constraints one step may produce.
+pub fn try_eliminate_dim(
+    ge_exprs: &[AffineExpr],
+    dim: usize,
+    limits: &FmLimits,
+) -> Result<Vec<AffineExpr>, FmError> {
     let mut lowers: Vec<&AffineExpr> = Vec::new(); // coeff > 0: gives lower bound
     let mut uppers: Vec<&AffineExpr> = Vec::new(); // coeff < 0: gives upper bound
     let mut rest: Vec<AffineExpr> = Vec::new();
@@ -63,29 +155,61 @@ pub fn eliminate_dim(ge_exprs: &[AffineExpr], dim: usize) -> Vec<AffineExpr> {
             _ => rest.push(e.clone()),
         }
     }
+    let required = rest
+        .len()
+        .saturating_add(lowers.len().saturating_mul(uppers.len()));
+    if required > limits.max_constraints {
+        return Err(FmError::TooManyConstraints {
+            dim,
+            required,
+            limit: limits.max_constraints,
+        });
+    }
     for lo in &lowers {
         for up in &uppers {
             let a = lo.coeff(dim); // > 0
             let b = -up.coeff(dim); // > 0
                                     // b*lo + a*up eliminates `dim`.
-            let combined = lo.scaled(b) + up.scaled(a);
+            let combined = lo
+                .checked_scaled(b)
+                .and_then(|l| up.checked_scaled(a).and_then(|u| l.checked_plus(&u)))
+                .ok_or(FmError::Overflow { dim })?;
             debug_assert_eq!(combined.coeff(dim), 0);
             rest.push(reduce(&combined));
         }
     }
     rest.sort_by(|a, b| (a.coeffs(), a.constant_term()).cmp(&(b.coeffs(), b.constant_term())));
     rest.dedup();
-    rest
+    Ok(rest)
 }
 
 /// Eliminates every dimension `>= keep` from the system, producing the
 /// (rational) projection onto the first `keep` dimensions.
+///
+/// # Panics
+///
+/// Panics on `i64` overflow, like [`eliminate_dim`]; use
+/// [`try_project_onto_prefix`] to handle that case.
 pub fn project_onto_prefix(ge_exprs: &[AffineExpr], keep: usize, dim: usize) -> Vec<AffineExpr> {
     let mut sys = ge_exprs.to_vec();
     for d in (keep..dim).rev() {
         sys = eliminate_dim(&sys, d);
     }
     sys
+}
+
+/// Fallible [`project_onto_prefix`] with checked arithmetic and a growth cap.
+pub fn try_project_onto_prefix(
+    ge_exprs: &[AffineExpr],
+    keep: usize,
+    dim: usize,
+    limits: &FmLimits,
+) -> Result<Vec<AffineExpr>, FmError> {
+    let mut sys = ge_exprs.to_vec();
+    for d in (keep..dim).rev() {
+        sys = try_eliminate_dim(&sys, d, limits)?;
+    }
+    Ok(sys)
 }
 
 /// Integer bounds for one variable once all earlier variables are fixed
@@ -218,5 +342,56 @@ mod tests {
         // 2x - 3 >= 0 reduces to x - 2 >= 0 (x >= 1.5 tightened to x >= 2).
         let r = reduce(&ge(vec![2], -3));
         assert_eq!(r, ge(vec![1], -2));
+    }
+
+    #[test]
+    fn overflowing_combination_is_a_typed_error() {
+        // Combining k*y + x >= 0 with k*(-y) + x >= 0 for k near i64::MAX
+        // scales x's coefficient by k twice — far past i64.
+        let k = i64::MAX / 2;
+        let sys = vec![ge(vec![1, k], 0), ge(vec![1, -k], 0)];
+        let err = try_eliminate_dim(&sys, 1, &FmLimits::unbounded()).unwrap_err();
+        assert_eq!(err, FmError::Overflow { dim: 1 });
+    }
+
+    #[test]
+    fn constraint_cap_is_enforced() {
+        // 3 lower and 3 upper bounds on y: elimination wants 9 constraints.
+        let mut sys = Vec::new();
+        for k in 0..3 {
+            sys.push(ge(vec![k + 1, 1], 0)); // y >= -(k+1)x
+            sys.push(ge(vec![k + 1, -1], 5)); // y <= (k+1)x + 5
+        }
+        let limits = FmLimits { max_constraints: 8 };
+        let err = try_eliminate_dim(&sys, 1, &limits).unwrap_err();
+        assert_eq!(
+            err,
+            FmError::TooManyConstraints {
+                dim: 1,
+                required: 9,
+                limit: 8,
+            }
+        );
+        // A roomier cap succeeds and eliminates the dimension.
+        let ok = try_eliminate_dim(&sys, 1, &FmLimits { max_constraints: 9 }).unwrap();
+        assert!(ok.iter().all(|e| e.coeff(1) == 0));
+    }
+
+    #[test]
+    fn infallible_wrapper_matches_fallible_path() {
+        let sys = vec![
+            ge(vec![1, 0], 0),
+            ge(vec![-1, 0], 5),
+            ge(vec![-1, 1], 0),
+            ge(vec![0, -1], 7),
+        ];
+        assert_eq!(
+            eliminate_dim(&sys, 1),
+            try_eliminate_dim(&sys, 1, &FmLimits::default()).unwrap()
+        );
+        assert_eq!(
+            project_onto_prefix(&sys, 0, 2),
+            try_project_onto_prefix(&sys, 0, 2, &FmLimits::default()).unwrap()
+        );
     }
 }

@@ -14,8 +14,12 @@
 //!   with domain constraints, supporting application, inversion and
 //!   composition,
 //! * Fourier–Motzkin elimination ([`eliminate_dim`],
-//!   [`project_onto_prefix`]) for emptiness tests, projections and bound
-//!   extraction,
+//!   [`project_onto_prefix`], with fallible [`try_eliminate_dim`] /
+//!   [`try_project_onto_prefix`] variants under [`FmLimits`]) for emptiness
+//!   tests, projections and bound extraction,
+//! * symbolic dependence testing ([`pair_distances`], [`screen_pair`]):
+//!   GCD/Banerjee screening plus conflict-set projection with integer
+//!   rechecks, yielding exact distance sets without enumerating the domain,
 //! * point enumeration (lexicographic scan of all integer points of a set),
 //! * Omega-style code generation ([`generate_loop_nest`],
 //!   [`generate_union`]): re-emitting a loop nest that enumerates the
@@ -43,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod codegen;
+pub mod dependence;
 mod expr;
 mod fm;
 mod map;
@@ -50,8 +55,14 @@ mod relation;
 mod set;
 
 pub use codegen::{generate_loop_nest, generate_union, CodegenOptions};
+pub use dependence::{
+    pair_distances, screen_pair, DependenceError, DependenceOptions, Independence, PairDependence,
+};
 pub use expr::AffineExpr;
-pub use fm::{eliminate_dim, project_onto_prefix, VarBounds};
+pub use fm::{
+    eliminate_dim, project_onto_prefix, try_eliminate_dim, try_project_onto_prefix, FmError,
+    FmLimits, VarBounds,
+};
 pub use map::AffineMap;
 pub use relation::Relation;
 pub use set::{Constraint, ConstraintKind, IntegerSet, PointIter, SetBuilder};

@@ -24,7 +24,7 @@ use std::fmt;
 
 mod strategy;
 
-pub use strategy::{BoolAny, Just, Map, SizeRange, Strategy, TupleUnion, VecStrategy};
+pub use strategy::{BoolAny, FlatMap, Just, Map, SizeRange, Strategy, TupleUnion, VecStrategy};
 
 /// Strategy constructors for collections, mirroring `proptest::collection`.
 pub mod collection {

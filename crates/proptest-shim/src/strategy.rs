@@ -23,6 +23,18 @@ pub trait Strategy {
     {
         Map { inner: self, f }
     }
+
+    /// A strategy whose output parameterizes a second strategy: draws a
+    /// value, builds a new strategy from it with `f`, and draws from that.
+    /// Without shrinking, this is plain sequential composition.
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -61,6 +73,26 @@ where
 
     fn new_value(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// The result of [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
     }
 }
 
@@ -389,6 +421,17 @@ mod tests {
         }
         let lit = "ab{2}c?".new_value(&mut rng);
         assert!(lit == "abbc" || lit == "abb", "{lit:?}");
+    }
+
+    #[test]
+    fn flat_map_parameterizes_the_second_draw() {
+        let mut rng = TestRng::deterministic("flat_map");
+        let s = (1i64..=4).prop_flat_map(|hi| (0i64..=hi).prop_map(move |v| (hi, v)));
+        for _ in 0..200 {
+            let (hi, v) = s.new_value(&mut rng);
+            assert!((1..=4).contains(&hi));
+            assert!((0..=hi).contains(&v), "{v} escaped [0, {hi}]");
+        }
     }
 
     #[test]

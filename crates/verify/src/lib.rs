@@ -17,6 +17,9 @@
 //! | `CTAM-W103` | `TagMismatch` | warning | stored group tags cover recomputed block footprints |
 //! | `CTAM-W201` | `SubscriptOutOfBounds` | warning | affine subscripts stay inside declared array extents |
 //! | `CTAM-W202` | `NonAffineSubscript` | warning | subscripts are affine (exact dependence model) |
+//! | `CTAM-W203` | `CoupledSubscript` | warning | subscript rows use one loop variable each (cheap per-row screens apply) |
+//! | `CTAM-N301` | `SymbolicRaceProof` | note | race freedom was proved from dependence relations, without enumeration |
+//! | `CTAM-N302` | `RaceCheckEnumerated` | note | the race check fell back to element-access enumeration |
 //!
 //! The checking engine lives in [`ctam::verify`] (the pipeline calls it when
 //! [`ctam::CtamParams::verify`] is set); this crate re-exports it and adds

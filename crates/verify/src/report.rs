@@ -51,6 +51,12 @@ impl VerificationReport {
         self.count(Severity::Warning)
     }
 
+    /// Total number of note-severity diagnostics (e.g. `CTAM-N301` symbolic
+    /// race proofs) across all nests.
+    pub fn n_notes(&self) -> usize {
+        self.count(Severity::Note)
+    }
+
     fn count(&self, sev: Severity) -> usize {
         self.nests
             .iter()
@@ -81,7 +87,7 @@ impl VerificationReport {
 
 impl fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_clean() && self.n_warnings() == 0 {
+        if self.is_clean() && self.n_warnings() == 0 && self.n_notes() == 0 {
             return write!(
                 f,
                 "verification clean: {} nest(s), no findings",
@@ -90,9 +96,10 @@ impl fmt::Display for VerificationReport {
         }
         writeln!(
             f,
-            "verification: {} error(s), {} warning(s) across {} nest(s)",
+            "verification: {} error(s), {} warning(s), {} note(s) across {} nest(s)",
             self.n_errors(),
             self.n_warnings(),
+            self.n_notes(),
             self.nests.len()
         )?;
         let mut first = true;

@@ -30,6 +30,7 @@
 
 mod apps;
 mod registry;
+pub mod stress;
 pub mod util;
 
 pub use registry::{all, by_name, names, table2, Workload};

@@ -1,0 +1,114 @@
+//! Acceptance tests for the symbolic dependence engine over the workload
+//! suite: every all-affine, in-bounds nest of the Table 2 registry must be
+//! analyzable *without enumerating the domain*, and the symbolic distance
+//! set must equal the enumerated one at `Test` size. Nests with indirect
+//! subscripts keep enumeration only for the offending pairs, and the merged
+//! result stays exact.
+
+use ctam_loopir::{dependence, lint_nest, LintKind, NestId, Program, Subscript};
+use ctam_workloads::{all, by_name, stress, SizeClass};
+
+/// True when every reference of `nest` is affine and in-bounds — the domain
+/// of the enumeration-free engine (clamped out-of-bounds subscripts change
+/// flattened elements, so such pairs legitimately fall back).
+fn symbolically_eligible(program: &Program, nest: NestId) -> bool {
+    let all_affine = program
+        .nest(nest)
+        .refs()
+        .iter()
+        .all(|r| matches!(r.subscript(), Subscript::Affine(_)));
+    all_affine
+        && lint_nest(program, nest)
+            .iter()
+            .all(|l| l.kind == LintKind::Coupled)
+}
+
+#[test]
+fn registry_affine_nests_are_enumeration_free_and_exact() {
+    let mut symbolic_nests = 0usize;
+    for w in all(SizeClass::Test) {
+        for (id, nest) in w.program.nests() {
+            let exact = dependence::analyze_exact(&w.program, id);
+            let analysis = dependence::analyze_nest(&w.program, id);
+            assert!(
+                analysis.info.is_exact(),
+                "{}/{}: hybrid analysis must be exact",
+                w.name,
+                nest.name()
+            );
+            assert_eq!(
+                analysis.info.distances(),
+                exact.distances(),
+                "{}/{}: hybrid distances diverge from enumeration",
+                w.name,
+                nest.name()
+            );
+            if symbolically_eligible(&w.program, id) {
+                let sym = dependence::analyze_symbolic(&w.program, id)
+                    .unwrap_or_else(|| panic!("{}/{}: symbolic path bailed", w.name, nest.name()));
+                assert_eq!(
+                    sym.distances(),
+                    exact.distances(),
+                    "{}/{}: symbolic distances diverge from enumeration",
+                    w.name,
+                    nest.name()
+                );
+                assert!(
+                    analysis.enumeration_free(),
+                    "{}/{}: eligible nest used enumeration: {:?}",
+                    w.name,
+                    nest.name(),
+                    analysis.pairs
+                );
+                symbolic_nests += 1;
+            }
+        }
+    }
+    assert!(
+        symbolic_nests >= 3,
+        "expected several all-affine registry nests, saw {symbolic_nests}"
+    );
+}
+
+/// The motivating registry case: `galgel`'s `mode_reduce` nest writes `W[i]`
+/// and reads `W[i]` over `(i, j)` — the subscript rows do not pin `j`, so
+/// the old static test gave up and the whole nest was enumerated. The
+/// symbolic engine resolves it exactly: every distance is `(0, t)`, carried
+/// only at the inner level, leaving the outer loop parallel.
+#[test]
+fn galgel_mode_reduce_resolves_symbolically() {
+    let w = by_name("galgel", SizeClass::Test).unwrap();
+    let (id, _) = w
+        .program
+        .nests()
+        .find(|(_, n)| n.name() == "mode_reduce")
+        .expect("galgel has a mode_reduce nest");
+    assert!(dependence::analyze_static(&w.program, id).is_none());
+    let analysis = dependence::analyze_nest(&w.program, id);
+    assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+    let report = analysis.classify();
+    assert_eq!(report.outermost_parallel, Some(0), "{report}");
+    assert!(analysis
+        .info
+        .distances()
+        .iter()
+        .all(|d| d[0] == 0 && d[1] != 0));
+}
+
+#[test]
+fn stress_nests_match_enumeration_at_test_size() {
+    for w in stress::stress_suite(SizeClass::Test) {
+        for (id, nest) in w.program.nests() {
+            let exact = dependence::analyze_exact(&w.program, id);
+            let sym = dependence::analyze_symbolic(&w.program, id)
+                .unwrap_or_else(|| panic!("{}/{}: symbolic path bailed", w.name, nest.name()));
+            assert_eq!(
+                sym.distances(),
+                exact.distances(),
+                "{}/{}: symbolic distances diverge from enumeration",
+                w.name,
+                nest.name()
+            );
+        }
+    }
+}
