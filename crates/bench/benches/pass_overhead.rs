@@ -15,6 +15,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ctam::pipeline::{map_nest, CtamParams, Strategy};
+use ctam::verify::{advise_mapping, AdvisorOptions};
 use ctam_loopir::dependence;
 use ctam_topology::catalog;
 use ctam_workloads::{by_name, stress, SizeClass};
@@ -99,5 +100,62 @@ fn dependence_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pass_overhead, dependence_cost);
+/// Cost of the static advisor relative to the pipeline it advises on — the
+/// advisory band is only worth keeping on by default in tooling if it stays
+/// well under 5% of the mapping pass it piggybacks on. Compare the
+/// `advise`-suffixed timings (map + advise) against their plain partners.
+fn advisor_cost(c: &mut Criterion) {
+    let machine = catalog::dunnington();
+    let params = CtamParams::default();
+    let opts = AdvisorOptions::default();
+    let mut group = c.benchmark_group("advisor_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for name in ["applu", "bodytrack"] {
+        let w = by_name(name, SizeClass::Test).expect("known app");
+        group.bench_with_input(BenchmarkId::new("map_only", w.name), &w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    let m = map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                        .expect("mapping succeeds");
+                    std::hint::black_box(m.n_groups);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("map_and_advise", w.name), &w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    let m = map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                        .expect("mapping succeeds");
+                    let r = advise_mapping(&w.program, &machine, &m, &m.schedule, &opts);
+                    std::hint::black_box((m.n_groups, r.levels.len()));
+                }
+            });
+        });
+        // The advisor alone, on a pre-built mapping: the marginal cost.
+        let mappings: Vec<_> = w
+            .program
+            .nests()
+            .map(|(nest, _)| {
+                map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                    .expect("mapping succeeds")
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("advise_only", w.name),
+            &mappings,
+            |b, mappings| {
+                b.iter(|| {
+                    for m in mappings {
+                        let r = advise_mapping(&w.program, &machine, m, &m.schedule, &opts);
+                        std::hint::black_box(r.levels.len());
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pass_overhead, dependence_cost, advisor_cost);
 criterion_main!(benches);

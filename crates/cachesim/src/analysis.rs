@@ -114,6 +114,56 @@ pub fn lru_miss_ratio(lines: &[u64], capacity_lines: u64) -> f64 {
     misses as f64 / lines.len() as f64
 }
 
+/// Maps byte addresses to cache-line ids (`address / line_bytes`) — the one
+/// line-mapping code path shared by the byte-address analysis helpers below
+/// and by external consumers (e.g. the advisor's differential validation),
+/// so "which line does this byte live on" is answered identically
+/// everywhere.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero or not a power of two (cache line sizes
+/// always are; a stray non-power-of-two here means the caller confused bytes
+/// with lines).
+pub fn line_ids(byte_addrs: &[u64], line_bytes: u32) -> Vec<u64> {
+    assert!(
+        line_bytes.is_power_of_two(),
+        "line size must be a power of two, got {line_bytes}"
+    );
+    let shift = line_bytes.trailing_zeros();
+    byte_addrs.iter().map(|&a| a >> shift).collect()
+}
+
+/// [`reuse_distances`] over raw byte addresses: line ids are derived
+/// internally via [`line_ids`].
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero or not a power of two.
+pub fn reuse_distances_bytes(byte_addrs: &[u64], line_bytes: u32) -> Vec<Option<u64>> {
+    reuse_distances(&line_ids(byte_addrs, line_bytes))
+}
+
+/// [`lru_miss_ratio`] over raw byte addresses: line ids are derived
+/// internally via [`line_ids`].
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero or not a power of two.
+pub fn lru_miss_ratio_bytes(byte_addrs: &[u64], line_bytes: u32, capacity_lines: u64) -> f64 {
+    lru_miss_ratio(&line_ids(byte_addrs, line_bytes), capacity_lines)
+}
+
+/// [`working_set`] over raw byte addresses: the number of distinct lines of
+/// `line_bytes` the addresses touch.
+///
+/// # Panics
+///
+/// Panics if `line_bytes` is zero or not a power of two.
+pub fn working_set_bytes(byte_addrs: &[u64], line_bytes: u32) -> usize {
+    working_set(&line_ids(byte_addrs, line_bytes))
+}
+
 /// A histogram of reuse distances in power-of-two buckets:
 /// `buckets[k]` counts re-uses with distance in `[2^k-1 .. 2^(k+1)-1)`
 /// (bucket 0 holds distances 0); the final element counts cold accesses.
@@ -177,6 +227,26 @@ mod tests {
     fn working_set_counts_distinct() {
         assert_eq!(working_set(&[1, 1, 2, 9, 2]), 3);
         assert_eq!(working_set(&[]), 0);
+    }
+
+    #[test]
+    fn byte_helpers_agree_with_prebinned_lines() {
+        // Addresses spanning three 64B lines with re-use.
+        let addrs = [0u64, 8, 64, 72, 0, 130, 64];
+        let lines = line_ids(&addrs, 64);
+        assert_eq!(lines, vec![0, 0, 1, 1, 0, 2, 1]);
+        assert_eq!(reuse_distances_bytes(&addrs, 64), reuse_distances(&lines));
+        assert_eq!(
+            lru_miss_ratio_bytes(&addrs, 64, 2),
+            lru_miss_ratio(&lines, 2)
+        );
+        assert_eq!(working_set_bytes(&addrs, 64), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn line_ids_rejects_non_power_of_two_lines() {
+        let _ = line_ids(&[0, 64], 48);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Property tests for the cache simulator.
 
+use ctam_cachesim::analysis;
 use ctam_cachesim::cache::SetAssocCache;
 use ctam_cachesim::trace::{MulticoreTrace, Op};
 use ctam_cachesim::Simulator;
@@ -93,5 +94,32 @@ proptest! {
             c.access(a * 64, i as u64 + 1);
             prop_assert!(c.probe(a * 64), "just-accessed line must be present");
         }
+    }
+
+    /// The byte-address analysis helpers must agree exactly with manual
+    /// pre-binning for every power-of-two line size: one line-mapping code
+    /// path, not two.
+    #[test]
+    fn byte_level_analysis_agrees_with_prebinned(
+        addrs in proptest::collection::vec(0u64..1_000_000, 1..300),
+        line_shift in 4u32..10, // 16B .. 512B lines
+        capacity in 1u64..64,
+    ) {
+        let line_bytes = 1u32 << line_shift;
+        let prebinned: Vec<u64> = addrs.iter().map(|&a| a / u64::from(line_bytes)).collect();
+        let ids = analysis::line_ids(&addrs, line_bytes);
+        prop_assert_eq!(&ids, &prebinned);
+        prop_assert_eq!(
+            analysis::reuse_distances_bytes(&addrs, line_bytes),
+            analysis::reuse_distances(&prebinned)
+        );
+        prop_assert_eq!(
+            analysis::lru_miss_ratio_bytes(&addrs, line_bytes, capacity),
+            analysis::lru_miss_ratio(&prebinned, capacity)
+        );
+        prop_assert_eq!(
+            analysis::working_set_bytes(&addrs, line_bytes),
+            analysis::working_set(&prebinned)
+        );
     }
 }

@@ -36,6 +36,10 @@ pub struct BlockMap {
     blocks_per_array: Vec<usize>,
     /// Element size of each array (captured from the program).
     elem_bytes: Vec<u32>,
+    /// Base byte address of each array in the program's flat data space.
+    base_addr: Vec<u64>,
+    /// Declared size of each array in bytes.
+    size_bytes: Vec<u64>,
     n_blocks: usize,
 }
 
@@ -50,12 +54,16 @@ impl BlockMap {
         let mut first_block = Vec::new();
         let mut blocks_per_array = Vec::new();
         let mut elem_bytes = Vec::new();
+        let mut base_addr = Vec::new();
+        let mut size_bytes = Vec::new();
         let mut next = 0usize;
-        for (_, decl) in program.arrays() {
+        for (id, decl) in program.arrays() {
             let n = decl.size_bytes().div_ceil(block_bytes) as usize;
             first_block.push(next);
             blocks_per_array.push(n);
             elem_bytes.push(decl.elem_bytes());
+            base_addr.push(program.array_base(id));
+            size_bytes.push(decl.size_bytes());
             next += n;
         }
         Self {
@@ -63,6 +71,8 @@ impl BlockMap {
             first_block,
             blocks_per_array,
             elem_bytes,
+            base_addr,
+            size_bytes,
             n_blocks: next,
         }
     }
@@ -103,6 +113,60 @@ impl BlockMap {
             "element {element} outside {array}"
         );
         self.first_block[array.index()] + local
+    }
+
+    /// The array owning global block `block`, as `(array position, local
+    /// block within the array)`. Array positions follow declaration order
+    /// (the order [`ctam_loopir::Program::arrays`] iterates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= n_blocks()`.
+    fn array_of_block(&self, block: usize) -> (usize, usize) {
+        assert!(block < self.n_blocks, "block {block} out of range");
+        // first_block is sorted ascending; find the last array starting at
+        // or before `block`.
+        let a = match self.first_block.binary_search(&block) {
+            Ok(mut i) => {
+                // Empty arrays (0 blocks) share a start index with their
+                // successor; skip to the last array actually holding blocks.
+                while self.blocks_per_array[i] == 0 {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        };
+        (a, block - self.first_block[a])
+    }
+
+    /// The half-open byte extent `[lo, hi)` of `block` in the program's flat
+    /// data address space — the addresses [`ctam_loopir::Program::address_of`]
+    /// yields. The last block of an array is truncated at the array's
+    /// declared size, so extents never claim alignment padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= n_blocks()`.
+    pub fn byte_extent(&self, block: usize) -> (u64, u64) {
+        let (a, local) = self.array_of_block(block);
+        let lo = self.base_addr[a] + local as u64 * self.block_bytes;
+        let hi = (lo + self.block_bytes).min(self.base_addr[a] + self.size_bytes[a]);
+        (lo, hi)
+    }
+
+    /// The half-open range `[lo, hi)` of cache-line ids (`address /
+    /// line_bytes`) that `block` maps onto for a cache with `line_bytes`
+    /// lines — the granularity the advisor's sharing predictions work at.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block >= n_blocks()` or `line_bytes == 0`.
+    pub fn line_extent(&self, block: usize, line_bytes: u32) -> (u64, u64) {
+        assert!(line_bytes > 0, "line size must be positive");
+        let (lo, hi) = self.byte_extent(block);
+        let lb = u64::from(line_bytes);
+        (lo / lb, hi.div_ceil(lb))
     }
 }
 
@@ -198,5 +262,50 @@ mod tests {
         let bm = BlockMap::new(&p, 2048);
         assert_eq!(bm.n_blocks(), 1);
         assert_eq!(bm.blocks_of_array(a), 1);
+    }
+
+    #[test]
+    fn byte_extents_match_program_addresses() {
+        let (p, a, b) = prog();
+        let bm = BlockMap::new(&p, 2048);
+        // A = 4KB at base 0: two full blocks.
+        assert_eq!(bm.byte_extent(0), (0, 2048));
+        assert_eq!(bm.byte_extent(1), (2048, 4096));
+        // B = 2400B, base aligned to the next 64B boundary after A.
+        let b_base = p.array_base(b);
+        assert_eq!(bm.byte_extent(2), (b_base, b_base + 2048));
+        // B's trailing block is truncated at the declared size — no
+        // alignment padding is claimed.
+        assert_eq!(bm.byte_extent(3), (b_base + 2048, b_base + 2400));
+        // Extents agree with address_of at the block boundaries.
+        assert_eq!(bm.byte_extent(1).0, p.address_of(a, 256));
+        assert_eq!(bm.byte_extent(2).0, p.address_of(b, 0));
+    }
+
+    #[test]
+    fn line_extents_cover_the_byte_extent() {
+        let (p, _, _) = prog();
+        let bm = BlockMap::new(&p, 2048);
+        for block in 0..bm.n_blocks() {
+            let (blo, bhi) = bm.byte_extent(block);
+            let (llo, lhi) = bm.line_extent(block, 64);
+            assert_eq!(llo, blo / 64);
+            assert_eq!(lhi, bhi.div_ceil(64));
+            assert!(lhi > llo, "block {block} maps to at least one line");
+        }
+        // A block smaller than a line still occupies that line.
+        let mut p2 = Program::new("tiny");
+        p2.add_array("T", &[2], 8); // 16 bytes
+        let bm2 = BlockMap::new(&p2, 2048);
+        assert_eq!(bm2.byte_extent(0), (0, 16));
+        assert_eq!(bm2.line_extent(0, 64), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn byte_extent_rejects_out_of_range_blocks() {
+        let (p, _, _) = prog();
+        let bm = BlockMap::new(&p, 2048);
+        let _ = bm.byte_extent(bm.n_blocks());
     }
 }

@@ -48,6 +48,12 @@ pub struct CtamParams {
     /// [`PipelineError::VerificationFailed`]. Off by default — verification
     /// re-walks every access of the nest, roughly doubling mapping cost.
     pub verify: bool,
+    /// With `verify`, also run the [`crate::verify::advisor`] and include its
+    /// `CTAM-A4xx` locality/interference advisories in the verifier's output.
+    /// Advisories never fail the run (they are advice-severity predictions,
+    /// not invariant violations). Off by default; has no effect unless
+    /// `verify` is set.
+    pub advise: bool,
 }
 
 impl Default for CtamParams {
@@ -58,6 +64,7 @@ impl Default for CtamParams {
             weights: ScheduleWeights::default(),
             base_plus_tile: None,
             verify: false,
+            advise: false,
         }
     }
 }
@@ -454,6 +461,7 @@ fn verify_or_fail(
 ) -> Result<(), PipelineError> {
     let options = VerifyOptions {
         balance_threshold: params.balance_threshold,
+        advise: params.advise,
         ..VerifyOptions::default()
     };
     let diagnostics =

@@ -13,6 +13,11 @@ pub enum Severity {
     /// (imbalance, stale tags, topology mismatch) or the input program is
     /// suspicious (subscript lints).
     Warning,
+    /// The mapping is correct and within the paper's invariants, but the
+    /// advisor's static model *predicts* degraded locality or interference
+    /// (false sharing, affinity loss, reuse starvation). Predictions, not
+    /// proofs: see the `CTAM-A4xx` band.
+    Advice,
     /// Informational: records *how* a property was established (e.g. a race
     /// proof obtained symbolically vs. by enumeration). Never indicates a
     /// problem.
@@ -24,6 +29,7 @@ impl fmt::Display for Severity {
         f.write_str(match self {
             Severity::Error => "error",
             Severity::Warning => "warning",
+            Severity::Advice => "advice",
             Severity::Note => "note",
         })
     }
@@ -31,7 +37,9 @@ impl fmt::Display for Severity {
 
 /// The fixed catalogue of checks. Every diagnostic carries exactly one code;
 /// the `CTAM-Exxx` range is fatal to a verified pipeline run, `CTAM-Wxxx`
-/// is advisory.
+/// is advisory, `CTAM-A4xx` carries the advisor's locality/interference
+/// *predictions* (never correctness findings), and `CTAM-N3xx` is purely
+/// informational.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Code {
     /// `CTAM-E001`: an iteration unit of the space appears in no round of
@@ -71,6 +79,23 @@ pub enum Code {
     /// but outside the per-row screens, so analysis costs a conflict-set
     /// projection.
     CoupledSubscript,
+    /// `CTAM-A401`: two cores in the same barrier round both write data
+    /// blocks that map onto a common cache line — the advisor predicts
+    /// coherence ping-pong (false sharing) on that line.
+    PredictedFalseSharing,
+    /// `CTAM-A402`: a pair of groups placed under *different* children of a
+    /// shared cache has higher tag affinity (dot product) than every pair
+    /// kept together under either child — the distribution gave up more
+    /// sharing than it kept.
+    AffinityLoss,
+    /// `CTAM-A403`: the schedule's achieved Figure 7 reuse score (α·
+    /// horizontal + β·vertical affinity) falls below the configured fraction
+    /// of a greedy per-group upper bound — the round ordering squanders
+    /// available reuse.
+    ReuseStarvedSchedule,
+    /// `CTAM-A404`: tag bit positions (data blocks) no group claims — dead
+    /// width in every dot product the heuristics computed.
+    DeadTagBits,
     /// `CTAM-N301`: the race check proved every round race-free from the
     /// symbolic dependence relations and the unit placement alone, without
     /// replaying element accesses.
@@ -95,6 +120,10 @@ impl Code {
             Code::SubscriptOutOfBounds => "CTAM-W201",
             Code::NonAffineSubscript => "CTAM-W202",
             Code::CoupledSubscript => "CTAM-W203",
+            Code::PredictedFalseSharing => "CTAM-A401",
+            Code::AffinityLoss => "CTAM-A402",
+            Code::ReuseStarvedSchedule => "CTAM-A403",
+            Code::DeadTagBits => "CTAM-A404",
             Code::SymbolicRaceProof => "CTAM-N301",
             Code::RaceCheckEnumerated => "CTAM-N302",
         }
@@ -113,6 +142,10 @@ impl Code {
             Code::SubscriptOutOfBounds => "SubscriptOutOfBounds",
             Code::NonAffineSubscript => "NonAffineSubscript",
             Code::CoupledSubscript => "CoupledSubscript",
+            Code::PredictedFalseSharing => "PredictedFalseSharing",
+            Code::AffinityLoss => "AffinityLoss",
+            Code::ReuseStarvedSchedule => "ReuseStarvedSchedule",
+            Code::DeadTagBits => "DeadTagBits",
             Code::SymbolicRaceProof => "SymbolicRaceProof",
             Code::RaceCheckEnumerated => "RaceCheckEnumerated",
         }
@@ -131,6 +164,10 @@ impl Code {
             | Code::SubscriptOutOfBounds
             | Code::NonAffineSubscript
             | Code::CoupledSubscript => Severity::Warning,
+            Code::PredictedFalseSharing
+            | Code::AffinityLoss
+            | Code::ReuseStarvedSchedule
+            | Code::DeadTagBits => Severity::Advice,
             Code::SymbolicRaceProof | Code::RaceCheckEnumerated => Severity::Note,
         }
     }
@@ -349,6 +386,23 @@ mod tests {
     }
 
     #[test]
+    fn advisory_codes_have_stable_ids_and_the_advice_severity() {
+        for (code, id) in [
+            (Code::PredictedFalseSharing, "CTAM-A401"),
+            (Code::AffinityLoss, "CTAM-A402"),
+            (Code::ReuseStarvedSchedule, "CTAM-A403"),
+            (Code::DeadTagBits, "CTAM-A404"),
+        ] {
+            assert_eq!(code.id(), id);
+            assert_eq!(code.severity(), Severity::Advice);
+        }
+        // Advice sorts after real problems but before informational notes.
+        assert!(Severity::Warning < Severity::Advice);
+        assert!(Severity::Advice < Severity::Note);
+        assert_eq!(Severity::Advice.to_string(), "advice");
+    }
+
+    #[test]
     fn json_escapes_and_orders_fields() {
         let d = Diagnostic::new(Code::TagMismatch, "tag \"odd\"\nbit").with_group(7);
         let j = d.to_json();
@@ -358,5 +412,82 @@ mod tests {
         let arr = render_json(&[d.clone(), d]);
         assert!(arr.starts_with('[') && arr.ends_with(']'));
         assert_eq!(arr.matches("CTAM-W103").count(), 2);
+    }
+
+    /// Minimal JSON string unescaper for the round-trip test below: undoes
+    /// exactly the escapes `push_json_str` may produce.
+    fn unescape_json(s: &str) -> String {
+        let mut out = String::new();
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next().expect("dangling backslash") {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                'u' => {
+                    let hex: String = chars.by_ref().take(4).collect();
+                    let cp = u32::from_str_radix(&hex, 16).expect("four hex digits");
+                    out.push(char::from_u32(cp).expect("valid scalar"));
+                }
+                e => panic!("unexpected escape \\{e}"),
+            }
+        }
+        out
+    }
+
+    /// Extracts the raw (still-escaped) value of `"message":"..."` from one
+    /// rendered diagnostic, walking escapes so an embedded `\"` never
+    /// terminates the scan early.
+    fn raw_message_field(json: &str) -> &str {
+        let start = json.find(r#""message":""#).expect("message field") + r#""message":""#.len();
+        let bytes = json.as_bytes();
+        let mut i = start;
+        while bytes[i] != b'"' {
+            i += if bytes[i] == b'\\' { 2 } else { 1 };
+        }
+        &json[start..i]
+    }
+
+    #[test]
+    fn json_string_escaping_round_trips_control_chars() {
+        // Every C0 control char, plus the chars with dedicated escapes and a
+        // sampling of multi-byte unicode.
+        let mut nasty = String::new();
+        for b in 0u32..0x20 {
+            nasty.push(char::from_u32(b).unwrap());
+        }
+        nasty.push_str("\"\\/ plain text \u{7f} é 語 🦀");
+        let d = Diagnostic::new(Code::TagMismatch, nasty.clone());
+        let json = d.to_json();
+        // The rendered JSON must contain no raw control characters at all.
+        assert!(
+            json.chars().all(|c| (c as u32) >= 0x20),
+            "raw control char leaked into {json:?}"
+        );
+        // And the message must survive an unescape round-trip byte-for-byte.
+        assert_eq!(unescape_json(raw_message_field(&json)), nasty);
+    }
+
+    #[test]
+    fn json_round_trips_every_single_escaped_char() {
+        // Each problem char alone, so a miscounted escape can't hide behind
+        // its neighbours.
+        for b in (0u32..0x20).chain(['"' as u32, '\\' as u32]) {
+            let c = char::from_u32(b).unwrap();
+            let msg = format!("a{c}b");
+            let d = Diagnostic::new(Code::RaceOnBlock, msg.clone());
+            let json = d.to_json();
+            assert_eq!(
+                unescape_json(raw_message_field(&json)),
+                msg,
+                "char U+{b:04X} mangled in {json:?}"
+            );
+        }
     }
 }

@@ -18,12 +18,18 @@
 //!   recomputed block footprints,
 //! * **subscript lints** (`CTAM-W201`–`W203`): bounds, affinity, and
 //!   coupled-subscript checks over the nest's array references (see
-//!   [`ctam_loopir::lint`]).
+//!   [`ctam_loopir::lint`]),
+//! * **advisories** (`CTAM-A401`–`A404`, opt-in via
+//!   [`VerifyOptions::advise`]): the [`advisor`]'s static locality and
+//!   interference predictions — false sharing, affinity loss, reuse
+//!   starvation, dead tag bits. Predictions from a cache-free model, never
+//!   correctness findings.
 //!
 //! The checks are pure: they never mutate their inputs and never panic on
 //! malformed schedules — a schedule referencing out-of-range units or cores
 //! yields diagnostics, not aborts.
 
+pub mod advisor;
 pub mod diag;
 
 mod coverage;
@@ -32,6 +38,7 @@ mod lints;
 mod races;
 mod structure;
 
+pub use advisor::{advise_mapping, AdvisorOptions, AdvisorReport, LevelPrediction, ReuseScore};
 pub use diag::{render_json, Code, Diagnostic, Severity};
 
 use ctam_loopir::Program;
@@ -57,6 +64,11 @@ pub struct VerifyOptions {
     /// when coverage is clean — a schedule that drops or duplicates units
     /// invalidates the unit-placement reasoning the proof rests on.
     pub symbolic_races: bool,
+    /// Run the [`advisor`] and append its `CTAM-A4xx` advisories (with
+    /// default [`AdvisorOptions`]). Off by default: advisories are
+    /// predictions about locality, not invariant checks, and most callers
+    /// only want the latter.
+    pub advise: bool,
 }
 
 impl Default for VerifyOptions {
@@ -65,6 +77,7 @@ impl Default for VerifyOptions {
             balance_threshold: 0.10,
             lint_subscripts: true,
             symbolic_races: true,
+            advise: false,
         }
     }
 }
@@ -172,6 +185,16 @@ pub fn verify_mapping_with(
     if options.lint_subscripts {
         lints::check(program, mapping.space.nest(), &mut diags);
     }
+    if options.advise {
+        let report = advisor::advise_mapping(
+            program,
+            machine,
+            mapping,
+            schedule,
+            &AdvisorOptions::default(),
+        );
+        diags.extend(report.diagnostics);
+    }
 
     // Errors first, then stable within a severity by code and coordinates.
     diags.sort_by(|a, b| {
@@ -273,6 +296,48 @@ mod tests {
         assert!(
             diags.iter().any(|d| d.code() == Code::IterationUnmapped),
             "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn imbalanced_schedule_reports_load_threshold_and_core() {
+        let p = stencil(16);
+        let m = catalog::harpertown();
+        let (nest, _) = p.nests().next().unwrap();
+        let mapping = map_nest(&p, nest, &m, Strategy::Base, &CtamParams::default()).unwrap();
+        // Pile every group of every round onto core 0: unless core 0 holds a
+        // single group, the imbalance cannot be blamed on one atomic group.
+        let rounds: Vec<Vec<Vec<IterationGroup>>> = mapping
+            .schedule
+            .rounds()
+            .iter()
+            .map(|round| {
+                let mut piled = vec![Vec::new(); round.len()];
+                piled[0] = round.iter().flatten().cloned().collect();
+                piled
+            })
+            .collect();
+        let total: usize = rounds.iter().flatten().flatten().map(|g| g.size()).sum();
+        let corrupted = Schedule::from_rounds(rounds, mapping.schedule.n_cores()).unwrap();
+        let diags = verify_mapping(&p, &m, &mapping, &corrupted);
+        let w101: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code() == Code::BalanceThresholdExceeded)
+            .collect();
+        assert_eq!(w101.len(), 1, "{diags:?}");
+        let d = w101[0];
+        // The message carries the payload a consumer needs: the offending
+        // core, its actual load, and the threshold that it broke.
+        assert_eq!(d.core(), Some(0));
+        assert!(
+            d.message().contains(&format!("core 0 load is {total}")),
+            "{}",
+            d.message()
+        );
+        assert!(
+            d.message().contains("10% balance threshold"),
+            "{}",
+            d.message()
         );
     }
 

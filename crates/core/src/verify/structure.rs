@@ -64,10 +64,10 @@ pub(super) fn check(
                     Diagnostic::new(
                         Code::BalanceThresholdExceeded,
                         format!(
-                            "core {c} runs {} of {total} iterations; the mean is \
-                             {mean:.1} and the {:.0}% threshold allows {bound:.1}, \
-                             exceeded even discounting the core's largest group \
-                             ({} iterations)",
+                            "core {c} load is {} iterations, exceeding the {:.0}% \
+                             balance threshold (allowed {bound:.1} around mean \
+                             {mean:.1} of {total} total) even discounting the \
+                             core's largest group ({} iterations)",
                             load[c],
                             balance_threshold * 100.0,
                             largest[c]

@@ -238,6 +238,25 @@ impl Machine {
             .collect()
     }
 
+    /// The geometry of one cache node, or `None` for the memory root and
+    /// core leaves.
+    pub fn cache_params(&self, node: NodeId) -> Option<CacheParams> {
+        match self.kind(node) {
+            NodeKind::Cache { params, .. } => Some(params),
+            _ => None,
+        }
+    }
+
+    /// The finest line size among the caches at `level` — the granularity a
+    /// line-level sharing analysis of that level must work at. `None` if the
+    /// machine has no caches at `level`.
+    pub fn line_bytes_at(&self, level: u8) -> Option<u32> {
+        self.caches_at(level)
+            .into_iter()
+            .filter_map(|n| self.cache_params(n).map(|p| p.line_bytes()))
+            .min()
+    }
+
     /// The smallest cache level at which some cache is shared by more than
     /// one core — the "first shared cache level" of Figure 7. `None` for a
     /// single-core machine or all-private hierarchy.
@@ -574,6 +593,35 @@ mod tests {
     fn cores_under_root_is_everyone() {
         let m = toy();
         assert_eq!(m.cores_under(NodeId::ROOT).len(), 4);
+    }
+
+    #[test]
+    fn cache_params_and_line_bytes_queries() {
+        let m = toy();
+        let l2 = m.caches_at(2)[0];
+        let p = m.cache_params(l2).expect("L2 has params");
+        assert_eq!(p.size_bytes(), MB);
+        assert_eq!(p.line_bytes(), 64);
+        assert!(m.cache_params(NodeId::ROOT).is_none());
+        let core_node = m.core_node(0.into());
+        assert!(m.cache_params(core_node).is_none());
+        assert_eq!(m.line_bytes_at(1), Some(64));
+        assert_eq!(m.line_bytes_at(2), Some(64));
+        assert_eq!(m.line_bytes_at(3), None);
+    }
+
+    #[test]
+    fn line_bytes_at_takes_the_finest_line() {
+        // Two L2s with different line sizes: the analysis granularity is
+        // the finer one.
+        let mut b = Machine::builder("mixed", 1.0, 100);
+        let l2a = b.cache(NodeId::ROOT, 2, CacheParams::new(MB, 8, 128, 12));
+        let l2b = b.cache(NodeId::ROOT, 2, CacheParams::new(MB, 8, 64, 12));
+        b.core_with_l1(l2a, CacheParams::new(32 * KB, 8, 128, 3));
+        b.core_with_l1(l2b, CacheParams::new(32 * KB, 8, 64, 3));
+        let m = b.build();
+        assert_eq!(m.line_bytes_at(2), Some(64));
+        assert_eq!(m.line_bytes_at(1), Some(64));
     }
 
     #[test]

@@ -306,6 +306,29 @@ mod tests {
     }
 
     #[test]
+    fn non_power_of_two_line_size_is_a_geometry_error() {
+        let err = parse_machine("m 1.0GHz 100c: 1x[L1 32K 8w 3c 48b]").unwrap_err();
+        assert!(err.message.contains("geometry"), "{err}");
+    }
+
+    #[test]
+    fn size_not_a_multiple_of_assoc_times_line_is_a_geometry_error() {
+        // 2KB cache, 8 ways x 512B lines = 4KB per set row: 2048 % 4096 != 0.
+        let err = parse_machine("m 1.0GHz 100c: 1x[L1 2K 8w 3c 512b]").unwrap_err();
+        assert!(err.message.contains("geometry"), "{err}");
+        // The same geometry with a legal line parses fine, so the error is
+        // attributable to the size/assoc/line relation alone.
+        assert!(parse_machine("m 1.0GHz 100c: 1x[L1 2K 8w 3c 64b]").is_ok());
+    }
+
+    #[test]
+    fn line_size_beyond_u32_is_a_geometry_error() {
+        // 2^33 bytes: a power of two, but wider than CacheParams can hold.
+        let err = parse_machine("m 1.0GHz 100c: 1x[L1 32K 8w 3c 8589934592b]").unwrap_err();
+        assert!(err.message.contains("geometry"), "{err}");
+    }
+
+    #[test]
     fn multiple_top_level_groups() {
         // An asymmetric machine: one fat socket, one thin.
         let m = parse_machine(

@@ -18,8 +18,20 @@
 //! | `CTAM-W201` | `SubscriptOutOfBounds` | warning | affine subscripts stay inside declared array extents |
 //! | `CTAM-W202` | `NonAffineSubscript` | warning | subscripts are affine (exact dependence model) |
 //! | `CTAM-W203` | `CoupledSubscript` | warning | subscript rows use one loop variable each (cheap per-row screens apply) |
+//! | `CTAM-A401` | `PredictedFalseSharing` | advice | no two cores write blocks sharing a cache line in one round |
+//! | `CTAM-A402` | `AffinityLoss` | advice | the distribution keeps the strongest-sharing group pairs under one cache |
+//! | `CTAM-A403` | `ReuseStarvedSchedule` | advice | the schedule achieves a healthy fraction of the Figure 7 reuse bound |
+//! | `CTAM-A404` | `DeadTagBits` | advice | every tag bit (data block) is claimed by some group |
 //! | `CTAM-N301` | `SymbolicRaceProof` | note | race freedom was proved from dependence relations, without enumeration |
 //! | `CTAM-N302` | `RaceCheckEnumerated` | note | the race check fell back to element-access enumeration |
+//!
+//! The `CTAM-A4xx` band comes from the **advisor** ([`advise_mapping`]): a
+//! static locality & interference analyzer that predicts per-cache-level
+//! sharing, conflict, and capacity behaviour from group tags, the topology
+//! tree, and the barrier-round structure alone — no simulation. Advisories
+//! are predictions, not proofs (see [`ctam::verify::advisor`] for the
+//! soundness caveats); they are opt-in via [`VerifyOptions::advise`] or a
+//! direct [`advise_mapping`] call, and never make a mapping unclean.
 //!
 //! The checking engine lives in [`ctam::verify`] (the pipeline calls it when
 //! [`ctam::CtamParams::verify`] is set); this crate re-exports it and adds
@@ -53,7 +65,7 @@
 pub mod report;
 
 pub use ctam::verify::{
-    is_clean, render_json, verify_mapping, verify_mapping_with, Code, Diagnostic, Severity,
-    VerifyOptions,
+    advise_mapping, is_clean, render_json, verify_mapping, verify_mapping_with, AdvisorOptions,
+    AdvisorReport, Code, Diagnostic, LevelPrediction, ReuseScore, Severity, VerifyOptions,
 };
 pub use report::{verify_evaluation, NestReport, VerificationReport};

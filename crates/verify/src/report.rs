@@ -57,6 +57,12 @@ impl VerificationReport {
         self.count(Severity::Note)
     }
 
+    /// Total number of advice-severity diagnostics (the advisor's
+    /// `CTAM-A4xx` predictions) across all nests.
+    pub fn n_advice(&self) -> usize {
+        self.count(Severity::Advice)
+    }
+
     fn count(&self, sev: Severity) -> usize {
         self.nests
             .iter()
@@ -87,7 +93,8 @@ impl VerificationReport {
 
 impl fmt::Display for VerificationReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.is_clean() && self.n_warnings() == 0 && self.n_notes() == 0 {
+        if self.is_clean() && self.n_warnings() == 0 && self.n_advice() == 0 && self.n_notes() == 0
+        {
             return write!(
                 f,
                 "verification clean: {} nest(s), no findings",
@@ -96,9 +103,11 @@ impl fmt::Display for VerificationReport {
         }
         writeln!(
             f,
-            "verification: {} error(s), {} warning(s), {} note(s) across {} nest(s)",
+            "verification: {} error(s), {} warning(s), {} advisory(ies), {} note(s) \
+             across {} nest(s)",
             self.n_errors(),
             self.n_warnings(),
+            self.n_advice(),
             self.n_notes(),
             self.nests.len()
         )?;
