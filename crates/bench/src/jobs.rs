@@ -173,13 +173,14 @@ impl<'a> Cell<'a> {
 
 fn params_fingerprint(p: &CtamParams) -> String {
     format!(
-        "bb{:?}/bt{:016x}/a{:016x}/b{:016x}/tile{:?}/v{}",
+        "bb{:?}/bt{:016x}/a{:016x}/b{:016x}/tile{:?}/v{}/lt{}",
         p.block_bytes,
         p.balance_threshold.to_bits(),
         p.weights.alpha.to_bits(),
         p.weights.beta.to_bits(),
         p.base_plus_tile,
-        p.verify
+        p.verify,
+        p.lint_topology
     )
 }
 

@@ -54,6 +54,13 @@ pub struct CtamParams {
     /// not invariant violations). Off by default; has no effect unless
     /// `verify` is set.
     pub advise: bool,
+    /// With `verify`, also run the [`crate::verify::toplint`] machine linter
+    /// and include its `CTAM-T5xx` findings. Error-severity findings
+    /// (capacity inversions, implausible latencies) abort the run like any
+    /// other verification error — a machine the cost model cannot trust
+    /// taints every mapping computed for it. Off by default; has no effect
+    /// unless `verify` is set.
+    pub lint_topology: bool,
 }
 
 impl Default for CtamParams {
@@ -65,6 +72,7 @@ impl Default for CtamParams {
             base_plus_tile: None,
             verify: false,
             advise: false,
+            lint_topology: false,
         }
     }
 }
@@ -462,6 +470,7 @@ fn verify_or_fail(
     let options = VerifyOptions {
         balance_threshold: params.balance_threshold,
         advise: params.advise,
+        lint_topology: params.lint_topology,
         ..VerifyOptions::default()
     };
     let diagnostics =

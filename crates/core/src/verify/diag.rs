@@ -104,6 +104,32 @@ pub enum Code {
     /// (indirect subscripts, symbolic resource limits, or a potential
     /// cross-core conflict that needed element-level resolution).
     RaceCheckEnumerated,
+    /// `CTAM-T501`: a cache is larger than the cache above it — inclusion
+    /// cannot hold and the capacity-driven clustering is meaningless. Fatal:
+    /// no physical inclusive hierarchy looks like this.
+    TopoCapacityInversion,
+    /// `CTAM-T502`: sibling caches at the same level fan out differently,
+    /// or a cache mixes core and cache children. Suspicious but mappable.
+    TopoAsymmetricArity,
+    /// `CTAM-T503`: a cache's line size is smaller than a cache's below it —
+    /// one inner line would span several outer lines.
+    TopoLineShrink,
+    /// `CTAM-T504`: a zero cache latency, an outer level faster than an
+    /// inner one, a cache no faster than off-chip memory, or a zero memory
+    /// latency. Fatal: the cost model divides by these.
+    TopoImplausibleLatency,
+    /// `CTAM-T505`: some cores' lookup paths skip a cache level other cores
+    /// have — per-level analyses would compare incommensurate paths.
+    TopoLevelCoverageGap,
+    /// `CTAM-T506`: `shared_cpu_map` masks that are not a laminar family —
+    /// no tree machine can represent the sharing relation. Fatal: the model
+    /// is tree-shaped by construction.
+    TopoNonLaminarSharing,
+    /// `CTAM-T507`: a degenerate hierarchy (single core, no caches, or a
+    /// multicore with only private caches) that makes
+    /// `first_shared_level` — the anchor of topology-aware mapping —
+    /// meaningless.
+    TopoDegenerateTree,
 }
 
 impl Code {
@@ -126,6 +152,13 @@ impl Code {
             Code::DeadTagBits => "CTAM-A404",
             Code::SymbolicRaceProof => "CTAM-N301",
             Code::RaceCheckEnumerated => "CTAM-N302",
+            Code::TopoCapacityInversion => "CTAM-T501",
+            Code::TopoAsymmetricArity => "CTAM-T502",
+            Code::TopoLineShrink => "CTAM-T503",
+            Code::TopoImplausibleLatency => "CTAM-T504",
+            Code::TopoLevelCoverageGap => "CTAM-T505",
+            Code::TopoNonLaminarSharing => "CTAM-T506",
+            Code::TopoDegenerateTree => "CTAM-T507",
         }
     }
 
@@ -148,6 +181,13 @@ impl Code {
             Code::DeadTagBits => "DeadTagBits",
             Code::SymbolicRaceProof => "SymbolicRaceProof",
             Code::RaceCheckEnumerated => "RaceCheckEnumerated",
+            Code::TopoCapacityInversion => "TopoCapacityInversion",
+            Code::TopoAsymmetricArity => "TopoAsymmetricArity",
+            Code::TopoLineShrink => "TopoLineShrink",
+            Code::TopoImplausibleLatency => "TopoImplausibleLatency",
+            Code::TopoLevelCoverageGap => "TopoLevelCoverageGap",
+            Code::TopoNonLaminarSharing => "TopoNonLaminarSharing",
+            Code::TopoDegenerateTree => "TopoDegenerateTree",
         }
     }
 
@@ -157,13 +197,20 @@ impl Code {
             Code::IterationUnmapped
             | Code::IterationDoubleMapped
             | Code::DependenceViolation
-            | Code::RaceOnBlock => Severity::Error,
+            | Code::RaceOnBlock
+            | Code::TopoCapacityInversion
+            | Code::TopoImplausibleLatency
+            | Code::TopoNonLaminarSharing => Severity::Error,
             Code::BalanceThresholdExceeded
             | Code::DegreeMismatch
             | Code::TagMismatch
             | Code::SubscriptOutOfBounds
             | Code::NonAffineSubscript
-            | Code::CoupledSubscript => Severity::Warning,
+            | Code::CoupledSubscript
+            | Code::TopoAsymmetricArity
+            | Code::TopoLineShrink
+            | Code::TopoLevelCoverageGap
+            | Code::TopoDegenerateTree => Severity::Warning,
             Code::PredictedFalseSharing
             | Code::AffinityLoss
             | Code::ReuseStarvedSchedule
@@ -371,6 +418,22 @@ mod tests {
         assert_eq!(Code::RaceOnBlock.severity(), Severity::Error);
         assert_eq!(Code::NonAffineSubscript.id(), "CTAM-W202");
         assert_eq!(Code::TagMismatch.severity(), Severity::Warning);
+    }
+
+    #[test]
+    fn topology_codes_have_stable_ids_and_severities() {
+        for (code, id, severity) in [
+            (Code::TopoCapacityInversion, "CTAM-T501", Severity::Error),
+            (Code::TopoAsymmetricArity, "CTAM-T502", Severity::Warning),
+            (Code::TopoLineShrink, "CTAM-T503", Severity::Warning),
+            (Code::TopoImplausibleLatency, "CTAM-T504", Severity::Error),
+            (Code::TopoLevelCoverageGap, "CTAM-T505", Severity::Warning),
+            (Code::TopoNonLaminarSharing, "CTAM-T506", Severity::Error),
+            (Code::TopoDegenerateTree, "CTAM-T507", Severity::Warning),
+        ] {
+            assert_eq!(code.id(), id);
+            assert_eq!(code.severity(), severity);
+        }
     }
 
     #[test]

@@ -23,7 +23,12 @@
 //!   [`VerifyOptions::advise`]): the [`advisor`]'s static locality and
 //!   interference predictions — false sharing, affinity loss, reuse
 //!   starvation, dead tag bits. Predictions from a cache-free model, never
-//!   correctness findings.
+//!   correctness findings,
+//! * **topology lints** (`CTAM-T501`–`T507`, opt-in via
+//!   [`VerifyOptions::lint_topology`]): the [`toplint`] machine linter —
+//!   capacity inversions, asymmetric arities, implausible latencies,
+//!   coverage gaps, degenerate hierarchies. These judge the *machine*, not
+//!   the schedule.
 //!
 //! The checks are pure: they never mutate their inputs and never panic on
 //! malformed schedules — a schedule referencing out-of-range units or cores
@@ -31,6 +36,7 @@
 
 pub mod advisor;
 pub mod diag;
+pub mod toplint;
 
 mod coverage;
 mod deps;
@@ -40,6 +46,7 @@ mod structure;
 
 pub use advisor::{advise_mapping, AdvisorOptions, AdvisorReport, LevelPrediction, ReuseScore};
 pub use diag::{render_json, Code, Diagnostic, Severity};
+pub use toplint::{lint_shared_cpu_maps, lint_topology};
 
 use ctam_loopir::Program;
 use ctam_topology::Machine;
@@ -69,6 +76,11 @@ pub struct VerifyOptions {
     /// predictions about locality, not invariant checks, and most callers
     /// only want the latter.
     pub advise: bool,
+    /// Run the [`toplint`] machine linter and append its `CTAM-T5xx`
+    /// findings. Off by default: the machine does not change between
+    /// pipeline runs, so most callers lint it once up front (or not at
+    /// all, trusting the catalog) rather than on every verification.
+    pub lint_topology: bool,
 }
 
 impl Default for VerifyOptions {
@@ -78,6 +90,7 @@ impl Default for VerifyOptions {
             lint_subscripts: true,
             symbolic_races: true,
             advise: false,
+            lint_topology: false,
         }
     }
 }
@@ -194,6 +207,9 @@ pub fn verify_mapping_with(
             &AdvisorOptions::default(),
         );
         diags.extend(report.diagnostics);
+    }
+    if options.lint_topology {
+        diags.extend(toplint::lint_topology(machine));
     }
 
     // Errors first, then stable within a severity by code and coordinates.

@@ -14,7 +14,15 @@
 //!   Nehalem, Dunnington (Table 1), the deeper Arch-I/Arch-II of Figure 12,
 //!   plus the scaled/halved variants used in the sensitivity studies,
 //! * [`spec`] — a one-line textual topology format
-//!   (`"toy 2GHz 100c: 2x[L2 1M 8w 12c: 2x[L1 32K 8w 3c]]"`),
+//!   (`"toy 2GHz 100c: 2x[L2 1M 8w 12c: 2x[L1 32K 8w 3c]]"`) with a
+//!   serializer inverse ([`Machine::to_spec`]),
+//! * [`ingest`] — parsers for cpuid-style deterministic-cache-leaf tables
+//!   and sysfs-style `shared_cpu_map` dumps,
+//! * [`lint`] — a static plausibility linter for machines (capacity
+//!   inversions, asymmetric arities, latency/line-size anomalies,
+//!   non-laminar sharing, degenerate trees),
+//! * [`zoo`] — a seeded random machine generator with deliberate defect
+//!   injection, for differential sweeps,
 //! * topology transformations: [`Machine::halved_capacities`] (Figure 19)
 //!   and [`Machine::truncated`] (Figure 20's L1+L2 / L1+L2+L3 mapper views).
 //!
@@ -37,9 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod ingest;
+pub mod lint;
 mod machine;
 mod params;
 pub mod spec;
+pub mod zoo;
 
 pub use machine::{CoreId, Machine, MachineBuilder, NodeId, NodeKind};
 pub use params::CacheParams;

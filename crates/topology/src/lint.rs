@@ -1,0 +1,489 @@
+//! A static linter for cache topologies.
+//!
+//! Every consumer downstream of [`Machine`] — the mapper's clustering
+//! recursion, the advisor's interference model, the simulator — silently
+//! assumes the hierarchy is *physically plausible*: capacities grow outward
+//! (inclusion can hold), line sizes do not shrink outward, latencies grow
+//! with distance, every core sees every level, sharing domains nest. None
+//! of that is enforced by [`MachineBuilder`](crate::MachineBuilder), which
+//! only checks levels decrease toward the cores. This module checks the
+//! rest, returning plain [`TopoLint`] findings; the `ctam` core crate
+//! converts them to coded `CTAM-T5xx` diagnostics (`verify::toplint`) so
+//! they flow through the same reporting pipeline as mapping diagnostics.
+//!
+//! Tree-shaped machines are laminar by construction, so
+//! [`TopoLintKind::NonLaminarSharing`] can only arise from raw
+//! `shared_cpu_map` dumps checked with [`lint_shared_maps`] — the form the
+//! sysfs ingester (`crate::ingest`) uses to reject impossible inputs before
+//! ever building a tree.
+//!
+//! # Example
+//!
+//! ```
+//! use ctam_topology::{catalog, lint};
+//!
+//! assert!(lint::lint_machine(&catalog::dunnington()).is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::machine::{Machine, NodeId, NodeKind};
+
+/// The category of one topology finding. Each variant corresponds to one
+/// `CTAM-T5xx` diagnostic code (see `ctam::verify::toplint`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopoLintKind {
+    /// A cache is larger than the cache above it (T501): inclusion cannot
+    /// hold, and the mapper's capacity-driven clustering is meaningless.
+    CapacityInversion,
+    /// Siblings at the same level fan out differently, or a cache mixes
+    /// core and cache children (T502): the machine is structurally
+    /// irregular in a way real parts never are.
+    AsymmetricArity,
+    /// A cache has a smaller line than a cache below it (T503): one inner
+    /// line would span several outer lines.
+    LineShrinkOutward,
+    /// A zero or inverted latency (T504): a free cache, an outer level
+    /// faster than an inner one, or a cache slower than off-chip memory.
+    ImplausibleLatency,
+    /// Some core's lookup path misses a level other cores have (T505):
+    /// per-level analyses would compare incommensurate paths.
+    LevelCoverageGap,
+    /// `shared_cpu_map` masks at different levels partially overlap (T506):
+    /// no tree can represent the sharing relation.
+    NonLaminarSharing,
+    /// The hierarchy gives the mapper nothing to work with (T507): a single
+    /// core, no caches, or a multicore whose caches are all private, making
+    /// [`Machine::first_shared_level`] meaningless.
+    DegenerateHierarchy,
+}
+
+impl fmt::Display for TopoLintKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Self::CapacityInversion => "capacity-inversion",
+            Self::AsymmetricArity => "asymmetric-arity",
+            Self::LineShrinkOutward => "line-shrink-outward",
+            Self::ImplausibleLatency => "implausible-latency",
+            Self::LevelCoverageGap => "level-coverage-gap",
+            Self::NonLaminarSharing => "non-laminar-sharing",
+            Self::DegenerateHierarchy => "degenerate-hierarchy",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One finding of the topology linter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoLint {
+    /// What category of implausibility was found.
+    pub kind: TopoLintKind,
+    /// Human-readable description with the offending parameters.
+    pub message: String,
+    /// Arena index of the node the finding anchors to, when one exists.
+    pub node: Option<usize>,
+    /// Cache level the finding concerns, when one exists.
+    pub level: Option<u8>,
+}
+
+impl fmt::Display for TopoLint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.message)
+    }
+}
+
+fn finding(
+    kind: TopoLintKind,
+    node: Option<NodeId>,
+    level: Option<u8>,
+    message: String,
+) -> TopoLint {
+    TopoLint {
+        kind,
+        message,
+        node: node.map(|n| n.index()),
+        level,
+    }
+}
+
+/// Runs every structural check against a machine, returning all findings
+/// in deterministic (check, then tree) order. An empty result means the
+/// machine is lint-clean; see [`is_lint_clean`].
+pub fn lint_machine(m: &Machine) -> Vec<TopoLint> {
+    let mut out = Vec::new();
+    lint_params(m, &mut out);
+    lint_arity(m, &mut out);
+    lint_coverage(m, &mut out);
+    lint_degeneracy(m, &mut out);
+    out
+}
+
+/// `true` when [`lint_machine`] finds nothing.
+pub fn is_lint_clean(m: &Machine) -> bool {
+    lint_machine(m).is_empty()
+}
+
+/// Walks every cache node once, checking its parameters against its parent
+/// cache (capacity inversion, line shrink, latency ordering) and against
+/// the machine (zero latency, slower than memory).
+fn lint_params(m: &Machine, out: &mut Vec<TopoLint>) {
+    for node in cache_nodes(m) {
+        let params = m.cache_params(node).expect("cache node has params");
+        let level = cache_level(m, node);
+        if params.latency() == 0 {
+            out.push(finding(
+                TopoLintKind::ImplausibleLatency,
+                Some(node),
+                Some(level),
+                format!("L{level} cache (node {}) has zero latency", node.index()),
+            ));
+        }
+        // A zero memory latency is reported once, globally, below.
+        if m.memory_latency() > 0 && params.latency() >= m.memory_latency() {
+            out.push(finding(
+                TopoLintKind::ImplausibleLatency,
+                Some(node),
+                Some(level),
+                format!(
+                    "L{level} cache (node {}) latency {} is not below the {}-cycle \
+                     off-chip memory latency",
+                    node.index(),
+                    params.latency(),
+                    m.memory_latency()
+                ),
+            ));
+        }
+        let Some(parent) = m.parent(node) else {
+            continue;
+        };
+        let Some(pp) = m.cache_params(parent) else {
+            continue; // parent is the memory root
+        };
+        let plevel = cache_level(m, parent);
+        if pp.size_bytes() < params.size_bytes() {
+            out.push(finding(
+                TopoLintKind::CapacityInversion,
+                Some(node),
+                Some(level),
+                format!(
+                    "L{level} cache (node {}) holds {} bytes but its L{plevel} parent \
+                     only {} — inclusion cannot hold",
+                    node.index(),
+                    params.size_bytes(),
+                    pp.size_bytes()
+                ),
+            ));
+        }
+        if pp.line_bytes() < params.line_bytes() {
+            out.push(finding(
+                TopoLintKind::LineShrinkOutward,
+                Some(node),
+                Some(level),
+                format!(
+                    "L{plevel} parent of node {} uses {}-byte lines, finer than the \
+                     {}-byte lines below it",
+                    node.index(),
+                    pp.line_bytes(),
+                    params.line_bytes()
+                ),
+            ));
+        }
+        if pp.latency() < params.latency() {
+            out.push(finding(
+                TopoLintKind::ImplausibleLatency,
+                Some(node),
+                Some(level),
+                format!(
+                    "L{plevel} parent of node {} answers in {} cycles, faster than the \
+                     {}-cycle L{level} beneath it",
+                    node.index(),
+                    pp.latency(),
+                    params.latency()
+                ),
+            ));
+        }
+    }
+    if m.memory_latency() == 0 {
+        out.push(finding(
+            TopoLintKind::ImplausibleLatency,
+            None,
+            None,
+            "off-chip memory latency is zero".to_owned(),
+        ));
+    }
+}
+
+/// Checks that siblings fan out symmetrically: under every branch point
+/// (root or cache), same-level cache children must have the same number of
+/// children, and cache children must not be mixed with core children.
+fn lint_arity(m: &Machine, out: &mut Vec<TopoLint>) {
+    let parents = std::iter::once(NodeId::ROOT).chain(cache_nodes(m).into_iter().filter(|&n| {
+        m.children(n)
+            .iter()
+            .any(|&c| matches!(m.kind(c), NodeKind::Cache { .. }))
+    }));
+    for parent in parents {
+        let children = m.children(parent);
+        let caches: Vec<NodeId> = children
+            .iter()
+            .copied()
+            .filter(|&c| matches!(m.kind(c), NodeKind::Cache { .. }))
+            .collect();
+        if parent != NodeId::ROOT && caches.len() != children.len() && !caches.is_empty() {
+            out.push(finding(
+                TopoLintKind::AsymmetricArity,
+                Some(parent),
+                Some(cache_level(m, parent)),
+                format!(
+                    "node {} mixes {} cache child(ren) with {} core(s)",
+                    parent.index(),
+                    caches.len(),
+                    children.len() - caches.len()
+                ),
+            ));
+        }
+        // Group cache children by level; within a level, fan-outs must agree.
+        let mut by_level: BTreeMap<u8, Vec<NodeId>> = BTreeMap::new();
+        for &c in &caches {
+            by_level.entry(cache_level(m, c)).or_default().push(c);
+        }
+        for (level, sibs) in by_level {
+            let arities: Vec<usize> = sibs.iter().map(|&s| m.children(s).len()).collect();
+            if let Some(&first) = arities.first() {
+                if let Some(i) = arities.iter().position(|&a| a != first) {
+                    out.push(finding(
+                        TopoLintKind::AsymmetricArity,
+                        Some(sibs[i]),
+                        Some(level),
+                        format!(
+                            "L{level} siblings under node {} fan out unevenly: node {} has \
+                             {} child(ren) where its sibling node {} has {}",
+                            parent.index(),
+                            sibs[i].index(),
+                            arities[i],
+                            sibs[0].index(),
+                            first
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Checks that every core's lookup path visits every level the machine has.
+fn lint_coverage(m: &Machine, out: &mut Vec<TopoLint>) {
+    for level in m.levels() {
+        let mut missing = Vec::new();
+        for core in m.cores() {
+            let covered = m
+                .lookup_path(core)
+                .iter()
+                .any(|&n| cache_level(m, n) == level);
+            if !covered {
+                missing.push(core);
+            }
+        }
+        if let Some(&first) = missing.first() {
+            out.push(finding(
+                TopoLintKind::LevelCoverageGap,
+                Some(m.core_node(first)),
+                Some(level),
+                format!(
+                    "{} of {} cores (first: {first}) have no L{level} on their lookup \
+                     path although the machine has L{level} caches",
+                    missing.len(),
+                    m.n_cores()
+                ),
+            ));
+        }
+    }
+}
+
+/// Checks the hierarchy is worth mapping onto at all.
+fn lint_degeneracy(m: &Machine, out: &mut Vec<TopoLint>) {
+    if m.n_cores() < 2 {
+        out.push(finding(
+            TopoLintKind::DegenerateHierarchy,
+            None,
+            None,
+            format!(
+                "machine has {} core(s): there is nothing to map across",
+                m.n_cores()
+            ),
+        ));
+    }
+    if m.levels().is_empty() {
+        out.push(finding(
+            TopoLintKind::DegenerateHierarchy,
+            None,
+            None,
+            "machine has no caches at all".to_owned(),
+        ));
+    } else if m.n_cores() > 1 && m.first_shared_level().is_none() {
+        out.push(finding(
+            TopoLintKind::DegenerateHierarchy,
+            None,
+            None,
+            format!(
+                "no cache is shared by two of the {} cores: first_shared_level is \
+                 undefined and topology-aware mapping degenerates to Base",
+                m.n_cores()
+            ),
+        ));
+    }
+}
+
+/// Checks a raw set of `(level, shared_cpu_map)` masks — the sysfs form of
+/// a topology, before any tree exists — for laminarity: any two sharing
+/// domains must nest or be disjoint, and a higher-level domain must not sit
+/// strictly inside a lower-level one. Returns
+/// [`TopoLintKind::NonLaminarSharing`] findings; an empty result means a
+/// tree machine can represent the masks.
+pub fn lint_shared_maps(maps: &[(u8, u128)]) -> Vec<TopoLint> {
+    let mut out = Vec::new();
+    for (i, &(la, a)) in maps.iter().enumerate() {
+        for &(lb, b) in &maps[i + 1..] {
+            let inter = a & b;
+            if inter == 0 || inter == a || inter == b {
+                // Disjoint or nested: still need level/containment sanity.
+                if inter == a && a != b && la > lb {
+                    out.push(finding(
+                        TopoLintKind::NonLaminarSharing,
+                        None,
+                        Some(la),
+                        format!(
+                            "L{la} domain {a:#x} sits strictly inside the L{lb} domain \
+                             {b:#x}: outer levels must contain inner ones"
+                        ),
+                    ));
+                } else if inter == b && a != b && lb > la {
+                    out.push(finding(
+                        TopoLintKind::NonLaminarSharing,
+                        None,
+                        Some(lb),
+                        format!(
+                            "L{lb} domain {b:#x} sits strictly inside the L{la} domain \
+                             {a:#x}: outer levels must contain inner ones"
+                        ),
+                    ));
+                }
+                continue;
+            }
+            out.push(finding(
+                TopoLintKind::NonLaminarSharing,
+                None,
+                Some(la.max(lb)),
+                format!(
+                    "L{la} domain {a:#x} and L{lb} domain {b:#x} overlap on {inter:#x} \
+                     without nesting: no tree can represent this sharing"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+fn cache_nodes(m: &Machine) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for level in m.levels() {
+        out.extend(m.caches_at(level));
+    }
+    out.sort();
+    out
+}
+
+fn cache_level(m: &Machine, node: NodeId) -> u8 {
+    match m.kind(node) {
+        NodeKind::Cache { level, .. } => level,
+        _ => unreachable!("caller guarantees a cache node"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::CacheParams;
+    use crate::{catalog, KB, MB};
+
+    #[test]
+    fn catalog_machines_are_clean() {
+        for m in [
+            catalog::harpertown(),
+            catalog::nehalem(),
+            catalog::dunnington(),
+            catalog::arch_i(),
+            catalog::arch_ii(),
+        ] {
+            let lints = lint_machine(&m);
+            assert!(lints.is_empty(), "{}: {lints:?}", m.name());
+        }
+    }
+
+    #[test]
+    fn capacity_inversion_fires() {
+        let mut b = Machine::builder("inv", 1.0, 100);
+        let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(MB, 8, 64, 12));
+        b.core_with_l1(l2, CacheParams::new(2 * MB, 8, 64, 3));
+        b.core_with_l1(l2, CacheParams::new(2 * MB, 8, 64, 3));
+        let lints = lint_machine(&b.build());
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.kind == TopoLintKind::CapacityInversion),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn zero_and_inverted_latencies_fire() {
+        let mut b = Machine::builder("lat", 1.0, 100);
+        let l2 = b.cache(NodeId::ROOT, 2, CacheParams::new(MB, 8, 64, 0));
+        b.core_with_l1(l2, CacheParams::new(32 * KB, 8, 64, 30));
+        b.core_with_l1(l2, CacheParams::new(32 * KB, 8, 64, 30));
+        let lints = lint_machine(&b.build());
+        let lat: Vec<_> = lints
+            .iter()
+            .filter(|l| l.kind == TopoLintKind::ImplausibleLatency)
+            .collect();
+        // Zero L2 latency + two L1s slower than their parent.
+        assert!(lat.len() >= 3, "{lints:?}");
+    }
+
+    #[test]
+    fn all_private_multicore_is_degenerate() {
+        let m = catalog::dunnington().truncated(1);
+        let lints = lint_machine(&m);
+        assert!(
+            lints
+                .iter()
+                .any(|l| l.kind == TopoLintKind::DegenerateHierarchy),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn laminar_masks_pass_overlapping_masks_fail() {
+        // Dunnington socket 0, sysfs-style: L2 pairs inside an L3 six-pack.
+        let clean = [
+            (2u8, 0b000011u128),
+            (2, 0b001100),
+            (2, 0b110000),
+            (3, 0b111111),
+        ];
+        assert!(lint_shared_maps(&clean).is_empty());
+        let overlapping = [(2u8, 0b0110u128), (2, 0b0011)];
+        let lints = lint_shared_maps(&overlapping);
+        assert!(
+            lints
+                .iter()
+                .all(|l| l.kind == TopoLintKind::NonLaminarSharing)
+                && !lints.is_empty(),
+            "{lints:?}"
+        );
+        // A higher level strictly inside a lower one is also non-laminar.
+        let inverted = [(3u8, 0b0011u128), (2, 0b1111)];
+        assert!(!lint_shared_maps(&inverted).is_empty());
+    }
+}

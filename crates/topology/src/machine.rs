@@ -60,7 +60,7 @@ pub enum NodeKind {
     Core(CoreId),
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 struct Node {
     kind: NodeKind,
     parent: Option<NodeId>,
@@ -71,7 +71,13 @@ struct Node {
 /// tree (arena-backed; node 0 is the virtual memory root).
 ///
 /// Construct with [`MachineBuilder`] or take one from [`crate::catalog`].
-#[derive(Debug, Clone)]
+///
+/// Equality is structural: two machines are equal when they have the same
+/// name, clock, memory latency and arena-identical trees (same node ids,
+/// same insertion order). [`crate::spec::parse_machine`] and
+/// [`Machine::to_spec`] both produce trees in the same depth-first order,
+/// so round-tripping preserves equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Machine {
     name: String,
     clock_ghz: f64,

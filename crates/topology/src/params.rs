@@ -31,22 +31,46 @@ impl CacheParams {
     /// and `size_bytes` is a positive multiple of
     /// `associativity * line_bytes` (so the set count is integral).
     pub fn new(size_bytes: u64, associativity: u32, line_bytes: u32, latency: u32) -> Self {
-        assert!(
-            line_bytes.is_power_of_two(),
-            "line size must be a power of two"
-        );
-        assert!(associativity >= 1, "associativity must be at least 1");
+        match Self::try_new(size_bytes, associativity, line_bytes, latency) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// The fallible form of [`CacheParams::new`] — the single geometry
+    /// validation the spec parser and the ingestion front ends share.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first violated geometry rule:
+    /// `line_bytes` must be a power of two, `associativity >= 1`, and
+    /// `size_bytes` a positive multiple of `associativity * line_bytes`.
+    pub fn try_new(
+        size_bytes: u64,
+        associativity: u32,
+        line_bytes: u32,
+        latency: u32,
+    ) -> Result<Self, String> {
+        if !line_bytes.is_power_of_two() {
+            return Err(format!(
+                "line size must be a power of two, got {line_bytes}"
+            ));
+        }
+        if associativity < 1 {
+            return Err("associativity must be at least 1".to_owned());
+        }
         let way_bytes = u64::from(associativity) * u64::from(line_bytes);
-        assert!(
-            size_bytes > 0 && size_bytes.is_multiple_of(way_bytes),
-            "cache size {size_bytes} is not a multiple of assoc*line = {way_bytes}"
-        );
-        Self {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(way_bytes) {
+            return Err(format!(
+                "cache size {size_bytes} is not a multiple of assoc*line = {way_bytes}"
+            ));
+        }
+        Ok(Self {
             size_bytes,
             associativity,
             line_bytes,
             latency,
-        }
+        })
     }
 
     /// Total capacity in bytes.

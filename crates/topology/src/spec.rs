@@ -41,6 +41,34 @@ pub struct SpecError {
     pub offset: usize,
 }
 
+impl SpecError {
+    /// Renders the error with a caret pointing at the offending column of
+    /// the source it was produced from:
+    ///
+    /// ```text
+    /// line 1, column 22: invalid cache geometry (...)
+    ///   m 2.0GHz 100c: 2x[L2 5M 7w 10c]
+    ///                      ^
+    /// ```
+    ///
+    /// `src` must be the string the error's `offset` indexes into; offsets
+    /// past the end point one past the last column (unexpected end of
+    /// input).
+    pub fn render(&self, src: &str) -> String {
+        let offset = self.offset.min(src.len());
+        let line_start = src[..offset].rfind('\n').map_or(0, |i| i + 1);
+        let line_no = src[..offset].matches('\n').count() + 1;
+        let line_end = src[offset..].find('\n').map_or(src.len(), |i| offset + i);
+        let col = src[line_start..offset].chars().count() + 1;
+        format!(
+            "line {line_no}, column {col}: {}\n  {}\n  {}^",
+            self.message,
+            &src[line_start..line_end],
+            " ".repeat(col - 1)
+        )
+    }
+}
+
 impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "at byte {}: {}", self.offset, self.message)
@@ -49,30 +77,30 @@ impl fmt::Display for SpecError {
 
 impl Error for SpecError {}
 
-struct Cursor<'a> {
-    src: &'a str,
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) src: &'a str,
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
             self.pos += 1;
         }
     }
 
-    fn rest(&self) -> &'a str {
+    pub(crate) fn rest(&self) -> &'a str {
         &self.src[self.pos..]
     }
 
-    fn error(&self, message: impl Into<String>) -> SpecError {
+    pub(crate) fn error(&self, message: impl Into<String>) -> SpecError {
         SpecError {
             message: message.into(),
             offset: self.pos,
         }
     }
 
-    fn eat(&mut self, token: &str) -> Result<(), SpecError> {
+    pub(crate) fn eat(&mut self, token: &str) -> Result<(), SpecError> {
         self.skip_ws();
         if self.rest().starts_with(token) {
             self.pos += token.len();
@@ -82,7 +110,7 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn try_eat(&mut self, token: &str) -> bool {
+    pub(crate) fn try_eat(&mut self, token: &str) -> bool {
         self.skip_ws();
         if self.rest().starts_with(token) {
             self.pos += token.len();
@@ -92,23 +120,26 @@ impl<'a> Cursor<'a> {
         }
     }
 
-    fn number(&mut self) -> Result<u64, SpecError> {
+    /// Parses a decimal integer. `_` may be used as a digit-group separator
+    /// (`12_288`), anywhere except before the first digit.
+    pub(crate) fn number(&mut self) -> Result<u64, SpecError> {
         self.skip_ws();
-        let digits: String = self
+        let raw: String = self
             .rest()
             .chars()
-            .take_while(|c| c.is_ascii_digit())
+            .take_while(|c| c.is_ascii_digit() || *c == '_')
             .collect();
-        if digits.is_empty() {
+        let digits: String = raw.chars().filter(char::is_ascii_digit).collect();
+        if digits.is_empty() || !raw.starts_with(|c: char| c.is_ascii_digit()) {
             return Err(self.error("expected a number"));
         }
-        self.pos += digits.len();
+        self.pos += raw.len();
         digits
             .parse()
             .map_err(|_| self.error("number out of range"))
     }
 
-    fn decimal(&mut self) -> Result<f64, SpecError> {
+    pub(crate) fn decimal(&mut self) -> Result<f64, SpecError> {
         self.skip_ws();
         let text: String = self
             .rest()
@@ -123,7 +154,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| self.error("malformed decimal number"))
     }
 
-    fn word(&mut self) -> Result<&'a str, SpecError> {
+    pub(crate) fn word(&mut self) -> Result<&'a str, SpecError> {
         self.skip_ws();
         let len = self
             .rest()
@@ -141,26 +172,31 @@ impl<'a> Cursor<'a> {
 }
 
 /// One cache description from the spec.
-struct SpecCache {
-    level: u8,
-    params: CacheParams,
+pub(crate) struct SpecCache {
+    pub(crate) level: u8,
+    pub(crate) params: CacheParams,
 }
 
-/// Parses `L<level> <size>(K|M) <assoc>w <latency>c [<line>b]`.
-fn parse_cache(c: &mut Cursor<'_>) -> Result<SpecCache, SpecError> {
+/// Parses `L<level> <size>(K|M|B) <assoc>w <latency>c [<line>b]`.
+pub(crate) fn parse_cache(c: &mut Cursor<'_>) -> Result<SpecCache, SpecError> {
     c.eat("L")?;
     let level = c.number()?;
     if level == 0 || level > 16 {
         return Err(c.error("cache level must be in 1..=16"));
     }
     let size_num = c.number()?;
-    let size = if c.try_eat("M") {
-        size_num * MB
+    let unit = if c.try_eat("M") {
+        MB
     } else if c.try_eat("K") {
-        size_num * KB
+        KB
+    } else if c.try_eat("B") {
+        1
     } else {
-        return Err(c.error("cache size needs a K or M suffix"));
+        return Err(c.error("cache size needs a K, M or B suffix"));
     };
+    let size = size_num
+        .checked_mul(unit)
+        .ok_or_else(|| c.error("cache size out of range"))?;
     let assoc = c.number()?;
     c.eat("w")?;
     let latency = c.number()?;
@@ -252,6 +288,113 @@ pub fn parse_machine(spec: &str) -> Result<Machine, SpecError> {
     Ok(b.build())
 }
 
+/// Emits one subtree (a cache and everything below it) in spec syntax.
+fn subtree_spec(m: &Machine, node: NodeId) -> String {
+    let crate::machine::NodeKind::Cache { level, params } = m.kind(node) else {
+        panic!("to_spec: a core directly under the memory root is not representable");
+    };
+    let size = params.size_bytes();
+    let size_txt = if size.is_multiple_of(MB) {
+        format!("{}M", size / MB)
+    } else if size.is_multiple_of(KB) {
+        format!("{}K", size / KB)
+    } else {
+        format!("{size}B")
+    };
+    let mut out = format!(
+        "L{level} {size_txt} {}w {}c",
+        params.associativity(),
+        params.latency()
+    );
+    if params.line_bytes() != 64 {
+        out.push_str(&format!(" {}b", params.line_bytes()));
+    }
+    let children = m.children(node);
+    let n_cores = children
+        .iter()
+        .filter(|&&c| matches!(m.kind(c), crate::machine::NodeKind::Core(_)))
+        .count();
+    if n_cores > 0 {
+        assert!(
+            n_cores == children.len() && n_cores == 1,
+            "to_spec: an innermost cache must hold exactly one core and nothing else \
+             (node {} has {} cores among {} children)",
+            node.index(),
+            n_cores,
+            children.len()
+        );
+        return out;
+    }
+    let bodies: Vec<String> = children.iter().map(|&c| subtree_spec(m, c)).collect();
+    assert!(
+        bodies.windows(2).all(|w| w[0] == w[1]),
+        "to_spec: the children of cache node {} are not identical subtrees",
+        node.index()
+    );
+    assert!(
+        bodies.len() <= 1024,
+        "to_spec: cache node {} has more than 1024 children",
+        node.index()
+    );
+    out.push_str(&format!(": {}x[{}]", bodies.len(), bodies[0]));
+    out
+}
+
+impl Machine {
+    /// Serializes the machine back to the one-line spec format, the inverse
+    /// of [`parse_machine`]: `parse_machine(&m.to_spec()).unwrap() == m` for
+    /// any machine the grammar can express whose arena is in depth-first
+    /// insertion order (as `parse_machine`, the catalog and the zoo all
+    /// produce). Machines built in another insertion order round-trip to an
+    /// isomorphic tree with renumbered nodes. Adjacent identical root
+    /// subtrees are run-length encoded into `Nx[...]` groups (split at the
+    /// grammar's 1024 cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics on machines the spec grammar cannot express:
+    /// - the name is not a single spec word (`[A-Za-z0-9_-]+`), or the clock
+    ///   is not positive;
+    /// - a core sits directly under the memory root;
+    /// - an innermost cache holds more than one core, or mixes cores with
+    ///   caches;
+    /// - a cache's children are not identical subtrees (the grammar allows
+    ///   asymmetry only between top-level groups), or number more than 1024.
+    pub fn to_spec(&self) -> String {
+        assert!(
+            !self.name().is_empty()
+                && self
+                    .name()
+                    .chars()
+                    .all(|c| c.is_alphanumeric() || c == '_' || c == '-'),
+            "to_spec: machine name {:?} is not a spec word",
+            self.name()
+        );
+        assert!(self.clock_ghz() > 0.0, "to_spec: clock must be positive");
+        let mut out = format!(
+            "{} {}GHz {}c:",
+            self.name(),
+            self.clock_ghz(),
+            self.memory_latency()
+        );
+        let bodies: Vec<String> = self
+            .children(NodeId::ROOT)
+            .iter()
+            .map(|&t| subtree_spec(self, t))
+            .collect();
+        let mut i = 0;
+        while i < bodies.len() {
+            let mut j = i + 1;
+            while j < bodies.len() && bodies[j] == bodies[i] && j - i < 1024 {
+                j += 1;
+            }
+            out.push_str(&format!(" {}x[{}]", j - i, bodies[i]));
+            i = j;
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +469,98 @@ mod tests {
         // 2^33 bytes: a power of two, but wider than CacheParams can hold.
         let err = parse_machine("m 1.0GHz 100c: 1x[L1 32K 8w 3c 8589934592b]").unwrap_err();
         assert!(err.message.contains("geometry"), "{err}");
+    }
+
+    #[test]
+    fn underscore_grouped_sizes_parse() {
+        let m = parse_machine("m 2.4GHz 120c: 1x[L3 12_288K 16w 36c: 2x[L1 32K 8w 4c]]").unwrap();
+        let p = m.cache_params(m.caches_at(3)[0]).unwrap();
+        assert_eq!(p.size_bytes(), 12 * MB);
+        // `_` works in any numeric position, not just sizes.
+        let m2 = parse_machine("m 2.4GHz 1_20c: 1x[L1 3_2K 8w 4c]").unwrap();
+        assert_eq!(m2.memory_latency(), 120);
+        // A leading `_` is a name character, not a number.
+        assert!(parse_machine("m 2.4GHz _120c: 1x[L1 32K 8w 4c]").is_err());
+    }
+
+    #[test]
+    fn byte_size_suffix_parses() {
+        let m = parse_machine("m 1.0GHz 100c: 1x[L1 32768B 8w 3c]").unwrap();
+        let p = m.cache_params(m.caches_at(1)[0]).unwrap();
+        assert_eq!(p.size_bytes(), 32 * KB);
+    }
+
+    #[test]
+    fn trailing_whitespace_is_accepted() {
+        let m = parse_machine("m 1.0GHz 100c: 1x[L1 32K 8w 3c]  \n").unwrap();
+        assert_eq!(m.n_cores(), 1);
+    }
+
+    #[test]
+    fn render_points_a_caret_at_the_column() {
+        let src = "m 2.0GHz 100c: 2x[L2 5M 7w 10c]";
+        let err = parse_machine(src).unwrap_err();
+        let rendered = err.render(src);
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 3, "{rendered}");
+        assert!(lines[0].starts_with("line 1, column "), "{rendered}");
+        assert_eq!(lines[1], format!("  {src}"));
+        // The caret column matches the reported byte offset (ASCII input).
+        assert_eq!(lines[2], format!("  {}^", " ".repeat(err.offset)));
+    }
+
+    #[test]
+    fn render_handles_offsets_past_the_end() {
+        let src = "m 2.0GHz 100c:";
+        let err = parse_machine(src).unwrap_err();
+        let rendered = err.render(src);
+        assert!(rendered.contains('^'), "{rendered}");
+    }
+
+    #[test]
+    fn to_spec_round_trips_the_catalog() {
+        for m in [
+            catalog::harpertown(),
+            catalog::nehalem(),
+            catalog::dunnington(),
+            catalog::dunnington_scaled(3),
+            catalog::dunnington_scaled(4),
+            catalog::arch_i(),
+            catalog::arch_ii(),
+        ] {
+            let spec = m.to_spec();
+            let back = parse_machine(&spec).unwrap_or_else(|e| {
+                panic!(
+                    "{}: to_spec output failed to parse:\n{}",
+                    m.name(),
+                    e.render(&spec)
+                )
+            });
+            assert_eq!(back, m, "{} round-trip through {spec:?}", m.name());
+        }
+    }
+
+    #[test]
+    fn to_spec_run_length_encodes_root_groups() {
+        let spec = catalog::harpertown().to_spec();
+        assert_eq!(
+            spec,
+            "Harpertown 3.2GHz 320c: 4x[L2 6M 24w 15c: 2x[L1 32K 8w 3c]]"
+        );
+    }
+
+    #[test]
+    fn to_spec_emits_byte_sizes_and_line_overrides() {
+        let m = parse_machine("m 1.0GHz 100c: 1x[L1 1536B 2w 3c 128b]").unwrap();
+        let spec = m.to_spec();
+        assert!(spec.contains("1536B") && spec.contains("128b"), "{spec}");
+        assert_eq!(parse_machine(&spec).unwrap(), m);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a spec word")]
+    fn to_spec_rejects_unspellable_names() {
+        let _ = catalog::dunnington().halved_capacities().to_spec(); // "Dunnington/halved"
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Linter coverage over the catalog and the zoo: every machine the paper
+//! evaluates is lint-clean, every deliberately injected defect fires its
+//! expected finding (and only on the mutant, never the clean base), and the
+//! zoo generator mass-produces clean machines.
+
+use ctam_topology::lint::{is_lint_clean, lint_machine, lint_shared_maps, TopoLintKind};
+use ctam_topology::zoo::{self, Defect, ZooConfig};
+use ctam_topology::{catalog, Machine};
+
+/// Every machine the paper's evaluation touches, including the scaled
+/// Dunnington configurations of Figure 13 and the halved/truncated variants
+/// of Figures 19–20 (truncation to L1 is *excluded*: an all-private
+/// multicore is degenerate by design, and `truncated_is_degenerate` below
+/// checks the linter says so).
+fn paper_machines() -> Vec<Machine> {
+    let mut out = catalog::commercial_machines();
+    for sockets in 1..=4 {
+        out.push(catalog::dunnington_scaled(sockets));
+    }
+    let halved: Vec<Machine> = out.iter().map(Machine::halved_capacities).collect();
+    out.extend(halved);
+    out.push(catalog::arch_i().truncated(2));
+    out.push(catalog::arch_ii().truncated(3));
+    out
+}
+
+#[test]
+fn every_paper_machine_is_lint_clean() {
+    for m in paper_machines() {
+        let lints = lint_machine(&m);
+        assert!(
+            lints.is_empty(),
+            "{}: {:?}",
+            m.name(),
+            lints.iter().map(ToString::to_string).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn truncated_to_private_l1_is_degenerate() {
+    for m in catalog::commercial_machines() {
+        let t = m.truncated(1);
+        assert!(
+            lint_machine(&t)
+                .iter()
+                .any(|l| l.kind == TopoLintKind::DegenerateHierarchy),
+            "{}",
+            t.name()
+        );
+    }
+}
+
+#[test]
+fn zoo_generates_clean_machines_in_bulk() {
+    let cfg = ZooConfig::default();
+    for m in zoo::zoo(0xC7A3_57A6, 64, &cfg) {
+        let lints = lint_machine(&m);
+        assert!(lints.is_empty(), "{}: {lints:?}", m.name());
+        assert!(m.n_cores() >= 2 && m.n_cores() <= cfg.max_cores);
+        assert!(m.first_shared_level().is_some(), "{}", m.name());
+    }
+}
+
+/// The heart of the differential linter test: for a spread of seeds, each
+/// defect injection must (a) fire its expected finding kind on the mutant
+/// while (b) the un-mutated base stays silent — so the finding is caused by
+/// the injected defect, not by the generator.
+#[test]
+fn every_defect_fires_and_only_on_the_mutant() {
+    let cfg = ZooConfig::default();
+    for seed in [3, 17, 99, 1024, 2007] {
+        let base = zoo::generate_clean(seed, &cfg);
+        assert!(is_lint_clean(&base), "seed {seed}");
+        for defect in Defect::ALL {
+            let mutant = zoo::inject(&base, defect);
+            let lints = lint_machine(&mutant);
+            let want = defect.expected_kind();
+            assert!(
+                lints.iter().any(|l| l.kind == want),
+                "seed {seed}, {defect:?}: expected {want} in {:?}",
+                lints.iter().map(ToString::to_string).collect::<Vec<_>>()
+            );
+        }
+    }
+}
+
+/// Parameter defects perturb cache geometry but never the set of cores;
+/// the structural defects (a duplicated subtree, a level-skipping socket)
+/// add cores by design. Either way the mutant must still be buildable and
+/// keep at least the base's cores.
+#[test]
+fn injection_keeps_machines_buildable() {
+    let base = zoo::generate_clean(42, &ZooConfig::default());
+    for defect in [
+        Defect::CapacityInversion,
+        Defect::LineShrink,
+        Defect::ZeroLatency,
+        Defect::AllPrivate,
+    ] {
+        assert_eq!(
+            zoo::inject(&base, defect).n_cores(),
+            base.n_cores(),
+            "{defect:?}"
+        );
+    }
+    for defect in Defect::ALL {
+        assert!(
+            zoo::inject(&base, defect).n_cores() >= base.n_cores(),
+            "{defect:?}"
+        );
+    }
+}
+
+#[test]
+fn shared_map_laminarity_matches_tree_reality() {
+    // Harpertown's true sysfs masks: four L2 pairs. Laminar.
+    let harpertown = [
+        (2u8, 0x03u128),
+        (2, 0x0c),
+        (2, 0x30),
+        (2, 0xc0),
+        (3, 0xff), // a hypothetical package-wide L3 nests them all
+    ];
+    assert!(lint_shared_maps(&harpertown).is_empty());
+
+    // Straddling pairs cannot come from any tree.
+    let straddled = [(2u8, 0x06u128), (2, 0x03), (2, 0x60)];
+    let lints = lint_shared_maps(&straddled);
+    assert!(
+        !lints.is_empty()
+            && lints
+                .iter()
+                .all(|l| l.kind == TopoLintKind::NonLaminarSharing),
+        "{lints:?}"
+    );
+
+    // An L3 strictly inside an L2 is flagged even though the masks nest.
+    let inverted = [(3u8, 0x03u128), (2, 0x0f)];
+    assert!(!lint_shared_maps(&inverted).is_empty());
+}

@@ -1,6 +1,8 @@
 //! Property tests over randomly built cache topologies.
 
-use ctam_topology::{CacheParams, CoreId, Machine, NodeId, KB, MB};
+use ctam_topology::spec::parse_machine;
+use ctam_topology::zoo::{self, ZooConfig};
+use ctam_topology::{catalog, CacheParams, CoreId, Machine, NodeId, KB, MB};
 use proptest::prelude::*;
 
 /// A random 2-or-3-level machine: `sockets × groups × cores_per_group`.
@@ -108,6 +110,14 @@ proptest! {
     }
 
     #[test]
+    fn spec_serializer_inverts_the_parser(m in arb_machine()) {
+        let spec = m.to_spec();
+        let parsed = parse_machine(&spec)
+            .unwrap_or_else(|e| panic!("{spec}\n{}", e.render(&spec)));
+        prop_assert_eq!(parsed, m, "{}", spec);
+    }
+
+    #[test]
     fn first_shared_level_actually_shares(m in arb_machine()) {
         if let Some(l) = m.first_shared_level() {
             prop_assert!(m
@@ -122,5 +132,34 @@ proptest! {
                     .all(|(_, cs)| cs.len() == 1));
             }
         }
+    }
+}
+
+/// `parse(to_spec(m)) == m` over the machines the rest of the repository
+/// actually uses: the full paper catalog (with its scaled and halved
+/// variants) and a stretch of the random zoo. Arena equality, not just
+/// isomorphism — all of these are built in DFS insertion order.
+#[test]
+fn spec_round_trip_covers_catalog_and_zoo() {
+    let mut machines = catalog::commercial_machines();
+    machines.extend([catalog::arch_i(), catalog::arch_ii()]);
+    for sockets in 1..=4 {
+        machines.push(catalog::dunnington_scaled(sockets));
+    }
+    // `halved_capacities` puts a `/` in the name, which the spec grammar
+    // cannot spell — rename before serializing.
+    let halved: Vec<Machine> = machines
+        .iter()
+        .map(|m| {
+            let name = format!("{}-halved", m.name());
+            m.halved_capacities().with_name(&name)
+        })
+        .collect();
+    machines.extend(halved);
+    machines.extend(zoo::zoo(0xC7A3_57A6, 48, &ZooConfig::default()));
+    for m in machines {
+        let spec = m.to_spec();
+        let parsed = parse_machine(&spec).unwrap_or_else(|e| panic!("{spec}\n{}", e.render(&spec)));
+        assert_eq!(parsed, m, "{spec}");
     }
 }

@@ -24,6 +24,13 @@
 //! | `CTAM-A404` | `DeadTagBits` | advice | every tag bit (data block) is claimed by some group |
 //! | `CTAM-N301` | `SymbolicRaceProof` | note | race freedom was proved from dependence relations, without enumeration |
 //! | `CTAM-N302` | `RaceCheckEnumerated` | note | the race check fell back to element-access enumeration |
+//! | `CTAM-T501` | `TopoCapacityInversion` | error | cache capacities grow outward (inclusion can hold) |
+//! | `CTAM-T502` | `TopoAsymmetricArity` | warning | same-level siblings fan out alike; no cache/core child mixing |
+//! | `CTAM-T503` | `TopoLineShrink` | warning | line sizes do not shrink outward |
+//! | `CTAM-T504` | `TopoImplausibleLatency` | error | latencies are nonzero and grow with distance, below memory |
+//! | `CTAM-T505` | `TopoLevelCoverageGap` | warning | every core's lookup path visits every level |
+//! | `CTAM-T506` | `TopoNonLaminarSharing` | error | `shared_cpu_map` domains nest or are disjoint |
+//! | `CTAM-T507` | `TopoDegenerateTree` | warning | the hierarchy has ≥2 cores, caches, and a shared level |
 //!
 //! The `CTAM-A4xx` band comes from the **advisor** ([`advise_mapping`]): a
 //! static locality & interference analyzer that predicts per-cache-level
@@ -32,6 +39,14 @@
 //! are predictions, not proofs (see [`ctam::verify::advisor`] for the
 //! soundness caveats); they are opt-in via [`VerifyOptions::advise`] or a
 //! direct [`advise_mapping`] call, and never make a mapping unclean.
+//!
+//! The `CTAM-T5xx` band comes from the **topology linter**
+//! ([`lint_topology`]): a static plausibility check of the machine itself —
+//! capacity inversions, latency anomalies, coverage gaps, degenerate trees —
+//! opt-in via [`VerifyOptions::lint_topology`]. Its raw checks live in
+//! [`ctam_topology::lint`]; [`lint_shared_cpu_maps`] applies the laminarity
+//! check to raw sysfs-style `(level, shared_cpu_map)` masks before any tree
+//! exists.
 //!
 //! The checking engine lives in [`ctam::verify`] (the pipeline calls it when
 //! [`ctam::CtamParams::verify`] is set); this crate re-exports it and adds
@@ -65,7 +80,8 @@
 pub mod report;
 
 pub use ctam::verify::{
-    advise_mapping, is_clean, render_json, verify_mapping, verify_mapping_with, AdvisorOptions,
-    AdvisorReport, Code, Diagnostic, LevelPrediction, ReuseScore, Severity, VerifyOptions,
+    advise_mapping, is_clean, lint_shared_cpu_maps, lint_topology, render_json, verify_mapping,
+    verify_mapping_with, AdvisorOptions, AdvisorReport, Code, Diagnostic, LevelPrediction,
+    ReuseScore, Severity, VerifyOptions,
 };
 pub use report::{verify_evaluation, NestReport, VerificationReport};

@@ -1,0 +1,110 @@
+//! Topology ingestion and the `CTAM-T5xx` machine linter, end to end:
+//! parse cpuid-style and sysfs-style dumps into [`Machine`] trees, lint the
+//! paper catalog, inject every zoo defect into a machine and show which
+//! diagnostic fires, demonstrate the non-laminar rejection path, and sweep
+//! a slice of the random zoo.
+//!
+//! Output is deterministic; CI diffs it against
+//! `ci/expected_toplint_ref.txt`.
+//!
+//! Run with: `cargo run --release --example lint_topology`
+
+use ctam::verify::lint_topology;
+use ctam_topology::zoo::{self, Defect, ZooConfig};
+use ctam_topology::{catalog, ingest, spec, Machine};
+
+/// One-line linter verdict for the listings below.
+fn verdict(m: &Machine) -> String {
+    let diags = lint_topology(m);
+    if diags.is_empty() {
+        "clean".to_owned()
+    } else {
+        format!("{} finding(s)", diags.len())
+    }
+}
+
+fn main() {
+    // -- 1. cpuid-style deterministic cache leaves -----------------------
+    let cpuid = "\
+# Intel Harpertown, from cpuid leaf 4
+machine Harpertown 3.2GHz 320c cores 8
+leaf L1 32K 8w 3c shared 1
+leaf L2 6M 24w 15c shared 2
+";
+    println!("== cpuid-style ingestion ==");
+    let harper = ingest::parse_cpuid_leaves(cpuid).expect("well-formed leaves");
+    println!("parsed:  {}", harper.to_spec());
+    println!(
+        "matches catalog: {}",
+        harper == catalog::harpertown().with_name("Harpertown")
+    );
+    println!("linter:  {}", verdict(&harper));
+
+    // -- 2. sysfs-style shared_cpu_map dump ------------------------------
+    let sysfs = "\
+machine toy 2.0GHz 100c
+cpu0 index0: level 1 size 32K ways 8 line 64 latency 3 shared_cpu_map 0x1
+cpu0 index1: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0x3
+cpu0 index2: level 3 size 8M ways 16 line 64 latency 30 shared_cpu_map 0xf
+cpu1 index0: level 1 size 32K ways 8 line 64 latency 3 shared_cpu_map 0x2
+cpu1 index1: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0x3
+cpu2 index0: level 1 size 32K ways 8 line 64 latency 3 shared_cpu_map 0x4
+cpu2 index1: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0xc
+cpu3 index0: level 1 size 32K ways 8 line 64 latency 3 shared_cpu_map 0x8
+cpu3 index1: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0xc
+";
+    println!();
+    println!("== sysfs-style ingestion ==");
+    let toy = ingest::parse_sysfs_dump(sysfs).expect("laminar masks");
+    println!("parsed:  {}", toy.to_spec());
+    println!("linter:  {}", verdict(&toy));
+
+    // A dump whose masks straddle is rejected before any tree exists.
+    let straddled = "\
+machine broken 2.0GHz 100c
+cpu0 index0: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0x3
+cpu1 index0: level 2 size 1M ways 8 line 64 latency 12 shared_cpu_map 0x6
+";
+    match ingest::parse_sysfs_dump(straddled) {
+        Ok(_) => println!("rejection FAILED"),
+        Err(e) => println!("rejected: {e}"),
+    }
+
+    // A malformed spec renders with a caret at the offending column.
+    println!();
+    println!("== spec parse errors ==");
+    let bad = "oops 2.0GHz 100c: 2x[L2 1M 8q 12c]";
+    match spec::parse_machine(bad) {
+        Ok(_) => println!("parse FAILED to fail"),
+        Err(e) => println!("{}", e.render(bad)),
+    }
+
+    // -- 3. the paper catalog is lint-clean ------------------------------
+    println!();
+    println!("== catalog verdicts ==");
+    let mut machines = catalog::commercial_machines();
+    machines.extend([catalog::arch_i(), catalog::arch_ii()]);
+    for m in &machines {
+        println!("{:<12} {:>2} cores: {}", m.name(), m.n_cores(), verdict(m));
+    }
+
+    // -- 4. every injected defect fires its diagnostic -------------------
+    println!();
+    println!("== defect injection (base: Dunnington) ==");
+    let base = catalog::dunnington();
+    println!("base is {}", verdict(&base));
+    for defect in Defect::ALL {
+        let mutant = zoo::inject(&base, defect);
+        println!("{defect:?}:");
+        for d in lint_topology(&mutant) {
+            println!("  {d}");
+        }
+    }
+
+    // -- 5. a slice of the zoo -------------------------------------------
+    println!();
+    println!("== zoo slice ==");
+    for m in zoo::zoo(0xC7A3_57A6, 8, &ZooConfig::default()) {
+        println!("{:<10} {}", verdict(&m), m.to_spec());
+    }
+}
