@@ -14,10 +14,12 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctam::cluster::LeafSplit;
 use ctam::pipeline::{map_nest, CtamParams, Strategy};
 use ctam::verify::{advise_mapping, AdvisorOptions};
+use ctam::{distribute_with_build, AffinityBuild, IterationGroup, Tag};
 use ctam_loopir::dependence;
-use ctam_topology::catalog;
+use ctam_topology::{catalog, CacheParams, Machine, NodeId, KB, MB};
 use ctam_workloads::{by_name, stress, SizeClass};
 
 fn pass_overhead(c: &mut Criterion) {
@@ -157,5 +159,179 @@ fn advisor_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pass_overhead, dependence_cost, advisor_cost);
+/// A figure9-style 4-core machine (two L2 pairs under one L3) — small
+/// enough that the scaling curves time the clustering pass, not the tree
+/// walk.
+fn quad_machine() -> Machine {
+    let mut b = Machine::builder("quad", 1.0, 100);
+    let l1 = CacheParams::new(8 * KB, 8, 64, 2);
+    let l3 = b.cache(NodeId::ROOT, 3, CacheParams::new(8 * MB, 16, 64, 30));
+    for _ in 0..2 {
+        let l2 = b.cache(l3, 2, CacheParams::new(MB, 8, 64, 10));
+        b.core_with_l1(l2, l1);
+        b.core_with_l1(l2, l1);
+    }
+    b.build()
+}
+
+/// `n` synthetic stencil groups over a `blocks`-wide data space: group `g`
+/// holds one iteration and touches the 3-block window starting at
+/// `g·(blocks−3)/n` — adjacent groups overlap (sharing is sparse, like a
+/// real stencil), distant ones don't.
+fn stencil_groups(n: usize, blocks: usize) -> Vec<IterationGroup> {
+    assert!(blocks >= 3);
+    (0..n)
+        .map(|g| {
+            let base = g * (blocks - 3) / n;
+            IterationGroup::new(
+                Tag::from_bits(blocks, [base, base + 1, base + 2]),
+                vec![u32::try_from(g).expect("group ids fit in u32")],
+            )
+        })
+        .collect()
+}
+
+/// `n` groups with pairwise-disjoint single-bit tags: no pair ever shares a
+/// block, so every merge takes the no-sharing fallback path.
+fn disjoint_groups(n: usize) -> Vec<IterationGroup> {
+    (0..n)
+        .map(|g| {
+            IterationGroup::new(
+                Tag::from_bits(n, [g]),
+                vec![u32::try_from(g).expect("group ids fit in u32")],
+            )
+        })
+        .collect()
+}
+
+/// Scaling curves for the clustering pass (the tentpole of the
+/// inverted-index affinity build): `distribute` wall-clock vs. group count
+/// for stencil sharing (inverted index, with the quadratic all-pairs
+/// reference at small sizes), vs. block-space width at a fixed group count,
+/// and for pure-fallback disjoint-tag programs. Timings include one clone
+/// of the input groups per iteration (`distribute` consumes its input).
+fn cluster_scale(c: &mut Criterion) {
+    let machine = quad_machine();
+    let mut group = c.benchmark_group("cluster_scale");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    // Groups curve: stencil over a ring-like window space (blocks = n + 2).
+    for exp in [12u32, 14, 16, 18, 20] {
+        let n = 1usize << exp;
+        let groups = stencil_groups(n, n + 2);
+        group.bench_with_input(
+            BenchmarkId::new("stencil_inverted", n),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    distribute_with_build(
+                        groups.clone(),
+                        &machine,
+                        0.10,
+                        LeafSplit::Separate,
+                        AffinityBuild::InvertedIndex,
+                    )
+                    .n_cores()
+                });
+            },
+        );
+    }
+    // The all-pairs reference, small sizes only (it is the O(n²) build this
+    // PR retires from the hot path).
+    for exp in [10u32, 11, 12] {
+        let n = 1usize << exp;
+        let groups = stencil_groups(n, n + 2);
+        group.bench_with_input(
+            BenchmarkId::new("stencil_all_pairs", n),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    distribute_with_build(
+                        groups.clone(),
+                        &machine,
+                        0.10,
+                        LeafSplit::Separate,
+                        AffinityBuild::AllPairs,
+                    )
+                    .n_cores()
+                });
+            },
+        );
+    }
+    // Blocks curve: fixed group count, growing data space. Narrow spaces
+    // pile many groups onto each block (dense postings); wide spaces spread
+    // them out (sparse tags dominate).
+    for blocks in [1usize << 12, 1 << 16, 1 << 20] {
+        let n = 1usize << 16;
+        let groups = stencil_groups(n, blocks);
+        group.bench_with_input(
+            BenchmarkId::new("blocks_inverted", blocks),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    distribute_with_build(
+                        groups.clone(),
+                        &machine,
+                        0.10,
+                        LeafSplit::Separate,
+                        AffinityBuild::InvertedIndex,
+                    )
+                    .n_cores()
+                });
+            },
+        );
+    }
+    // Fallback curve: disjoint tags, every merge through the lazy min-heap
+    // (the all-pairs reference re-sorts all survivors per merge — satellite
+    // bugfix; keep it at small sizes).
+    for exp in [12u32, 14, 16] {
+        let n = 1usize << exp;
+        let groups = disjoint_groups(n);
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_inverted", n),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    distribute_with_build(
+                        groups.clone(),
+                        &machine,
+                        0.10,
+                        LeafSplit::Separate,
+                        AffinityBuild::InvertedIndex,
+                    )
+                    .n_cores()
+                });
+            },
+        );
+    }
+    for exp in [10u32, 11, 12] {
+        let n = 1usize << exp;
+        let groups = disjoint_groups(n);
+        group.bench_with_input(
+            BenchmarkId::new("disjoint_all_pairs", n),
+            &groups,
+            |b, groups| {
+                b.iter(|| {
+                    distribute_with_build(
+                        groups.clone(),
+                        &machine,
+                        0.10,
+                        LeafSplit::Separate,
+                        AffinityBuild::AllPairs,
+                    )
+                    .n_cores()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    pass_overhead,
+    dependence_cost,
+    advisor_cost,
+    cluster_scale
+);
 criterion_main!(benches);

@@ -43,6 +43,22 @@ fn fig02_parallel_output_is_byte_identical_to_sequential() {
     );
 }
 
+/// Clustering-heavy determinism pin for the inverted-index affinity build:
+/// Figure 15 exercises `distribute` (TopologyAware and Combined) on every
+/// registry workload, so its rendering byte-for-byte agreeing between a
+/// sequential and a 4-worker engine pins that the new merge path keeps the
+/// sweep output independent of `CTAM_JOBS`.
+#[test]
+fn fig15_parallel_output_is_byte_identical_to_sequential() {
+    let seq = Engine::with_jobs(1);
+    let par = Engine::with_jobs(4);
+    let a = experiments::fig15_scheduling(&seq, SizeClass::Test).to_string();
+    let b = experiments::fig15_scheduling(&par, SizeClass::Test).to_string();
+    if let Some(d) = first_line_diff(&a, &b) {
+        panic!("parallel Figure 15 diverged from sequential:\n{d}");
+    }
+}
+
 /// The full ISSUE-2 determinism criterion: all experiments at
 /// `CTAM_SIZE=test`, `jobs=4` vs `jobs=1`, byte for byte.
 #[test]

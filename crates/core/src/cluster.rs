@@ -9,9 +9,15 @@
 //! sizes to within a tunable threshold, evicting — and if necessary
 //! splitting — iteration groups. After the leaf level every cluster is one
 //! core's work.
+//!
+//! Sharing is sparse for real programs — a stencil tag overlaps only its
+//! spatial neighbours — so merge candidates are discovered through an
+//! inverted block→cluster index rather than by dotting every pair (see
+//! [`AffinityBuild`]): the pass scales to millions of iteration groups while
+//! producing exactly the partitions of the quadratic reference build.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use ctam_topology::{Machine, NodeId, NodeKind};
 
@@ -61,6 +67,11 @@ impl Assignment {
     }
 }
 
+/// Clusters with at least this many member groups track per-bit member
+/// counts, making [`Cluster::remove`] proportional to the evicted group's
+/// tag instead of to the whole remaining membership.
+const COUNT_TRACKED_MIN: usize = 9;
+
 /// One cluster during hierarchical distribution: a set of groups plus the
 /// bitwise sum (OR) of their tags.
 #[derive(Debug, Clone)]
@@ -75,6 +86,11 @@ struct Cluster {
     first: u32,
     /// Bumped on every mutation; stale heap entries are discarded.
     generation: u32,
+    /// For each block bit, how many member groups touch it — built lazily
+    /// once the cluster grows past [`COUNT_TRACKED_MIN`] and an eviction
+    /// occurs, so the tag can be maintained incrementally (OR alone is not
+    /// invertible). `None` until then, and invalidated by bulk absorption.
+    counts: Option<Vec<u32>>,
 }
 
 impl Cluster {
@@ -82,9 +98,10 @@ impl Cluster {
         Self {
             tag: g.tag().clone(),
             size: g.size(),
-            first: g.iterations()[0],
+            first: g.first(),
             groups: vec![g],
             generation: 0,
+            counts: None,
         }
     }
 
@@ -95,37 +112,109 @@ impl Cluster {
             size: 0,
             first: u32::MAX,
             generation: 0,
+            counts: None,
         }
     }
 
-    fn absorb(&mut self, other: Cluster) {
-        self.tag.or_assign(&other.tag);
-        self.size += other.size;
-        self.first = self.first.min(other.first);
-        self.groups.extend(other.groups);
-        self.generation += 1;
+    /// Builds a cluster with a fixed membership, accumulating the tag in a
+    /// single [`Tag::union_of`] pass rather than one OR per group.
+    fn from_groups(n_bits: usize, groups: Vec<IterationGroup>) -> Self {
+        let tag = Tag::union_of(n_bits, groups.iter().map(IterationGroup::tag));
+        let size = total_size(&groups);
+        let first = groups
+            .iter()
+            .map(IterationGroup::first)
+            .min()
+            .unwrap_or(u32::MAX);
+        Self {
+            tag,
+            groups,
+            size,
+            first,
+            generation: 0,
+            counts: None,
+        }
     }
 
     fn push(&mut self, g: IterationGroup) {
         self.tag.or_assign(g.tag());
+        if let Some(counts) = &mut self.counts {
+            for b in g.tag().iter_bits() {
+                counts[b] += 1;
+            }
+        }
         self.size += g.size();
-        self.first = self.first.min(g.iterations()[0]);
+        self.first = self.first.min(g.first());
         self.groups.push(g);
         self.generation += 1;
     }
 
-    /// Removes group `idx`. The cluster tag is recomputed (OR is not
-    /// invertible).
+    fn ensure_counts(&mut self, n_bits: usize) {
+        if self.counts.is_none() {
+            let mut counts = vec![0u32; n_bits];
+            for m in &self.groups {
+                for b in m.tag().iter_bits() {
+                    counts[b] += 1;
+                }
+            }
+            self.counts = Some(counts);
+        }
+    }
+
+    /// Removes group `idx`. Small clusters recompute the tag by re-OR-ing
+    /// the remaining members; clusters past [`COUNT_TRACKED_MIN`] maintain
+    /// per-bit member counts instead and retire exactly the bits whose last
+    /// holder leaves — O(evicted tag) rather than O(members × tag).
     fn remove(&mut self, idx: usize, n_bits: usize) -> IterationGroup {
+        if self.groups.len() >= COUNT_TRACKED_MIN {
+            self.ensure_counts(n_bits);
+        }
         let g = self.groups.remove(idx);
         self.size -= g.size();
-        self.tag = Tag::empty(n_bits);
-        self.first = u32::MAX;
-        for m in &self.groups {
-            self.tag.or_assign(m.tag());
-            self.first = self.first.min(m.iterations()[0]);
+        if let Some(counts) = &mut self.counts {
+            for b in g.tag().iter_bits() {
+                counts[b] -= 1;
+                if counts[b] == 0 {
+                    self.tag.clear(b);
+                }
+            }
+            // `first` is a min over members: it can only change when the
+            // evicted group attained it.
+            if g.first() == self.first {
+                self.first = self
+                    .groups
+                    .iter()
+                    .map(IterationGroup::first)
+                    .min()
+                    .unwrap_or(u32::MAX);
+            }
+        } else {
+            self.tag = Tag::empty(n_bits);
+            self.first = u32::MAX;
+            for m in &self.groups {
+                self.tag.or_assign(m.tag());
+                self.first = self.first.min(m.first());
+            }
         }
         self.generation += 1;
+        // Differential self-check: the incremental path must agree with a
+        // from-scratch recompute (capped so debug builds stay usable on
+        // large instances).
+        #[cfg(debug_assertions)]
+        if self.groups.len() <= 4096 {
+            let expect = Tag::union_of(n_bits, self.groups.iter().map(IterationGroup::tag));
+            debug_assert_eq!(self.tag, expect, "incremental cluster tag diverged");
+            let expect_first = self
+                .groups
+                .iter()
+                .map(IterationGroup::first)
+                .min()
+                .unwrap_or(u32::MAX);
+            debug_assert_eq!(
+                self.first, expect_first,
+                "incremental cluster first diverged"
+            );
+        }
         g
     }
 }
@@ -145,6 +234,24 @@ pub enum LeafSplit {
     /// execute concurrently and prefetch each other's blocks in the caches
     /// they share.
     Interleave(u8),
+}
+
+/// How merge candidates are generated during agglomerative clustering.
+///
+/// Both builds feed the same heap with identical entry sets (a pair shares
+/// at least one block if and only if its dot product is positive), so they
+/// produce identical partitions — the equivalence test suite asserts this.
+/// They differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AffinityBuild {
+    /// Discover sharing pairs through an inverted block→cluster index and,
+    /// after each merge, regenerate candidates from the merged cluster's
+    /// postings only — O(sharing pairs), the production default.
+    #[default]
+    InvertedIndex,
+    /// Dot every pair up front and rescan every cluster after every merge —
+    /// O(n²); retained as the differential-testing and ablation reference.
+    AllPairs,
 }
 
 /// Distributes `groups` over the cores of `machine` by walking the cache
@@ -176,6 +283,28 @@ pub fn distribute_with(
     balance_threshold: f64,
     leaf_split: LeafSplit,
 ) -> Assignment {
+    distribute_with_build(
+        groups,
+        machine,
+        balance_threshold,
+        leaf_split,
+        AffinityBuild::default(),
+    )
+}
+
+/// [`distribute_with`] with an explicit [`AffinityBuild`], for differential
+/// testing and ablation of the merge-candidate generation strategy.
+///
+/// # Panics
+///
+/// Panics if `balance_threshold` is negative.
+pub fn distribute_with_build(
+    groups: Vec<IterationGroup>,
+    machine: &Machine,
+    balance_threshold: f64,
+    leaf_split: LeafSplit,
+    build: AffinityBuild,
+) -> Assignment {
     assert!(balance_threshold >= 0.0, "threshold must be non-negative");
     #[cfg(debug_assertions)]
     let expected_units: Vec<u32> = {
@@ -205,7 +334,8 @@ pub fn distribute_with(
             .map(|&k| machine.cores_under(k).len().max(1))
             .collect();
         let mut best: Option<(u64, Vec<Vec<IterationGroup>>)> = None;
-        for candidate in partition_candidates(groups.clone(), &capacities, level_threshold, n_bits)
+        for candidate in
+            partition_candidates(groups.clone(), &capacities, level_threshold, n_bits, build)
         {
             let mut trial: Vec<Vec<IterationGroup>> = vec![Vec::new(); machine.n_cores()];
             for (child, cluster) in root_children.iter().zip(candidate) {
@@ -216,18 +346,13 @@ pub fn distribute_with(
                     level_threshold,
                     n_bits,
                     leaf_split,
+                    build,
                     &mut trial,
                 );
             }
             let core_tags: Vec<Tag> = trial
                 .iter()
-                .map(|gs| {
-                    let mut t = Tag::empty(n_bits);
-                    for g in gs {
-                        t.or_assign(g.tag());
-                    }
-                    t
-                })
+                .map(|gs| Tag::union_of(n_bits, gs.iter().map(IterationGroup::tag)))
                 .collect();
             let cost = crate::optimal::sharing_cost(machine, &core_tags);
             if best.as_ref().is_none_or(|(c, _)| cost < *c) {
@@ -243,6 +368,7 @@ pub fn distribute_with(
             level_threshold,
             n_bits,
             leaf_split,
+            build,
             &mut per_core,
         );
     }
@@ -251,7 +377,7 @@ pub fn distribute_with(
     // within a core follows the original code, which preserves its
     // sequential (line-granular) locality.
     for groups in &mut per_core {
-        groups.sort_by_key(|g| g.iterations()[0]);
+        groups.sort_by_key(IterationGroup::first);
     }
     // Debug-build self-check: distribution is a pure partition — every input
     // unit lands on exactly one core, none invented, none lost. Property
@@ -296,7 +422,7 @@ pub fn split_for_balance(
         }
         out.push(g);
     }
-    out.sort_by_key(|g| g.iterations()[0]);
+    out.sort_by_key(IterationGroup::first);
     out
 }
 
@@ -311,6 +437,7 @@ fn split_depth(machine: &Machine, node: NodeId) -> usize {
         .unwrap_or(0)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn distribute_rec(
     machine: &Machine,
     node: NodeId,
@@ -318,6 +445,7 @@ fn distribute_rec(
     threshold: f64,
     n_bits: usize,
     leaf_split: LeafSplit,
+    build: AffinityBuild,
     out: &mut Vec<Vec<IterationGroup>>,
 ) {
     if let NodeKind::Core(c) = machine.kind(node) {
@@ -334,6 +462,7 @@ fn distribute_rec(
             threshold,
             n_bits,
             leaf_split,
+            build,
             out,
         ),
         _ => {
@@ -354,9 +483,11 @@ fn distribute_rec(
                     return;
                 }
             }
-            let clusters = partition_groups(groups, &capacities, threshold, n_bits);
+            let clusters = partition_groups_with(groups, &capacities, threshold, n_bits, build);
             for (child, cluster) in children.into_iter().zip(clusters) {
-                distribute_rec(machine, child, cluster, threshold, n_bits, leaf_split, out);
+                distribute_rec(
+                    machine, child, cluster, threshold, n_bits, leaf_split, build, out,
+                );
             }
         }
     }
@@ -371,7 +502,7 @@ fn distribute_rec(
 fn interleave_split(groups: Vec<IterationGroup>, k: usize) -> Vec<Vec<IterationGroup>> {
     let total: usize = groups.iter().map(IterationGroup::size).sum();
     let mut pieces = split_for_balance(groups, k, 0.0);
-    pieces.sort_by_key(|g| g.iterations()[0]);
+    pieces.sort_by_key(IterationGroup::first);
     let mut out: Vec<Vec<IterationGroup>> = (0..k).map(|_| Vec::new()).collect();
     let mut sizes = vec![0usize; k];
     for g in pieces {
@@ -399,10 +530,29 @@ pub fn partition_groups(
     threshold: f64,
     n_bits: usize,
 ) -> Vec<Vec<IterationGroup>> {
+    partition_groups_with(
+        groups,
+        capacities,
+        threshold,
+        n_bits,
+        AffinityBuild::default(),
+    )
+}
+
+/// [`partition_groups`] with an explicit [`AffinityBuild`] — the
+/// equivalence suite runs both builds over the same inputs and asserts
+/// identical partitions.
+pub fn partition_groups_with(
+    groups: Vec<IterationGroup>,
+    capacities: &[usize],
+    threshold: f64,
+    n_bits: usize,
+    build: AffinityBuild,
+) -> Vec<Vec<IterationGroup>> {
     let target = capacities.len();
     assert!(target > 0, "need at least one output cluster");
 
-    partition_candidates(groups, capacities, threshold, n_bits)
+    partition_candidates(groups, capacities, threshold, n_bits, build)
         .into_iter()
         .min_by_key(|parts| partition_score(parts, n_bits))
         .expect("at least one candidate")
@@ -414,13 +564,7 @@ pub fn partition_groups(
 fn partition_score(parts: &[Vec<IterationGroup>], n_bits: usize) -> (u32, usize) {
     let replication = parts
         .iter()
-        .map(|gs| {
-            let mut t = Tag::empty(n_bits);
-            for g in gs {
-                t.or_assign(g.tag());
-            }
-            t.popcount()
-        })
+        .map(|gs| Tag::union_of(n_bits, gs.iter().map(IterationGroup::tag)).popcount())
         .sum();
     let max_size = parts.iter().map(|gs| total_size(gs)).max().unwrap_or(0);
     (replication, max_size)
@@ -435,6 +579,7 @@ pub(crate) fn partition_candidates(
     capacities: &[usize],
     threshold: f64,
     n_bits: usize,
+    build: AffinityBuild,
 ) -> Vec<Vec<Vec<IterationGroup>>> {
     let target = capacities.len();
     let mut candidates: Vec<Vec<Vec<IterationGroup>>> = Vec::new();
@@ -442,11 +587,11 @@ pub(crate) fn partition_candidates(
         // Halve the per-level threshold so the two nested levels compound
         // to roughly the requested imbalance.
         let t = threshold / 2.0;
-        let halves = partition_direct(groups.clone(), &[1, 1], t, n_bits);
+        let halves = partition_direct(groups.clone(), &[1, 1], t, n_bits, build);
         let sub_caps = vec![capacities[0]; target / 2];
         let mut out = Vec::with_capacity(target);
         for half in halves {
-            out.extend(partition_groups(half, &sub_caps, t, n_bits));
+            out.extend(partition_groups_with(half, &sub_caps, t, n_bits, build));
         }
         candidates.push(out);
     }
@@ -455,6 +600,7 @@ pub(crate) fn partition_candidates(
         capacities,
         threshold,
         n_bits,
+        build,
     ));
     // Order-based cuts (both re-balanced like the greedy candidates; they
     // may need to split a dominant group): program order, and data order —
@@ -467,23 +613,14 @@ pub(crate) fn partition_candidates(
         sorted.sort_by_key(key);
         let mut clusters: Vec<Cluster> = contiguous_cut(&sorted, capacities)
             .into_iter()
-            .map(|gs| {
-                let mut c = Cluster::empty(n_bits);
-                for g in gs {
-                    c.push(g);
-                }
-                c
-            })
+            .map(|gs| Cluster::from_groups(n_bits, gs))
             .collect();
         balance(&mut clusters, capacities, threshold, n_bits);
         clusters.into_iter().map(|c| c.groups).collect()
     };
-    candidates.push(balanced_cut(groups.clone(), |g| (0, g.iterations()[0])));
+    candidates.push(balanced_cut(groups.clone(), |g| (0, g.first())));
     candidates.push(balanced_cut(groups, |g| {
-        (
-            g.tag().iter_bits().next().unwrap_or(usize::MAX),
-            g.iterations()[0],
-        )
+        (g.tag().first_set().unwrap_or(usize::MAX), g.first())
     }));
     candidates
 }
@@ -524,11 +661,11 @@ fn partition_direct(
     capacities: &[usize],
     threshold: f64,
     n_bits: usize,
+    build: AffinityBuild,
 ) -> Vec<Vec<IterationGroup>> {
     let target = capacities.len();
     let mut clusters: Vec<Cluster> = groups.into_iter().map(Cluster::of_group).collect();
-
-    merge_to(&mut clusters, target);
+    merge_to(&mut clusters, target, build);
     split_to(&mut clusters, target, n_bits);
 
     // Pair clusters with children before balancing. For the symmetric trees
@@ -543,7 +680,7 @@ fn partition_direct(
     if symmetric {
         cluster_order.sort_by_key(|&i| {
             (
-                clusters[i].tag.iter_bits().next().unwrap_or(usize::MAX),
+                clusters[i].tag.first_set().unwrap_or(usize::MAX),
                 clusters[i].first,
             )
         });
@@ -563,98 +700,439 @@ fn partition_direct(
     aligned.into_iter().map(|c| c.groups).collect()
 }
 
+/// A 4-ary max-heap. Same contract as [`BinaryHeap`] (equal keys pop in an
+/// unspecified order — irrelevant here, since merge entries embed their
+/// cluster indices and are therefore distinct), but half the tree depth and
+/// four contiguous children per sift-down step: at a million queued merge
+/// entries the pop path touches far fewer cache lines than a binary heap.
+struct QuadHeap<T> {
+    data: Vec<T>,
+}
+
+impl<T: Ord + Copy> QuadHeap<T> {
+    fn new() -> Self {
+        Self { data: Vec::new() }
+    }
+
+    fn push(&mut self, x: T) {
+        let mut i = self.data.len();
+        self.data.push(x);
+        while i > 0 {
+            let up = (i - 1) / 4;
+            if self.data[up] >= self.data[i] {
+                break;
+            }
+            self.data.swap(up, i);
+            i = up;
+        }
+    }
+
+    fn pop(&mut self) -> Option<T> {
+        let last = self.data.len().checked_sub(1)?;
+        self.data.swap(0, last);
+        let top = self.data.pop();
+        let len = self.data.len();
+        let mut i = 0;
+        loop {
+            let first = 4 * i + 1;
+            if first >= len {
+                break;
+            }
+            let mut big = first;
+            for c in (first + 1)..(first + 4).min(len) {
+                if self.data[c] > self.data[big] {
+                    big = c;
+                }
+            }
+            if self.data[i] >= self.data[big] {
+                break;
+            }
+            self.data.swap(i, big);
+            i = big;
+        }
+        top
+    }
+}
+
 /// Greedy agglomerative merging: repeatedly merge the cluster pair with the
 /// largest tag dot product (ties: smallest combined size, then smallest
-/// indices) until `target` clusters remain.
-fn merge_to(clusters: &mut Vec<Cluster>, target: usize) {
+/// program gap, then smallest indices) until `target` clusters remain.
+///
+/// Only pairs that actually share blocks (dot > 0) are ever queued; how
+/// those pairs are found is the [`AffinityBuild`]'s choice. The reference
+/// queues every sharing pair and rescans all survivors after each merge.
+/// The inverted build discovers sharing through a block→cluster postings
+/// index, keeps per-cluster neighbour lists (unioned as clusters merge),
+/// and queues only each cluster's current *best* pair. Every sharing pair
+/// (a, b) then satisfies value(a, b) ≤ max(queued(a), queued(b)), entries
+/// are exact when queued, and a pair can only improve when one side merges
+/// — which re-queues that side's best. So a popped entry whose endpoints
+/// are unchanged is provably the global maximum: both builds perform the
+/// identical merge sequence (the equivalence suite asserts this).
+fn merge_to(clusters: &mut Vec<Cluster>, target: usize, build: AffinityBuild) {
     if clusters.len() <= target {
         return;
     }
-    // Max-heap of (dot, Reverse(size sum), Reverse(i), Reverse(j)) with lazy
-    // invalidation via generations. Only pairs that actually share blocks
-    // (dot > 0) are queued: sharing is sparse for real programs (a stencil
-    // tag overlaps only its spatial neighbours), so this keeps the heap
-    // near-linear instead of quadratic in the number of groups.
-    type Entry = (
-        u32,
-        Reverse<usize>,
-        Reverse<u32>,
-        Reverse<usize>,
-        Reverse<usize>,
-        u32,
-        u32,
-    );
-    let gap = |a: &Cluster, b: &Cluster| -> u32 { a.first.abs_diff(b.first) };
-    let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
-    let mut alive: Vec<bool> = vec![true; clusters.len()];
-    let push_pairs_for =
-        |heap: &mut BinaryHeap<Entry>, clusters: &[Cluster], alive: &[bool], i: usize| {
-            for (j, &alive_j) in alive.iter().enumerate() {
-                if j != i && alive_j {
-                    let (a, b) = (i.min(j), i.max(j));
-                    let dot = clusters[a].tag.dot(&clusters[b].tag);
-                    if dot > 0 {
-                        heap.push((
-                            dot,
-                            Reverse(clusters[a].size + clusters[b].size),
-                            Reverse(gap(&clusters[a], &clusters[b])),
-                            Reverse(a),
-                            Reverse(b),
-                            clusters[a].generation,
-                            clusters[b].generation,
-                        ));
+    let n = clusters.len();
+    let idx32 = |i: usize| u32::try_from(i).expect("cluster ids fit in u32");
+    // Heap entry: the merge priority (dot, Reverse(size sum), Reverse(gap),
+    // Reverse(i), Reverse(j)) packed most-significant-first into one u128
+    // (complementing the descending fields) plus Reverse(j), with the two
+    // endpoint generations as lazy-invalidation payload. Tuple order equals
+    // the unpacked lexicographic order, but a comparison is one branch —
+    // sift costs dominate the merge loop at a million queued entries.
+    type Entry = (u128, Reverse<u32>, u32, u32);
+    fn entry_for(clusters: &[Cluster], a: usize, b: usize) -> Entry {
+        let dot = clusters[a].tag.dot(&clusters[b].tag);
+        let size =
+            u32::try_from(clusters[a].size + clusters[b].size).expect("cluster sizes fit in u32");
+        let gap = clusters[a].first.abs_diff(clusters[b].first);
+        let ia = u32::try_from(a).expect("cluster ids fit in u32");
+        let ib = u32::try_from(b).expect("cluster ids fit in u32");
+        let key = (u128::from(dot) << 96)
+            | (u128::from(!size) << 64)
+            | (u128::from(!gap) << 32)
+            | u128::from(!ia);
+        (
+            key,
+            Reverse(ib),
+            clusters[a].generation,
+            clusters[b].generation,
+        )
+    }
+    fn entry_dot(e: &Entry) -> u32 {
+        (e.0 >> 96) as u32
+    }
+    fn entry_pair(e: &Entry) -> (usize, usize) {
+        (!(e.0 as u32) as usize, e.1 .0 as usize)
+    }
+    let n_bits = clusters.first().map_or(0, |c| c.tag.n_bits());
+    let mut heap: QuadHeap<Entry> = QuadHeap::new();
+    let mut alive: Vec<bool> = vec![true; n];
+    // Group membership is carried as chains over the original cluster ids:
+    // merging links two lists in O(1) instead of moving `IterationGroup`s
+    // on every merge, and each survivor materializes its membership once at
+    // the end — in exactly the order per-merge list concatenation would
+    // have produced.
+    const NO_NEXT: u32 = u32::MAX;
+    let mut node_groups: Vec<Vec<IterationGroup>> = clusters
+        .iter_mut()
+        .map(|c| std::mem::take(&mut c.groups))
+        .collect();
+    let mut next: Vec<u32> = vec![NO_NEXT; n];
+    let mut tail: Vec<u32> = (0..n).map(idx32).collect();
+    // Tag/size/first/generation merge; membership travels on the chain.
+    let merge_cluster = |clusters: &mut [Cluster], i: usize, j: usize| {
+        let tag_j = std::mem::replace(&mut clusters[j].tag, Tag::empty(0));
+        let (size_j, first_j) = (clusters[j].size, clusters[j].first);
+        let c = &mut clusters[i];
+        c.tag.or_assign(&tag_j);
+        c.size += size_j;
+        c.first = c.first.min(first_j);
+        c.generation += 1;
+        c.counts = None;
+    };
+    // Inverted build state. `nbrs[c]` lists the clusters sharing at least
+    // one block with `c`, seeded from a transient block→cluster postings
+    // index (CSR layout) and thereafter maintained by list union as
+    // clusters merge — sharing(i∪j, k) ⟺ sharing(i, k) ∨ sharing(j, k),
+    // so no tag bits are ever re-walked. Ids of merged-away clusters are
+    // forwarded to their surviving representative by `parent` (union-find
+    // with path halving) and compacted out of the lists on the next visit.
+    // `stamp` dedupes partners reachable through several blocks or both
+    // halves of a union.
+    let mut nbrs: Vec<Vec<u32>> = Vec::new();
+    let mut parent: Vec<u32> = Vec::new();
+    let mut stamp: Vec<u32> = Vec::new();
+    let mut round: u32 = 0;
+    let mut scratch: Vec<u32> = Vec::new();
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            let grand = parent[parent[x as usize] as usize];
+            parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+    /// Re-derives `owner`'s neighbour list — forwarding merged-away ids to
+    /// their surviving representative through `parent` (roots are alive by
+    /// construction), deduping (`stamp`), optionally unioning in `extra`
+    /// (the absorbed half's list during a merge) — and returns the single
+    /// best merge entry the list offers. Keeping only each cluster's *best*
+    /// pair queued caps the heap near one entry per alive cluster; staler,
+    /// lower entries are re-derived on demand.
+    #[allow(clippy::too_many_arguments)]
+    fn refresh(
+        clusters: &[Cluster],
+        nbrs: &mut [Vec<u32>],
+        parent: &mut [u32],
+        stamp: &mut [u32],
+        round: &mut u32,
+        scratch: &mut Vec<u32>,
+        owner: usize,
+        extra: Option<&[u32]>,
+    ) -> Option<Entry> {
+        *round += 1;
+        stamp[owner] = *round; // never our own partner
+        scratch.clear();
+        let mut best: Option<Entry> = None;
+        for &x in nbrs[owner].iter().chain(extra.unwrap_or(&[])) {
+            let r = find(parent, x) as usize;
+            if stamp[r] != *round {
+                stamp[r] = *round;
+                scratch.push(u32::try_from(r).expect("cluster ids fit in u32"));
+                let e = entry_for(clusters, owner.min(r), owner.max(r));
+                debug_assert!(entry_dot(&e) > 0, "neighbours must share a block");
+                if best.is_none_or(|b| e > b) {
+                    best = Some(e);
+                }
+            }
+        }
+        std::mem::swap(&mut nbrs[owner], scratch);
+        best
+    }
+    match build {
+        AffinityBuild::AllPairs => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let e = entry_for(clusters, i, j);
+                    if entry_dot(&e) > 0 {
+                        heap.push(e);
                     }
                 }
             }
-        };
-    for i in 0..clusters.len() {
-        for j in (i + 1)..clusters.len() {
-            let dot = clusters[i].tag.dot(&clusters[j].tag);
-            if dot > 0 {
-                heap.push((
-                    dot,
-                    Reverse(clusters[i].size + clusters[j].size),
-                    Reverse(gap(&clusters[i], &clusters[j])),
-                    Reverse(i),
-                    Reverse(j),
-                    clusters[i].generation,
-                    clusters[j].generation,
-                ));
+        }
+        AffinityBuild::InvertedIndex => {
+            nbrs = vec![Vec::new(); n];
+            parent = (0..n).map(idx32).collect();
+            stamp = vec![0; n];
+            // CSR postings: count per-block degrees, then fill in cluster
+            // order — the same per-block push order as a vec-of-vecs build,
+            // without a million tiny allocations.
+            let mut fill = vec![0u32; n_bits];
+            for c in clusters.iter() {
+                for b in c.tag.iter_bits() {
+                    fill[b] += 1;
+                }
+            }
+            let mut off = vec![0usize; n_bits + 1];
+            for (b, &count) in fill.iter().enumerate() {
+                off[b + 1] = off[b] + count as usize;
+            }
+            let mut flat = vec![0u32; off[n_bits]];
+            fill.fill(0);
+            for i in 0..n {
+                round += 1;
+                for b in clusters[i].tag.iter_bits() {
+                    for &j in &flat[off[b]..off[b] + fill[b] as usize] {
+                        if stamp[j as usize] != round {
+                            stamp[j as usize] = round;
+                            nbrs[i].push(j);
+                            nbrs[j as usize].push(idx32(i));
+                        }
+                    }
+                    flat[off[b] + fill[b] as usize] = idx32(i);
+                    fill[b] += 1;
+                }
+            }
+            // One queued entry per cluster — its best pair. Every sharing
+            // pair (a, b) satisfies value(a, b) ≤ max(best(a), best(b)), so
+            // the heap's maximum is always the true best pair while holding
+            // ~n entries instead of one per sharing pair.
+            for k in 0..n {
+                if let Some(e) = refresh(
+                    clusters,
+                    &mut nbrs,
+                    &mut parent,
+                    &mut stamp,
+                    &mut round,
+                    &mut scratch,
+                    k,
+                    None,
+                ) {
+                    heap.push(e);
+                }
             }
         }
     }
-    let mut remaining = clusters.len();
+    // Fallback order (smallest size, then first, then index) as a lazy
+    // min-heap, built the first time the sharing heap runs dry; the
+    // all-pairs reference keeps its full re-sort per fallback merge.
+    // Entries carry the owner's generation for lazy invalidation.
+    type FallbackEntry = Reverse<(usize, u32, usize, u32)>;
+    let mut fallback: Option<BinaryHeap<FallbackEntry>> = None;
+    let pop_smallest =
+        |fb: &mut BinaryHeap<FallbackEntry>, clusters: &[Cluster], alive: &[bool]| -> usize {
+            loop {
+                let Reverse((_, _, k, generation)) =
+                    fb.pop().expect("more clusters than target remain");
+                if alive[k] && clusters[k].generation == generation {
+                    return k;
+                }
+            }
+        };
+    let mut remaining = n;
     while remaining > target {
-        let popped = heap.pop();
-        let Some((_, _, _, Reverse(i), Reverse(j), gi, gj)) = popped else {
+        let Some(top) = heap.pop() else {
             // No sharing pairs left: merge the two smallest clusters (their
             // relative placement is locality-neutral, so minimize the size
-            // skew handed to load balancing), then rescan for new sharing.
-            let mut order: Vec<usize> = (0..clusters.len()).filter(|&k| alive[k]).collect();
-            order.sort_by_key(|&k| (clusters[k].size, clusters[k].first, k));
-            let (i, j) = (order[0].min(order[1]), order[0].max(order[1]));
-            let absorbed = std::mem::replace(&mut clusters[j], Cluster::empty(0));
-            alive[j] = false;
-            clusters[i].absorb(absorbed);
-            remaining -= 1;
-            push_pairs_for(&mut heap, clusters, &alive, i);
+            // skew handed to load balancing).
+            match build {
+                AffinityBuild::AllPairs => {
+                    let mut order: Vec<usize> = (0..n).filter(|&k| alive[k]).collect();
+                    order.sort_by_key(|&k| (clusters[k].size, clusters[k].first, k));
+                    let (i, j) = (order[0].min(order[1]), order[0].max(order[1]));
+                    alive[j] = false;
+                    merge_cluster(clusters, i, j);
+                    next[tail[i] as usize] = idx32(j);
+                    tail[i] = tail[j];
+                    remaining -= 1;
+                    // Reference rescan: dot the survivor against everyone.
+                    for (j2, &alive_j) in alive.iter().enumerate() {
+                        if j2 != i && alive_j {
+                            let e = entry_for(clusters, i.min(j2), i.max(j2));
+                            if entry_dot(&e) > 0 {
+                                heap.push(e);
+                            }
+                        }
+                    }
+                }
+                AffinityBuild::InvertedIndex => {
+                    let fb = fallback.get_or_insert_with(|| {
+                        (0..n)
+                            .filter(|&k| alive[k])
+                            .map(|k| {
+                                Reverse((
+                                    clusters[k].size,
+                                    clusters[k].first,
+                                    k,
+                                    clusters[k].generation,
+                                ))
+                            })
+                            .collect()
+                    });
+                    let a = pop_smallest(fb, clusters, &alive);
+                    let b = pop_smallest(fb, clusters, &alive);
+                    let (i, j) = (a.min(b), a.max(b));
+                    alive[j] = false;
+                    merge_cluster(clusters, i, j);
+                    next[tail[i] as usize] = idx32(j);
+                    tail[i] = tail[j];
+                    parent[j] = idx32(i);
+                    remaining -= 1;
+                    fb.push(Reverse((
+                        clusters[i].size,
+                        clusters[i].first,
+                        i,
+                        clusters[i].generation,
+                    )));
+                    // No regeneration: a dry sharing heap means no alive
+                    // pair shares a block (every live sharing pair always
+                    // has a current-generation entry queued), and because
+                    // dot(a|b, c) <= dot(a, c) + dot(b, c), merging two
+                    // disjoint clusters cannot create sharing — the
+                    // reference's rescan provably finds nothing here.
+                }
+            }
             continue;
         };
+        let (i, j) = entry_pair(&top);
+        let (gi, gj) = (top.2, top.3);
         if !alive[i] || !alive[j] || clusters[i].generation != gi || clusters[j].generation != gj {
+            // A stale entry may have been the only cover for its owner's
+            // other pairs: re-derive a fresh best for each endpoint that is
+            // still alive and unchanged. (An endpoint whose generation moved
+            // re-queued its own best at that move; a dead one needs none.)
+            if build == AffinityBuild::InvertedIndex {
+                for (e, g) in [(i, gi), (j, gj)] {
+                    if alive[e] && clusters[e].generation == g {
+                        if let Some(entry) = refresh(
+                            clusters,
+                            &mut nbrs,
+                            &mut parent,
+                            &mut stamp,
+                            &mut round,
+                            &mut scratch,
+                            e,
+                            None,
+                        ) {
+                            heap.push(entry);
+                        }
+                    }
+                }
+            }
             continue;
         }
-        let absorbed = std::mem::replace(&mut clusters[j], Cluster::empty(0));
         alive[j] = false;
-        clusters[i].absorb(absorbed);
-        remaining -= 1;
-        push_pairs_for(&mut heap, clusters, &alive, i);
-    }
-    // Drop the dead husks left by `replace`.
-    let mut kept = Vec::with_capacity(remaining);
-    for (idx, c) in std::mem::take(clusters).into_iter().enumerate() {
-        if alive[idx] {
-            kept.push(c);
+        match build {
+            AffinityBuild::AllPairs => {
+                merge_cluster(clusters, i, j);
+                next[tail[i] as usize] = idx32(j);
+                tail[i] = tail[j];
+                remaining -= 1;
+                for (j2, &alive_j) in alive.iter().enumerate() {
+                    if j2 != i && alive_j {
+                        let e = entry_for(clusters, i.min(j2), i.max(j2));
+                        if entry_dot(&e) > 0 {
+                            heap.push(e);
+                        }
+                    }
+                }
+            }
+            AffinityBuild::InvertedIndex => {
+                merge_cluster(clusters, i, j);
+                next[tail[i] as usize] = idx32(j);
+                tail[i] = tail[j];
+                parent[j] = idx32(i);
+                remaining -= 1;
+                // Streaming regeneration: the merged cluster shares a block
+                // with exactly the union of the two halves' neighbour lists
+                // — the same partner set the reference rescan finds. The
+                // union becomes the survivor's (compacted) list and its
+                // best pair is re-queued.
+                let list_j = std::mem::take(&mut nbrs[j]);
+                if let Some(e) = refresh(
+                    clusters,
+                    &mut nbrs,
+                    &mut parent,
+                    &mut stamp,
+                    &mut round,
+                    &mut scratch,
+                    i,
+                    Some(&list_j),
+                ) {
+                    heap.push(e);
+                }
+            }
         }
+    }
+    // Materialize each survivor's membership from its chain and drop the
+    // dead husks.
+    let mut kept = Vec::with_capacity(remaining);
+    for (idx, mut c) in std::mem::take(clusters).into_iter().enumerate() {
+        if !alive[idx] {
+            continue;
+        }
+        let mut count = 0;
+        let mut cur = idx as u32;
+        loop {
+            count += node_groups[cur as usize].len();
+            cur = next[cur as usize];
+            if cur == NO_NEXT {
+                break;
+            }
+        }
+        let mut groups = Vec::with_capacity(count);
+        let mut cur = idx as u32;
+        loop {
+            groups.append(&mut node_groups[cur as usize]);
+            cur = next[cur as usize];
+            if cur == NO_NEXT {
+                break;
+            }
+        }
+        c.groups = groups;
+        kept.push(c);
     }
     *clusters = kept;
 }
@@ -704,6 +1182,181 @@ fn split_to(clusters: &mut Vec<Cluster>, target: usize, n_bits: usize) {
     }
 }
 
+/// Donors below this many groups use the direct per-move scan; larger ones
+/// amortize an incremental index (see [`DonorCache`]).
+const CACHE_MIN_GROUPS: usize = 64;
+
+/// Incremental view of one (donor, recipient) pair inside [`balance`].
+///
+/// The reference eviction step rescans every donor group per move —
+/// quadratic when thousands of iterations must migrate. This cache makes a
+/// move O(log) amortized while reproducing the reference's selections
+/// *exactly*:
+///
+/// - Groups are addressed by *stable position* (their index when the cache
+///   was built). The donor's `groups` vec is permuted by `swap_remove`
+///   during the pair's lifetime and restored to reference order (original
+///   order minus evictees) by [`DonorCache::compact`] when the pair ends —
+///   downstream passes depend on group order, so it must match the
+///   reference's `Vec::remove` result.
+/// - The eviction key is a max-heap of `(dot, size, stable)`, lazily
+///   invalidated through `cur_dot`/`cur_size`. Because physical shifts
+///   preserve relative order, "last current index wins" (the reference
+///   `max_by_key` tie-break) is exactly "greatest stable position wins".
+/// - A recipient only gains blocks, so per-group dots only grow: when a
+///   move hands the recipient new blocks, a block→stable postings map bumps
+///   exactly the sharers' dots and re-queues them. A popped entry matching
+///   `cur_*` is therefore the unique current one.
+/// - `room` only shrinks while a pair holds (the recipient only grows), so
+///   a group popped oversize can never fit again and is dropped; the
+///   split-eviction fallback rescans the live set directly.
+struct DonorCache {
+    donor: usize,
+    recipient: usize,
+    heap: QuadHeap<(u32, usize, u32)>,
+    cur_dot: Vec<u32>,
+    cur_size: Vec<usize>,
+    live: Vec<bool>,
+    /// stable position -> current index in the donor's `groups`.
+    pos_of: Vec<u32>,
+    /// current index -> stable position.
+    stable_at: Vec<u32>,
+    /// Lazy min over live members' `first`, replacing the reference's
+    /// rescan in `Cluster::remove` when the evictee attained the minimum.
+    first_heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// block -> stable positions of the donor groups touching it.
+    postings: HashMap<usize, Vec<u32>>,
+}
+
+impl DonorCache {
+    fn build(donor: usize, recipient: usize, clusters: &mut [Cluster], n_bits: usize) -> Self {
+        // Count-tracked tags make per-eviction donor maintenance O(tag).
+        clusters[donor].ensure_counts(n_bits);
+        let rtag = &clusters[recipient].tag;
+        let dc = &clusters[donor];
+        let m = dc.groups.len();
+        let mut heap = QuadHeap::new();
+        let mut cur_dot = Vec::with_capacity(m);
+        let mut cur_size = Vec::with_capacity(m);
+        let mut first_heap = BinaryHeap::with_capacity(m);
+        let mut postings: HashMap<usize, Vec<u32>> = HashMap::new();
+        for (s, g) in dc.groups.iter().enumerate() {
+            let s32 = u32::try_from(s).expect("group ids fit in u32");
+            let dot = g.tag().dot(rtag);
+            cur_dot.push(dot);
+            cur_size.push(g.size());
+            heap.push((dot, g.size(), s32));
+            first_heap.push(Reverse((g.first(), s32)));
+            for b in g.tag().iter_bits() {
+                postings.entry(b).or_default().push(s32);
+            }
+        }
+        Self {
+            donor,
+            recipient,
+            heap,
+            cur_dot,
+            cur_size,
+            live: vec![true; m],
+            pos_of: (0..m).map(|i| i as u32).collect(),
+            stable_at: (0..m).map(|i| i as u32).collect(),
+            first_heap,
+            postings,
+        }
+    }
+
+    /// The reference `fit` selection: the live group maximizing
+    /// `(dot, size)` among those with `size <= room`, greatest stable
+    /// position on ties. `None` means no whole group fits.
+    fn pop_fit(&mut self, room: usize) -> Option<u32> {
+        while let Some((dot, size, s)) = self.heap.pop() {
+            let si = s as usize;
+            if !self.live[si] || dot != self.cur_dot[si] || size != self.cur_size[si] {
+                continue; // lazily invalidated
+            }
+            if size <= room {
+                return Some(s);
+            }
+            // Oversize: `room` is monotone decreasing for this pair, so the
+            // group can never fit again; drop its entry.
+        }
+        None
+    }
+
+    /// Evicts stable position `s` from the donor, maintaining tag / size /
+    /// `first` / generation exactly as `Cluster::remove` would.
+    fn extract(&mut self, s: u32, donor: &mut Cluster) -> IterationGroup {
+        let si = s as usize;
+        self.live[si] = false;
+        let cur = self.pos_of[si] as usize;
+        let g = donor.groups.swap_remove(cur);
+        if cur < donor.groups.len() {
+            let moved = self.stable_at[donor.groups.len()];
+            self.pos_of[moved as usize] = cur as u32;
+            self.stable_at[cur] = moved;
+        }
+        donor.size -= g.size();
+        let counts = donor.counts.as_mut().expect("cache built with counts");
+        for b in g.tag().iter_bits() {
+            counts[b] -= 1;
+            if counts[b] == 0 {
+                donor.tag.clear(b);
+            }
+        }
+        if g.first() == donor.first {
+            donor.first = loop {
+                match self.first_heap.peek() {
+                    Some(&Reverse((f, s2))) if self.live[s2 as usize] => break f,
+                    Some(_) => {
+                        self.first_heap.pop();
+                    }
+                    None => break u32::MAX,
+                }
+            };
+        }
+        donor.generation += 1;
+        g
+    }
+
+    /// The recipient just gained `new_bits`: every live sharer's dot grows
+    /// by one per bit, and its fresh best is re-queued.
+    fn bump(&mut self, new_bits: &[usize]) {
+        for b in new_bits {
+            if let Some(list) = self.postings.get(b) {
+                for &s in list {
+                    let si = s as usize;
+                    if self.live[si] {
+                        self.cur_dot[si] += 1;
+                        self.heap.push((self.cur_dot[si], self.cur_size[si], s));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The reference split-eviction selection: the live group maximizing
+    /// dot alone, greatest stable position on ties.
+    fn best_any(&self) -> Option<u32> {
+        (0..self.live.len())
+            .filter(|&s| self.live[s])
+            .max_by_key(|&s| (self.cur_dot[s], s))
+            .map(|s| s as u32)
+    }
+
+    /// Restores the donor's groups to reference order: original order minus
+    /// evictees, exactly what repeated `Vec::remove` would have left.
+    fn compact(self, donor: &mut Cluster) {
+        let mut tagged: Vec<(u32, IterationGroup)> = donor
+            .groups
+            .drain(..)
+            .enumerate()
+            .map(|(cur, g)| (self.stable_at[cur], g))
+            .collect();
+        tagged.sort_unstable_by_key(|&(s, _)| s);
+        donor.groups.extend(tagged.into_iter().map(|(_, g)| g));
+    }
+}
+
 /// Greedy load balancing (Figure 6): while some cluster exceeds its upper
 /// limit, evict groups from it into the most underfull cluster, choosing the
 /// evicted group to maximize its tag's dot product with the recipient's tag,
@@ -722,6 +1375,9 @@ fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bit
         .iter()
         .map(|&i| (i * (1.0 + threshold)).ceil() as usize)
         .collect();
+    // At most one (donor, recipient) pair is active at a time; its donor
+    // index lives here and is compacted the moment the pair changes.
+    let mut cache: Option<DonorCache> = None;
     // Upper bound on moves: every move shifts >= 1 iteration of overflow.
     for _guard in 0..=total {
         let Some(donor) = (0..clusters.len())
@@ -740,9 +1396,55 @@ fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bit
         else {
             break; // everyone else is full: threshold unsatisfiable, stop
         };
+        if cache
+            .as_ref()
+            .is_some_and(|c| c.donor != donor || c.recipient != recipient)
+        {
+            let c = cache.take().expect("pair mismatch checked on Some");
+            let d = c.donor;
+            c.compact(&mut clusters[d]);
+        }
         let excess = clusters[donor].size - up[donor];
         let room = up[recipient] - clusters[recipient].size;
         let quota = excess.min(room).max(1);
+        if cache.is_none() && clusters[donor].groups.len() >= CACHE_MIN_GROUPS {
+            cache = Some(DonorCache::build(donor, recipient, clusters, n_bits));
+        }
+        if let Some(c) = cache.as_mut() {
+            if let Some(s) = c.pop_fit(room) {
+                let g = c.extract(s, &mut clusters[donor]);
+                let new_bits: Vec<usize> = g
+                    .tag()
+                    .iter_bits()
+                    .filter(|&b| !clusters[recipient].tag.get(b))
+                    .collect();
+                clusters[recipient].push(g);
+                c.bump(&new_bits);
+            } else {
+                // No whole group fits: split the best-affinity group.
+                let s = c
+                    .best_any()
+                    .expect("donor exceeds its limit, so it has groups");
+                let cur = c.pos_of[s as usize] as usize;
+                let g = &mut clusters[donor].groups[cur];
+                debug_assert!(g.size() > quota, "unfitting group must exceed quota");
+                let part = g.split_off(quota);
+                clusters[donor].size -= part.size();
+                clusters[donor].generation += 1;
+                c.cur_size[s as usize] -= quota;
+                c.heap
+                    .push((c.cur_dot[s as usize], c.cur_size[s as usize], s));
+                let new_bits: Vec<usize> = part
+                    .tag()
+                    .iter_bits()
+                    .filter(|&b| !clusters[recipient].tag.get(b))
+                    .collect();
+                clusters[recipient].push(part);
+                c.bump(&new_bits);
+            }
+            continue;
+        }
+        // Small donor: the direct reference scan is already cheap.
         // Whole group that fits, maximizing affinity with the recipient.
         let fit = (0..clusters[donor].groups.len())
             .filter(|&gi| clusters[donor].groups[gi].size() <= room)
@@ -773,6 +1475,10 @@ fn balance(clusters: &mut [Cluster], capacities: &[usize], threshold: f64, n_bit
             clusters[donor].generation += 1;
             clusters[recipient].push(part);
         }
+    }
+    if let Some(c) = cache.take() {
+        let d = c.donor;
+        c.compact(&mut clusters[d]);
     }
 }
 
@@ -879,6 +1585,126 @@ mod tests {
             );
         }
         assert_eq!(sizes.iter().sum::<usize>(), 108);
+    }
+
+    /// The original per-move full-scan eviction loop, kept verbatim as the
+    /// differential reference for the [`DonorCache`] fast path.
+    fn balance_reference(
+        clusters: &mut [Cluster],
+        capacities: &[usize],
+        threshold: f64,
+        n_bits: usize,
+    ) {
+        let total: usize = clusters.iter().map(|c| c.size).sum();
+        let total_cap: usize = capacities.iter().sum();
+        if total == 0 || total_cap == 0 {
+            return;
+        }
+        let ideal: Vec<f64> = capacities
+            .iter()
+            .map(|&c| total as f64 * c as f64 / total_cap as f64)
+            .collect();
+        let up: Vec<usize> = ideal
+            .iter()
+            .map(|&i| (i * (1.0 + threshold)).ceil() as usize)
+            .collect();
+        for _guard in 0..=total {
+            let Some(donor) = (0..clusters.len())
+                .filter(|&i| clusters[i].size > up[i])
+                .max_by_key(|&i| clusters[i].size - up[i])
+            else {
+                break;
+            };
+            let Some(recipient) = (0..clusters.len())
+                .filter(|&j| j != donor && clusters[j].size < up[j])
+                .min_by(|&a, &b| {
+                    let fa = clusters[a].size as f64 / ideal[a].max(1.0);
+                    let fb = clusters[b].size as f64 / ideal[b].max(1.0);
+                    fa.partial_cmp(&fb).expect("sizes are finite")
+                })
+            else {
+                break;
+            };
+            let excess = clusters[donor].size - up[donor];
+            let room = up[recipient] - clusters[recipient].size;
+            let quota = excess.min(room).max(1);
+            let fit = (0..clusters[donor].groups.len())
+                .filter(|&gi| clusters[donor].groups[gi].size() <= room)
+                .max_by_key(|&gi| {
+                    (
+                        clusters[donor].groups[gi]
+                            .tag()
+                            .dot(&clusters[recipient].tag),
+                        clusters[donor].groups[gi].size(),
+                    )
+                });
+            if let Some(gi) = fit {
+                let g = clusters[donor].remove(gi, n_bits);
+                clusters[recipient].push(g);
+            } else {
+                let gi = (0..clusters[donor].groups.len())
+                    .max_by_key(|&gi| {
+                        clusters[donor].groups[gi]
+                            .tag()
+                            .dot(&clusters[recipient].tag)
+                    })
+                    .expect("donor exceeds its limit, so it has groups");
+                let g = &mut clusters[donor].groups[gi];
+                let part = g.split_off(quota);
+                clusters[donor].size -= part.size();
+                clusters[donor].generation += 1;
+                clusters[recipient].push(part);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+        /// The incremental donor index must reproduce the reference
+        /// eviction loop *exactly* — same groups in the same order in every
+        /// cluster — including donors past [`CACHE_MIN_GROUPS`] where the
+        /// heap + postings path engages.
+        #[test]
+        fn balance_matches_reference_scan(
+            specs in proptest::collection::vec(
+                (proptest::collection::vec(0usize..96, 1..4), 0u8..6),
+                70..150,
+            ),
+            caps in proptest::collection::vec(1usize..4, 2..5),
+            thr in 0u8..3,
+        ) {
+            let n_bits = 96;
+            let threshold = f64::from(thr) * 0.05 + 0.05;
+            let mut start = 0u32;
+            let groups: Vec<IterationGroup> = specs
+                .iter()
+                .map(|(bits, size)| {
+                    let n = u32::from(*size) + 1;
+                    let g = IterationGroup::new(
+                        Tag::from_bits(n_bits, bits.iter().copied()),
+                        (start..start + n).collect(),
+                    );
+                    start += n;
+                    g
+                })
+                .collect();
+            // Deliberately skewed: cluster 0 holds everything, so it donates
+            // through the cached path; the rest start empty.
+            let mut fast = vec![Cluster::from_groups(n_bits, groups)];
+            for _ in 1..caps.len() {
+                fast.push(Cluster::empty(n_bits));
+            }
+            let mut reference = fast.clone();
+            balance(&mut fast, &caps, threshold, n_bits);
+            balance_reference(&mut reference, &caps, threshold, n_bits);
+            for (f, r) in fast.iter().zip(&reference) {
+                proptest::prop_assert_eq!(&f.groups, &r.groups);
+                proptest::prop_assert_eq!(&f.tag, &r.tag);
+                proptest::prop_assert_eq!(f.size, r.size);
+                proptest::prop_assert_eq!(f.first, r.first);
+            }
+        }
     }
 
     #[test]
@@ -1005,5 +1831,147 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..48).collect::<Vec<u32>>());
+    }
+
+    // ---- affinity-build equivalence ------------------------------------
+
+    #[test]
+    fn inverted_and_all_pairs_builds_agree_on_paper_example() {
+        let a = partition_groups_with(
+            figure10_groups(4),
+            &[1, 1],
+            0.10,
+            12,
+            AffinityBuild::InvertedIndex,
+        );
+        let b = partition_groups_with(
+            figure10_groups(4),
+            &[1, 1],
+            0.10,
+            12,
+            AffinityBuild::AllPairs,
+        );
+        assert_eq!(a, b);
+        let m = figure9();
+        let da = distribute_with_build(
+            figure10_groups(4),
+            &m,
+            0.10,
+            LeafSplit::Separate,
+            AffinityBuild::InvertedIndex,
+        );
+        let db = distribute_with_build(
+            figure10_groups(4),
+            &m,
+            0.10,
+            LeafSplit::Separate,
+            AffinityBuild::AllPairs,
+        );
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn disjoint_tags_take_identical_fallback_merges_in_both_builds() {
+        // Pairwise-disjoint tags with uneven sizes: the sharing heap is
+        // empty from the start, so every merge takes the no-sharing
+        // fallback — the lazy min-heap must reproduce the reference's
+        // sort-based "merge the two smallest" order exactly.
+        let sizes = [5u32, 3, 8, 1, 9, 2, 7, 4, 6];
+        let make = || -> Vec<IterationGroup> {
+            let mut start = 0u32;
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(j, &s)| {
+                    let g = group(16, &[j], start..start + s);
+                    start += s;
+                    g
+                })
+                .collect()
+        };
+        for target in [1usize, 2, 3, 4] {
+            let mut inv: Vec<Cluster> = make().into_iter().map(Cluster::of_group).collect();
+            let mut all: Vec<Cluster> = make().into_iter().map(Cluster::of_group).collect();
+            merge_to(&mut inv, target, AffinityBuild::InvertedIndex);
+            merge_to(&mut all, target, AffinityBuild::AllPairs);
+            assert_eq!(inv.len(), target);
+            let member_sets = |cs: &[Cluster]| -> Vec<Vec<u32>> {
+                cs.iter()
+                    .map(|c| {
+                        let mut m: Vec<u32> = c
+                            .groups
+                            .iter()
+                            .flat_map(|g| g.iterations().to_vec())
+                            .collect();
+                        m.sort_unstable();
+                        m
+                    })
+                    .collect()
+            };
+            assert_eq!(member_sets(&inv), member_sets(&all), "target {target}");
+        }
+    }
+
+    #[test]
+    fn fallback_after_sharing_merges_matches_reference() {
+        // Two sharing pairs plus disjoint stragglers: the heap drains after
+        // the sharing merges and the fallback finishes the job; both builds
+        // must agree on the final composition.
+        let groups = vec![
+            group(32, &[0, 1], 0..4),
+            group(32, &[1, 2], 4..6),
+            group(32, &[10, 11], 6..9),
+            group(32, &[11, 12], 9..14),
+            group(32, &[20], 14..15),
+            group(32, &[24], 15..22),
+            group(32, &[28], 22..25),
+        ];
+        for target in [2usize, 3] {
+            let a = partition_groups_with(
+                groups.clone(),
+                &vec![1; target],
+                0.10,
+                32,
+                AffinityBuild::InvertedIndex,
+            );
+            let b = partition_groups_with(
+                groups.clone(),
+                &vec![1; target],
+                0.10,
+                32,
+                AffinityBuild::AllPairs,
+            );
+            assert_eq!(a, b, "target {target}");
+        }
+    }
+
+    #[test]
+    fn count_tracked_remove_matches_full_recompute() {
+        // Build a cluster past COUNT_TRACKED_MIN and evict repeatedly; the
+        // incremental tag/first maintenance must match a from-scratch
+        // recompute at every step (the debug_assert in `remove` also checks
+        // this, but release test runs would skip it).
+        let n_bits = 64;
+        let mut c = Cluster::empty(n_bits);
+        for j in 0..12u32 {
+            c.push(group(
+                n_bits,
+                &[j as usize, j as usize + 1, (j as usize * 5) % n_bits],
+                (j * 3)..((j + 1) * 3),
+            ));
+        }
+        assert!(c.groups.len() >= COUNT_TRACKED_MIN);
+        while c.groups.len() > 1 {
+            let evict = c.groups.len() / 2;
+            let evicted = c.remove(evict, n_bits);
+            assert!(!c.groups.contains(&evicted));
+            let expect_tag = Tag::union_of(n_bits, c.groups.iter().map(IterationGroup::tag));
+            assert_eq!(c.tag, expect_tag);
+            assert_eq!(
+                c.first,
+                c.groups.iter().map(IterationGroup::first).min().unwrap()
+            );
+            assert_eq!(c.size, total_size(&c.groups));
+        }
     }
 }

@@ -52,6 +52,12 @@ impl IterationGroup {
         self.iterations.len()
     }
 
+    /// The first (smallest) member iteration — the group's position in
+    /// program order, used as a sort key throughout distribution.
+    pub fn first(&self) -> u32 {
+        self.iterations[0]
+    }
+
     /// Splits off the last `k` iterations into a new group with the same tag
     /// (the load-balancing "break an iteration group" step of Figure 6).
     ///

@@ -75,7 +75,7 @@ pub mod tag;
 pub mod verify;
 
 pub use blocks::BlockMap;
-pub use cluster::{distribute, Assignment};
+pub use cluster::{distribute, distribute_with_build, AffinityBuild, Assignment};
 pub use depgraph::{condense, GroupDepGraph};
 pub use emit::emit_core_code;
 pub use graph::AffinityGraph;

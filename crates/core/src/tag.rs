@@ -5,8 +5,57 @@
 //! bitset operations: the *bitwise sum* of tags is OR, the *dot product* —
 //! the clustering affinity measure — is `popcount(AND)`, and local
 //! scheduling also uses the Hamming distance.
+//!
+//! # Representation
+//!
+//! A tag is semantically a fixed-width bitset, but stores itself in one of
+//! two physical forms behind the same API:
+//!
+//! * **Dense**: `u64` words, one bit per block — the natural form for the
+//!   narrow tags of the paper-scale workloads and for wide cluster tags
+//!   that have accumulated many blocks.
+//! * **Sparse**: a sorted vector of set-bit indices — the form that makes
+//!   million-group instances affordable, where a program touches millions
+//!   of blocks but each *iteration group* touches only a handful (a stencil
+//!   tag overlaps only its spatial neighbours). A sparse million-block tag
+//!   with three set bits costs 12 bytes instead of 125 KB.
+//!
+//! All operations are representation-agnostic and produce identical results
+//! for identical bit sets; equality, hashing and ordering are *semantic*
+//! (two equal bit sets compare and hash equal whatever their physical
+//! form). Sparse tags promote themselves to dense when they grow past
+//! [`sparse_limit`]; nothing ever demotes, so a tag's representation is
+//! stable under the grow-only operations (`set`, `or_assign`) the mapping
+//! pass applies.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Tags of at most this many blocks are always dense: at 128 bytes of
+/// words the constant-factor simplicity of dense kernels beats any sparse
+/// bookkeeping, and every paper-scale workload lives here.
+const SMALL_DENSE_BITS: usize = 1024;
+
+/// How many set bits a sparse tag may hold before promoting to dense.
+///
+/// Below `n_bits / 32` the index vector (4 bytes per set bit) is at least
+/// 4× smaller than the dense words; the additional cap keeps the linear
+/// sparse kernels (merge, dot) bounded even for multi-million-block
+/// programs, where a cluster tag that has absorbed thousands of groups is
+/// better off dense.
+fn sparse_limit(n_bits: usize) -> usize {
+    (n_bits / 32).min(8192)
+}
+
+#[derive(Clone)]
+enum Repr {
+    /// `u64` words, little-endian bit order (bit `j` is word `j / 64`,
+    /// position `j % 64`).
+    Dense(Vec<u64>),
+    /// Sorted, duplicate-free indices of the set bits.
+    Sparse(Vec<u32>),
+}
 
 /// A fixed-width bitset over the data blocks of a program.
 ///
@@ -25,19 +74,21 @@ use std::fmt;
 /// assert_eq!(a.or(&b).popcount(), 3); // union = {0, 2, 3}
 /// assert_eq!(a.hamming(&b), 2);       // differ on blocks 0 and 3
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone)]
 pub struct Tag {
     n_bits: usize,
-    words: Vec<u64>,
+    repr: Repr,
 }
 
 impl Tag {
     /// The all-zeros tag over `n_bits` blocks.
     pub fn empty(n_bits: usize) -> Self {
-        Self {
-            n_bits,
-            words: vec![0; n_bits.div_ceil(64)],
-        }
+        let repr = if n_bits <= SMALL_DENSE_BITS {
+            Repr::Dense(vec![0; n_bits.div_ceil(64)])
+        } else {
+            Repr::Sparse(Vec::new())
+        };
+        Self { n_bits, repr }
     }
 
     /// Builds a tag from the given set bits.
@@ -58,6 +109,32 @@ impl Tag {
         self.n_bits
     }
 
+    /// Rebuilds the sparse index vector as dense words.
+    fn densify(&mut self) {
+        if let Repr::Sparse(bits) = &self.repr {
+            let mut words = vec![0u64; self.n_bits.div_ceil(64)];
+            for &b in bits {
+                words[b as usize / 64] |= 1u64 << (b % 64);
+            }
+            self.repr = Repr::Dense(words);
+        }
+    }
+
+    /// Demotes dense words back to a sparse index vector when the set is
+    /// small enough; used by [`Tag::union_of`], which accumulates densely.
+    fn sparsify_if_small(&mut self) {
+        if self.n_bits <= SMALL_DENSE_BITS {
+            return;
+        }
+        if let Repr::Dense(words) = &self.repr {
+            let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+            if ones <= sparse_limit(self.n_bits) {
+                let bits = self.iter_bits().map(|b| b as u32).collect();
+                self.repr = Repr::Sparse(bits);
+            }
+        }
+    }
+
     /// Sets bit `bit`.
     ///
     /// # Panics
@@ -65,7 +142,41 @@ impl Tag {
     /// Panics if `bit >= n_bits()`.
     pub fn set(&mut self, bit: usize) {
         assert!(bit < self.n_bits, "bit {bit} out of range {}", self.n_bits);
-        self.words[bit / 64] |= 1u64 << (bit % 64);
+        let promote = match &mut self.repr {
+            Repr::Dense(words) => {
+                words[bit / 64] |= 1u64 << (bit % 64);
+                false
+            }
+            Repr::Sparse(bits) => {
+                let b = u32::try_from(bit).expect("block ids fit in u32");
+                if let Err(pos) = bits.binary_search(&b) {
+                    bits.insert(pos, b);
+                }
+                bits.len() > sparse_limit(self.n_bits)
+            }
+        };
+        if promote {
+            self.densify();
+        }
+    }
+
+    /// Clears bit `bit` (used by incremental cluster-tag maintenance, which
+    /// retires a block once its last member group is evicted). The
+    /// representation is left unchanged — tags never demote.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= n_bits()`.
+    pub fn clear(&mut self, bit: usize) {
+        assert!(bit < self.n_bits, "bit {bit} out of range {}", self.n_bits);
+        match &mut self.repr {
+            Repr::Dense(words) => words[bit / 64] &= !(1u64 << (bit % 64)),
+            Repr::Sparse(bits) => {
+                if let Ok(pos) = bits.binary_search(&(bit as u32)) {
+                    bits.remove(pos);
+                }
+            }
+        }
     }
 
     /// Tests bit `bit`.
@@ -75,12 +186,18 @@ impl Tag {
     /// Panics if `bit >= n_bits()`.
     pub fn get(&self, bit: usize) -> bool {
         assert!(bit < self.n_bits, "bit {bit} out of range {}", self.n_bits);
-        self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        match &self.repr {
+            Repr::Dense(words) => words[bit / 64] & (1u64 << (bit % 64)) != 0,
+            Repr::Sparse(bits) => bits.binary_search(&(bit as u32)).is_ok(),
+        }
     }
 
     /// Number of set bits (distinct blocks accessed).
     pub fn popcount(&self) -> u32 {
-        self.words.iter().map(|w| w.count_ones()).sum()
+        match &self.repr {
+            Repr::Dense(words) => words.iter().map(|w| w.count_ones()).sum(),
+            Repr::Sparse(bits) => u32::try_from(bits.len()).expect("popcount fits in u32"),
+        }
     }
 
     /// The paper's dot product: the number of common 1-bits — the degree of
@@ -91,11 +208,48 @@ impl Tag {
     /// Panics if the widths differ.
     pub fn dot(&self, other: &Tag) -> u32 {
         assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones())
-            .sum()
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => {
+                a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) => sorted_intersection_len(a, b),
+            (Repr::Sparse(bits), Repr::Dense(words)) | (Repr::Dense(words), Repr::Sparse(bits)) => {
+                let hits = bits
+                    .iter()
+                    .filter(|&&b| words[b as usize / 64] & (1u64 << (b % 64)) != 0)
+                    .count();
+                u32::try_from(hits).expect("popcount fits in u32")
+            }
+        }
+    }
+
+    /// Whether the two tags share at least one block — `dot(other) > 0`
+    /// fused with an early exit on the first common word, so disjoint and
+    /// barely-overlapping pairs answer without scanning whole tags.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths differ.
+    pub fn dot_nonzero(&self, other: &Tag) -> bool {
+        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a.iter().zip(b).any(|(x, y)| x & y != 0),
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                let (mut i, mut j) = (0, 0);
+                while i < a.len() && j < b.len() {
+                    match a[i].cmp(&b[j]) {
+                        Ordering::Less => i += 1,
+                        Ordering::Greater => j += 1,
+                        Ordering::Equal => return true,
+                    }
+                }
+                false
+            }
+            (Repr::Sparse(bits), Repr::Dense(words)) | (Repr::Dense(words), Repr::Sparse(bits)) => {
+                bits.iter()
+                    .any(|&b| words[b as usize / 64] & (1u64 << (b % 64)) != 0)
+            }
+        }
     }
 
     /// The paper's "bitwise sum": the union of accessed blocks.
@@ -104,16 +258,9 @@ impl Tag {
     ///
     /// Panics if the widths differ.
     pub fn or(&self, other: &Tag) -> Tag {
-        assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
-        Tag {
-            n_bits: self.n_bits,
-            words: self
-                .words
-                .iter()
-                .zip(&other.words)
-                .map(|(a, b)| a | b)
-                .collect(),
-        }
+        let mut out = self.clone();
+        out.or_assign(other);
+        out
     }
 
     /// In-place union.
@@ -123,9 +270,69 @@ impl Tag {
     /// Panics if the widths differ.
     pub fn or_assign(&mut self, other: &Tag) {
         assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
-        for (a, b) in self.words.iter_mut().zip(&other.words) {
-            *a |= b;
+        // Promote up front when the union cannot (or should not) stay
+        // sparse, so the merge below never overflows the limit.
+        if let Repr::Sparse(a) = &self.repr {
+            let promote = match &other.repr {
+                Repr::Dense(_) => true,
+                Repr::Sparse(b) => a.len() + b.len() > sparse_limit(self.n_bits),
+            };
+            if promote {
+                self.densify();
+            }
         }
+        match (&mut self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x |= y;
+                }
+            }
+            (Repr::Dense(words), Repr::Sparse(bits)) => {
+                for &b in bits {
+                    words[b as usize / 64] |= 1u64 << (b % 64);
+                }
+            }
+            (Repr::Sparse(a), Repr::Sparse(b)) => {
+                *a = merge_sorted(a, b);
+            }
+            (Repr::Sparse(_), Repr::Dense(_)) => unreachable!("promoted to dense above"),
+        }
+    }
+
+    /// The union of many tags at once. Equivalent to folding
+    /// [`Tag::or_assign`] over an empty tag, but accumulates through one
+    /// dense word buffer, so summarizing a million sparse group tags costs
+    /// one pass over their set bits instead of repeated sorted merges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tag's width differs from `n_bits`.
+    pub fn union_of<'a, I>(n_bits: usize, tags: I) -> Tag
+    where
+        I: IntoIterator<Item = &'a Tag>,
+    {
+        let mut words = vec![0u64; n_bits.div_ceil(64)];
+        for t in tags {
+            assert_eq!(t.n_bits, n_bits, "tag width mismatch");
+            match &t.repr {
+                Repr::Dense(w) => {
+                    for (x, y) in words.iter_mut().zip(w) {
+                        *x |= y;
+                    }
+                }
+                Repr::Sparse(bits) => {
+                    for &b in bits {
+                        words[b as usize / 64] |= 1u64 << (b % 64);
+                    }
+                }
+            }
+        }
+        let mut out = Tag {
+            n_bits,
+            repr: Repr::Dense(words),
+        };
+        out.sparsify_if_small();
+        out
     }
 
     /// Hamming distance: blocks accessed by exactly one of the two tags
@@ -136,16 +343,289 @@ impl Tag {
     /// Panics if the widths differ.
     pub fn hamming(&self, other: &Tag) -> u32 {
         assert_eq!(self.n_bits, other.n_bits, "tag width mismatch");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        if let (Repr::Dense(a), Repr::Dense(b)) = (&self.repr, &other.repr) {
+            return a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum();
+        }
+        // |A Δ B| = |A| + |B| − 2·|A ∩ B|, avoiding a materialized XOR for
+        // the sparse forms.
+        self.popcount() + other.popcount() - 2 * self.dot(other)
     }
 
-    /// Iterates the indices of set bits, ascending.
-    pub fn iter_bits(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.n_bits).filter(move |&b| self.get(b))
+    /// The index of the lowest set bit, if any — the tag's position in the
+    /// program's block numbering, used as a data-order sort key by the
+    /// clustering pass. One word scan (`trailing_zeros`) for dense tags,
+    /// O(1) for sparse ones; never iterates per-bit.
+    pub fn first_set(&self) -> Option<usize> {
+        match &self.repr {
+            Repr::Dense(words) => words
+                .iter()
+                .enumerate()
+                .find(|(_, &w)| w != 0)
+                .map(|(i, &w)| i * 64 + w.trailing_zeros() as usize),
+            Repr::Sparse(bits) => bits.first().map(|&b| b as usize),
+        }
+    }
+
+    /// Iterates the indices of set bits, ascending. Dense tags are walked a
+    /// word at a time, peeling bits with `trailing_zeros`; zero words cost
+    /// one test each instead of 64.
+    pub fn iter_bits(&self) -> BitIter<'_> {
+        BitIter {
+            inner: match &self.repr {
+                Repr::Dense(words) => BitIterInner::Dense {
+                    words,
+                    next_word: 0,
+                    current: 0,
+                    base: 0,
+                },
+                Repr::Sparse(bits) => BitIterInner::Sparse(bits.iter()),
+            },
+        }
+    }
+}
+
+/// Merges two sorted, duplicate-free index vectors into one.
+/// First index in `a` whose value is ≥ `bound`, found by galloping
+/// (doubling probes, then a binary search inside the last window). Costs
+/// O(log d) for an answer `d` positions in — so runs of indices from one
+/// side are skipped (or bulk-copied) in logarithmic time instead of being
+/// walked element by element. Real tags are exactly such runs: a stencil
+/// cluster's blocks are contiguous, and two neighbouring clusters overlap
+/// in a handful of blocks at the seam.
+fn gallop_to(a: &[u32], bound: u32) -> usize {
+    if a.first().is_none_or(|&x| x >= bound) {
+        return 0;
+    }
+    // Invariant: a[lo] < bound; `hi` is the first probe at or past it.
+    let mut step = 1;
+    let mut lo = 0;
+    loop {
+        let hi = lo + step;
+        if hi >= a.len() {
+            return lo + 1 + a[lo + 1..].partition_point(|&x| x < bound);
+        }
+        if a[hi] >= bound {
+            return lo + 1 + a[lo + 1..hi].partition_point(|&x| x < bound);
+        }
+        lo = hi;
+        step *= 2;
+    }
+}
+
+fn merge_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut a, mut b) = (a, b);
+    while !a.is_empty() && !b.is_empty() {
+        match a[0].cmp(&b[0]) {
+            Ordering::Less => {
+                let run = gallop_to(a, b[0]);
+                out.extend_from_slice(&a[..run]);
+                a = &a[run..];
+            }
+            Ordering::Greater => {
+                let run = gallop_to(b, a[0]);
+                out.extend_from_slice(&b[..run]);
+                b = &b[run..];
+            }
+            Ordering::Equal => {
+                out.push(a[0]);
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+    out.extend_from_slice(a);
+    out.extend_from_slice(b);
+    out
+}
+
+/// `|a ∩ b|` of two sorted, duplicate-free index vectors, galloping past
+/// the disjoint stretches.
+fn sorted_intersection_len(a: &[u32], b: &[u32]) -> u32 {
+    let (mut a, mut b) = (a, b);
+    let mut common = 0u32;
+    while !a.is_empty() && !b.is_empty() {
+        match a[0].cmp(&b[0]) {
+            Ordering::Less => a = &a[gallop_to(a, b[0])..],
+            Ordering::Greater => b = &b[gallop_to(b, a[0])..],
+            Ordering::Equal => {
+                common += 1;
+                a = &a[1..];
+                b = &b[1..];
+            }
+        }
+    }
+    common
+}
+
+/// Iterator over the set bits of a [`Tag`], ascending (see
+/// [`Tag::iter_bits`]).
+#[derive(Debug, Clone)]
+pub struct BitIter<'a> {
+    inner: BitIterInner<'a>,
+}
+
+#[derive(Debug, Clone)]
+enum BitIterInner<'a> {
+    Sparse(std::slice::Iter<'a, u32>),
+    Dense {
+        words: &'a [u64],
+        /// Index of the next word to load into `current`.
+        next_word: usize,
+        /// Remaining bits of the word currently being peeled.
+        current: u64,
+        /// Bit offset of `current`'s word.
+        base: usize,
+    },
+}
+
+impl Iterator for BitIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        match &mut self.inner {
+            BitIterInner::Sparse(it) => it.next().map(|&b| b as usize),
+            BitIterInner::Dense {
+                words,
+                next_word,
+                current,
+                base,
+            } => {
+                while *current == 0 {
+                    let w = *words.get(*next_word)?;
+                    *base = *next_word * 64;
+                    *next_word += 1;
+                    *current = w;
+                }
+                let bit = *base + current.trailing_zeros() as usize;
+                *current &= *current - 1;
+                Some(bit)
+            }
+        }
+    }
+}
+
+impl PartialEq for Tag {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n_bits != other.n_bits {
+            return false;
+        }
+        match (&self.repr, &other.repr) {
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            (Repr::Sparse(a), Repr::Sparse(b)) => a == b,
+            (Repr::Sparse(bits), Repr::Dense(words)) | (Repr::Dense(words), Repr::Sparse(bits)) => {
+                let ones: usize = words.iter().map(|w| w.count_ones() as usize).sum();
+                ones == bits.len()
+                    && bits
+                        .iter()
+                        .all(|&b| words[b as usize / 64] & (1u64 << (b % 64)) != 0)
+            }
+        }
+    }
+}
+
+impl Eq for Tag {}
+
+impl Hash for Tag {
+    /// Representation-independent: hashes the width and the non-zero words
+    /// as `(index, word)` pairs, so equal bit sets hash equal whether they
+    /// are stored sparse or dense.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.n_bits.hash(state);
+        match &self.repr {
+            Repr::Dense(words) => {
+                for (i, &w) in words.iter().enumerate() {
+                    if w != 0 {
+                        i.hash(state);
+                        w.hash(state);
+                    }
+                }
+            }
+            Repr::Sparse(bits) => {
+                let mut i = 0;
+                while i < bits.len() {
+                    let wi = bits[i] as usize / 64;
+                    let mut w = 0u64;
+                    while i < bits.len() && bits[i] as usize / 64 == wi {
+                        w |= 1u64 << (bits[i] % 64);
+                        i += 1;
+                    }
+                    wi.hash(state);
+                    w.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl Ord for Tag {
+    /// Width first, then the words lexicographically (the order the
+    /// previous dense-only derive produced), computed lazily for sparse
+    /// tags.
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.n_bits
+            .cmp(&other.n_bits)
+            .then_with(|| self.words_iter().cmp(other.words_iter()))
+    }
+}
+
+impl PartialOrd for Tag {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Tag {
+    /// Yields the tag's `u64` words in order, materializing them on the fly
+    /// for sparse tags. Both representations yield exactly
+    /// `n_bits.div_ceil(64)` words.
+    fn words_iter(&self) -> WordsIter<'_> {
+        match &self.repr {
+            Repr::Dense(words) => WordsIter::Dense(words.iter()),
+            Repr::Sparse(bits) => WordsIter::Sparse {
+                bits,
+                pos: 0,
+                word: 0,
+                n_words: self.n_bits.div_ceil(64),
+            },
+        }
+    }
+}
+
+enum WordsIter<'a> {
+    Dense(std::slice::Iter<'a, u64>),
+    Sparse {
+        bits: &'a [u32],
+        pos: usize,
+        word: usize,
+        n_words: usize,
+    },
+}
+
+impl Iterator for WordsIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        match self {
+            WordsIter::Dense(it) => it.next().copied(),
+            WordsIter::Sparse {
+                bits,
+                pos,
+                word,
+                n_words,
+            } => {
+                if *word >= *n_words {
+                    return None;
+                }
+                let mut w = 0u64;
+                while *pos < bits.len() && bits[*pos] as usize / 64 == *word {
+                    w |= 1u64 << (bits[*pos] % 64);
+                    *pos += 1;
+                }
+                *word += 1;
+                Some(w)
+            }
+        }
     }
 }
 
@@ -166,6 +646,17 @@ impl fmt::Debug for Tag {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    /// A width just past the sparse threshold, so `from_bits` with few bits
+    /// yields a sparse tag.
+    const WIDE: usize = SMALL_DENSE_BITS + 64;
+
+    fn hash_of(t: &Tag) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
 
     #[test]
     fn set_get_roundtrip_across_word_boundary() {
@@ -231,5 +722,185 @@ mod tests {
     #[should_panic(expected = "width mismatch")]
     fn width_mismatch_panics() {
         let _ = Tag::empty(4).dot(&Tag::empty(5));
+    }
+
+    // ---- representation-boundary behaviour -----------------------------
+
+    /// A wide tag with few bits is sparse; forcing the same bit set through
+    /// the dense path (via `union_of`, which accumulates densely, on a
+    /// width small enough to stay dense — or via promotion) must compare
+    /// and hash equal.
+    #[test]
+    fn sparse_and_dense_forms_are_semantically_equal() {
+        let sparse = Tag::from_bits(WIDE, [3, 64, 1000]);
+        // Promote a copy to dense by pushing it past the sparse limit with
+        // scratch bits, then clearing them again: representation never
+        // demotes, so the result is a dense tag with the original bit set.
+        let mut dense = sparse.clone();
+        let scratch: Vec<usize> = (0..=sparse_limit(WIDE)).map(|i| 2 * i + 1).collect();
+        for &b in &scratch {
+            dense.set(b);
+        }
+        for &b in &scratch {
+            if b != 3 && b != 1000 && !sparse.get(b) {
+                dense.clear(b);
+            }
+        }
+        assert_eq!(sparse, dense);
+        assert_eq!(dense, sparse);
+        assert_eq!(hash_of(&sparse), hash_of(&dense));
+        assert_eq!(sparse.cmp(&dense), Ordering::Equal);
+        assert_eq!(sparse.dot(&dense), 3);
+        assert!(sparse.dot_nonzero(&dense));
+        assert_eq!(
+            dense.iter_bits().collect::<Vec<_>>(),
+            sparse.iter_bits().collect::<Vec<_>>()
+        );
+        assert_eq!(dense.first_set(), Some(3));
+    }
+
+    #[test]
+    fn promotion_preserves_all_operations() {
+        // Drive a wide tag across the sparse→dense boundary bit by bit and
+        // compare against an always-checkable model.
+        let limit = sparse_limit(WIDE);
+        let mut t = Tag::empty(WIDE);
+        let mut model: Vec<usize> = Vec::new();
+        for i in 0..(limit + 8) {
+            let b = (i * 7) % WIDE;
+            t.set(b);
+            if !model.contains(&b) {
+                model.push(b);
+            }
+        }
+        model.sort_unstable();
+        assert_eq!(t.popcount() as usize, model.len());
+        assert_eq!(t.iter_bits().collect::<Vec<_>>(), model);
+        assert_eq!(t.first_set(), model.first().copied());
+        for &b in &model {
+            assert!(t.get(b));
+        }
+    }
+
+    #[test]
+    fn clear_retires_bits_in_both_representations() {
+        let mut sparse = Tag::from_bits(WIDE, [5, 70, 900]);
+        sparse.clear(70);
+        assert_eq!(sparse.iter_bits().collect::<Vec<_>>(), vec![5, 900]);
+        sparse.clear(71); // clearing an unset bit is a no-op
+        assert_eq!(sparse.popcount(), 2);
+
+        let mut dense = Tag::from_bits(130, [5, 70, 129]);
+        dense.clear(70);
+        assert_eq!(dense.iter_bits().collect::<Vec<_>>(), vec![5, 129]);
+        assert_eq!(dense.first_set(), Some(5));
+    }
+
+    #[test]
+    fn first_set_matches_iter_bits() {
+        for bits in [
+            vec![],
+            vec![0],
+            vec![63],
+            vec![64],
+            vec![99, 3],
+            vec![65, 64],
+        ] {
+            for width in [100usize, WIDE] {
+                let t = Tag::from_bits(width, bits.iter().copied());
+                assert_eq!(t.first_set(), t.iter_bits().next(), "bits {bits:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_nonzero_agrees_with_dot() {
+        let cases = [
+            (vec![0, 5], vec![5, 9]),
+            (vec![0, 5], vec![1, 9]),
+            (vec![], vec![1]),
+            (vec![64], vec![64]),
+            (vec![63], vec![64]),
+        ];
+        for (x, y) in cases {
+            for width in [100usize, WIDE] {
+                let a = Tag::from_bits(width, x.iter().copied());
+                let b = Tag::from_bits(width, y.iter().copied());
+                assert_eq!(a.dot_nonzero(&b), a.dot(&b) > 0, "{x:?} vs {y:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn union_of_equals_folded_or() {
+        let tags: Vec<Tag> = (0..9)
+            .map(|i| Tag::from_bits(WIDE, [i * 13, i * 13 + 1, (i * 131) % WIDE]))
+            .collect();
+        let mut folded = Tag::empty(WIDE);
+        for t in &tags {
+            folded.or_assign(t);
+        }
+        let unioned = Tag::union_of(WIDE, tags.iter());
+        assert_eq!(folded, unioned);
+        assert_eq!(hash_of(&folded), hash_of(&unioned));
+        assert_eq!(Tag::union_of(12, std::iter::empty()), Tag::empty(12));
+    }
+
+    #[test]
+    fn wide_or_assign_promotes_and_stays_correct() {
+        let mut acc = Tag::empty(WIDE);
+        let mut expected = 0usize;
+        for i in 0..(sparse_limit(WIDE) + 100) {
+            let t = Tag::from_bits(WIDE, [i % WIDE]);
+            acc.or_assign(&t);
+            expected = (i % WIDE).max(expected);
+        }
+        assert_eq!(acc.popcount() as usize, sparse_limit(WIDE) + 100);
+        assert!(acc.get(0) && acc.get(expected));
+    }
+
+    // Property tests: every kernel agrees with a naive per-bit model across
+    // word-boundary widths and both representations.
+    mod properties {
+        use super::*;
+        use proptest::collection::vec as pvec;
+        use proptest::prelude::*;
+
+        fn width_of(sel: usize) -> usize {
+            [1, 12, 63, 64, 65, 127, 128, 130, WIDE][sel % 9]
+        }
+
+        fn naive_bits(t: &Tag) -> Vec<usize> {
+            (0..t.n_bits()).filter(|&b| t.get(b)).collect()
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            #[test]
+            fn kernels_match_naive_model(
+                sel in 0usize..9,
+                xs in pvec(0usize..10_000, 0..12),
+                ys in pvec(0usize..10_000, 0..12),
+            ) {
+                let w = width_of(sel);
+                let a = Tag::from_bits(w, xs.iter().map(|&b| b % w));
+                let b = Tag::from_bits(w, ys.iter().map(|&b| b % w));
+                let na = naive_bits(&a);
+                let nb = naive_bits(&b);
+                // iter_bits is ascending and matches per-bit probing.
+                prop_assert_eq!(a.iter_bits().collect::<Vec<_>>(), na.clone());
+                prop_assert_eq!(a.first_set(), na.first().copied());
+                let common = na.iter().filter(|b| nb.contains(b)).count();
+                prop_assert_eq!(a.dot(&b) as usize, common);
+                prop_assert_eq!(a.dot_nonzero(&b), common > 0);
+                let union: Vec<usize> =
+                    (0..w).filter(|&i| a.get(i) || b.get(i)).collect();
+                prop_assert_eq!(a.or(&b).iter_bits().collect::<Vec<_>>(), union);
+                let sym = na.len() + nb.len() - 2 * common;
+                prop_assert_eq!(a.hamming(&b) as usize, sym);
+                prop_assert_eq!(a == b, na == nb);
+            }
+        }
     }
 }

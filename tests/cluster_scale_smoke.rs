@@ -1,0 +1,95 @@
+//! Wall-clock smoke tests for million-group clustering (the ISSUE 7
+//! tentpole): `distribute` over synthetic sparse-stencil groups must stay
+//! near-linear in the group count. The budgets are deliberately generous —
+//! they catch a reintroduced quadratic path (hours at 10^6 groups), not
+//! scheduler jitter.
+//!
+//! The default test sizes at 2^16 groups so debug `cargo test` stays quick;
+//! the 10^5 and 2^20 criteria run in release under CI's `cluster-scale`
+//! job (`cargo test --release --test cluster_scale_smoke -- --include-ignored`).
+
+use std::time::{Duration, Instant};
+
+use ctam::cluster::LeafSplit;
+use ctam::{distribute_with_build, AffinityBuild, IterationGroup, Tag};
+use ctam_topology::{CacheParams, Machine, NodeId, KB, MB};
+
+/// A figure9-style 4-core machine: two L2 pairs under one L3.
+fn quad_machine() -> Machine {
+    let mut b = Machine::builder("quad", 1.0, 100);
+    let l1 = CacheParams::new(8 * KB, 8, 64, 2);
+    let l3 = b.cache(NodeId::ROOT, 3, CacheParams::new(8 * MB, 16, 64, 30));
+    for _ in 0..2 {
+        let l2 = b.cache(l3, 2, CacheParams::new(MB, 8, 64, 10));
+        b.core_with_l1(l2, l1);
+        b.core_with_l1(l2, l1);
+    }
+    b.build()
+}
+
+/// `n` one-iteration stencil groups: group `g` touches blocks
+/// `{g, g+1, g+2}` of `n + 2` — sparse sharing between spatial neighbours,
+/// the workload shape the inverted index is built for.
+fn stencil_groups(n: usize) -> Vec<IterationGroup> {
+    (0..n)
+        .map(|g| {
+            IterationGroup::new(
+                Tag::from_bits(n + 2, [g, g + 1, g + 2]),
+                vec![u32::try_from(g).expect("group ids fit in u32")],
+            )
+        })
+        .collect()
+}
+
+fn timed_distribute(n: usize) -> Duration {
+    let machine = quad_machine();
+    let groups = stencil_groups(n);
+    let start = Instant::now();
+    let a = distribute_with_build(
+        groups,
+        &machine,
+        0.10,
+        LeafSplit::Separate,
+        AffinityBuild::InvertedIndex,
+    );
+    let elapsed = start.elapsed();
+    assert_eq!(a.total_iterations(), n);
+    elapsed
+}
+
+/// Debug-friendly default: 2^16 groups. No budget asserted in debug builds
+/// (debug_assertions-heavy code is an order of magnitude slower); release
+/// runs must finish well inside the near-linear envelope.
+#[test]
+fn distribute_65k_stencil_groups_completes() {
+    let elapsed = timed_distribute(1 << 16);
+    if !cfg!(debug_assertions) {
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "2^16 groups took {elapsed:?}"
+        );
+    }
+}
+
+/// CI criterion: 10^5 groups under a tight wall-clock budget (release).
+#[test]
+#[ignore = "wall-clock budget only meaningful in release; CI runs with --include-ignored"]
+fn distribute_100k_stencil_groups_under_budget() {
+    let elapsed = timed_distribute(100_000);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "10^5 groups took {elapsed:?}"
+    );
+}
+
+/// The headline acceptance criterion: 10^6 (2^20) sparse-stencil groups
+/// distribute in single-digit seconds in release mode.
+#[test]
+#[ignore = "wall-clock budget only meaningful in release; CI runs with --include-ignored"]
+fn distribute_million_stencil_groups_in_single_digit_seconds() {
+    let elapsed = timed_distribute(1 << 20);
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "2^20 groups took {elapsed:?}"
+    );
+}
