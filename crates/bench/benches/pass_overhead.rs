@@ -20,7 +20,7 @@ use ctam::verify::{advise_mapping, AdvisorOptions};
 use ctam::{distribute_with_build, AffinityBuild, IterationGroup, Tag};
 use ctam_loopir::dependence;
 use ctam_topology::{catalog, CacheParams, Machine, NodeId, KB, MB};
-use ctam_workloads::{by_name, stress, SizeClass};
+use ctam_workloads::{by_name, irregular, stress, SizeClass};
 
 fn pass_overhead(c: &mut Criterion) {
     let machine = catalog::dunnington();
@@ -99,6 +99,39 @@ fn dependence_cost(c: &mut Criterion) {
             });
         },
     );
+    group.finish();
+}
+
+/// Index-array fact screens vs. table enumeration on the irregular
+/// kernels, across the size ladder. The screened path scans each table
+/// once and settles the pairs from facts; the enumerated path replays the
+/// full iteration domain against the concrete tables. `spmv_csr` and
+/// `edge_gather` are fully screened (the gap is the engine's win);
+/// `scatter_duplicates` defeats every screen, so its screened timing is
+/// the fallback's overhead ceiling.
+fn indirect_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indirect_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for size in [SizeClass::Test, SizeClass::Small, SizeClass::Reference] {
+        for w in irregular::irregular_suite(size) {
+            let label = format!("{}/{:?}", w.name, size);
+            group.bench_with_input(BenchmarkId::new("screened", &label), &w, |b, w| {
+                b.iter(|| {
+                    for (nest, _) in w.program.nests() {
+                        std::hint::black_box(dependence::analyze_nest(&w.program, nest));
+                    }
+                });
+            });
+            group.bench_with_input(BenchmarkId::new("enumerated", &label), &w, |b, w| {
+                b.iter(|| {
+                    for (nest, _) in w.program.nests() {
+                        std::hint::black_box(dependence::analyze_exact(&w.program, nest));
+                    }
+                });
+            });
+        }
+    }
     group.finish();
 }
 
@@ -331,6 +364,7 @@ criterion_group!(
     benches,
     pass_overhead,
     dependence_cost,
+    indirect_cost,
     advisor_cost,
     cluster_scale
 );

@@ -7,8 +7,11 @@
 //! sequentially, array after array; and together they cover every element
 //! the nest touches.
 
-use ctam_loopir::{ArrayId, Program};
+use ctam_loopir::{ArrayId, NestId, Program, Subscript};
+use ctam_poly::{AffineExpr, AffineMap, ConstraintKind};
 use ctam_topology::{Machine, NodeKind};
+
+use crate::tag::Tag;
 
 /// The block partitioning of a program's data space.
 ///
@@ -170,6 +173,225 @@ impl BlockMap {
     }
 }
 
+/// Min/max of an affine expression over a box, at the corners selected by
+/// coefficient signs, in `i128` so no intermediate product can wrap.
+fn box_range(e: &AffineExpr, bx: &[(i64, i64)]) -> (i128, i128) {
+    let mut lo = i128::from(e.constant_term());
+    let mut hi = lo;
+    for (v, &c) in e.coeffs().iter().enumerate() {
+        let c = i128::from(c);
+        let (blo, bhi) = (i128::from(bx[v].0), i128::from(bx[v].1));
+        if c >= 0 {
+            lo += c * blo;
+            hi += c * bhi;
+        } else {
+            lo += c * bhi;
+            hi += c * blo;
+        }
+    }
+    (lo, hi)
+}
+
+/// True if the image of `e` over the box is a contiguous integer interval:
+/// sorting the non-degenerate terms by coefficient magnitude, each
+/// coefficient must not exceed one plus the reach of the smaller terms
+/// (the complete-sequence condition — sufficient, not necessary).
+fn image_is_contiguous(e: &AffineExpr, bx: &[(i64, i64)]) -> bool {
+    let mut terms: Vec<(i128, i128)> = e
+        .coeffs()
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &c)| {
+            let span = i128::from(bx[v].1) - i128::from(bx[v].0);
+            (c != 0 && span > 0).then(|| (i128::from(c).abs(), span))
+        })
+        .collect();
+    terms.sort_unstable();
+    let mut reach: i128 = 0;
+    for (c, span) in terms {
+        if c > reach + 1 {
+            return false;
+        }
+        reach += c * span;
+    }
+    true
+}
+
+/// The row-major flattening of an affine subscript: `Σ_d expr_d · stride_d`
+/// with `stride_d = Π_{k>d} dims[k]` — the flat element an in-bounds access
+/// resolves to. `None` on arithmetic overflow.
+fn flat_expr(dims: &[u64], m: &AffineMap) -> Option<AffineExpr> {
+    let depth = m.n_in();
+    let mut stride: i64 = 1;
+    let mut flat = AffineExpr::zero(depth);
+    for (d, e) in m.exprs().iter().enumerate().rev() {
+        flat = flat.checked_plus(&e.checked_scaled(stride)?)?;
+        stride = stride.checked_mul(i64::try_from(dims[d]).ok()?)?;
+    }
+    Some(flat)
+}
+
+/// Derives the tag of every mapping unit of `nest` statically — from the
+/// domain constraints and the subscript expressions (including the actual
+/// contents of indirect-subscript index tables) — without enumerating the
+/// inner iterations of any unit.
+///
+/// Units here mean what [`crate::space::IterationSpace::build_units`] means:
+/// maximal runs of lexicographically consecutive points sharing their first
+/// `unit_prefix` index values. The result is `Some(tags)` with `tags[u]`
+/// equal to `space.unit_tag(u, blocks)` for every unit `u`, in unit order,
+/// exactly — or `None` whenever some precondition of that guarantee cannot
+/// be established statically:
+///
+/// * a domain constraint that, after pinning the prefix indices, still
+///   couples two or more inner variables (the inner set is then not
+///   necessarily a box),
+/// * an affine subscript that leaves the array (the model clamps, which the
+///   interval reasoning does not track), has the wrong arity, or whose
+///   flattened image over a unit's box is not provably contiguous,
+/// * an indirect subscript whose selector can wrap modulo the table length,
+///   whose selector image is not provably contiguous (a gap would over-claim
+///   table rows), or whose reachable table entries wrap modulo the array's
+///   element count.
+///
+/// Callers fall back to the enumerated [`crate::space::IterationSpace`] tags
+/// on `None`; on `Some` the two are interchangeable.
+pub fn static_unit_tags(
+    program: &Program,
+    nest: NestId,
+    blocks: &BlockMap,
+    unit_prefix: usize,
+) -> Option<Vec<Tag>> {
+    let n = program.nest(nest);
+    let depth = n.depth();
+    if unit_prefix > depth {
+        return None;
+    }
+    let bbox = n.domain().bounding_box()?;
+    // Every constraint must pin down to at most one inner variable once the
+    // prefix is fixed, so each prefix point's inner set is exactly a box.
+    for c in n.domain().constraints() {
+        let coupled = c.expr().coeffs()[unit_prefix..]
+            .iter()
+            .filter(|&&x| x != 0)
+            .count();
+        if coupled >= 2 {
+            return None;
+        }
+    }
+    let mut tags = Vec::new();
+    // Walk the prefix box in lexicographic order — the order build_units
+    // discovers units in.
+    let mut p: Vec<i64> = bbox[..unit_prefix].iter().map(|&(lo, _)| lo).collect();
+    loop {
+        // Tighten the inner box from the constraints with the prefix pinned.
+        let mut inner: Vec<(i64, i64)> = bbox[unit_prefix..].to_vec();
+        let mut nonempty = true;
+        for c in n.domain().constraints() {
+            let e = c.expr();
+            let k = e.constant_term() + (0..unit_prefix).map(|v| e.coeff(v) * p[v]).sum::<i64>();
+            let var = (unit_prefix..depth).find(|&v| e.coeff(v) != 0);
+            match (var, c.kind()) {
+                (None, ConstraintKind::Ge) => nonempty &= k >= 0,
+                (None, ConstraintKind::Eq) => nonempty &= k == 0,
+                (Some(v), kind) => {
+                    let cv = e.coeff(v);
+                    let (lo, hi) = &mut inner[v - unit_prefix];
+                    match kind {
+                        ConstraintKind::Ge => {
+                            // cv·x + k >= 0
+                            if cv > 0 {
+                                let b = (-k).div_euclid(cv) + i64::from((-k).rem_euclid(cv) != 0);
+                                *lo = (*lo).max(b);
+                            } else {
+                                *hi = (*hi).min(k.div_euclid(-cv));
+                            }
+                        }
+                        ConstraintKind::Eq => {
+                            // cv·x + k == 0
+                            if k.rem_euclid(cv.abs()) == 0 {
+                                let x = -k / cv;
+                                *lo = (*lo).max(x);
+                                *hi = (*hi).min(x);
+                            } else {
+                                nonempty = false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        nonempty &= inner.iter().all(|&(lo, hi)| lo <= hi);
+        if nonempty {
+            // The unit's full iteration box: prefix pinned, inners ranged.
+            let bx: Vec<(i64, i64)> = p
+                .iter()
+                .map(|&v| (v, v))
+                .chain(inner.iter().copied())
+                .collect();
+            let mut tag = Tag::empty(blocks.n_blocks());
+            for r in n.refs() {
+                let decl = program.array(r.array());
+                match r.subscript() {
+                    Subscript::Affine(map) => {
+                        if map.n_out() != decl.dims().len() {
+                            return None;
+                        }
+                        for (d, e) in map.exprs().iter().enumerate() {
+                            let (dlo, dhi) = box_range(e, &bx);
+                            if dlo < 0 || dhi >= i128::from(decl.extent(d)) {
+                                return None; // would clamp
+                            }
+                        }
+                        let flat = flat_expr(decl.dims(), map)?;
+                        if !image_is_contiguous(&flat, &bx) {
+                            return None;
+                        }
+                        let (flo, fhi) = box_range(&flat, &bx);
+                        let b0 = blocks.block_of(r.array(), flo as u64);
+                        let b1 = blocks.block_of(r.array(), fhi as u64);
+                        for b in b0..=b1 {
+                            tag.set(b);
+                        }
+                    }
+                    Subscript::Indirect { selector, table } => {
+                        if table.is_empty() || !image_is_contiguous(selector, &bx) {
+                            return None;
+                        }
+                        let (slo, shi) = box_range(selector, &bx);
+                        if slo < 0 || shi >= table.len() as i128 {
+                            return None; // selector would wrap
+                        }
+                        for row in slo as usize..=shi as usize {
+                            if table[row] >= decl.n_elements() {
+                                return None; // entry would wrap
+                            }
+                            tag.set(blocks.block_of(r.array(), table[row]));
+                        }
+                    }
+                }
+            }
+            tags.push(tag);
+        }
+        // Advance the prefix odometer; a zero-length prefix has exactly one
+        // (empty) prefix point.
+        let mut v = unit_prefix;
+        loop {
+            if v == 0 {
+                return Some(tags);
+            }
+            v -= 1;
+            if p[v] < bbox[v].1 {
+                p[v] += 1;
+                for (pv, &(lo, _)) in p[v + 1..].iter_mut().zip(&bbox[v + 1..unit_prefix]) {
+                    *pv = lo;
+                }
+                break;
+            }
+        }
+    }
+}
+
 /// The paper's default block size (Section 4.1): 2KB.
 pub const DEFAULT_BLOCK_BYTES: u64 = 2048;
 
@@ -307,5 +529,128 @@ mod tests {
         let (p, _, _) = prog();
         let bm = BlockMap::new(&p, 2048);
         let _ = bm.byte_extent(bm.n_blocks());
+    }
+
+    mod static_tags {
+        use super::*;
+        use crate::space::IterationSpace;
+        use ctam_loopir::{AccessKind, ArrayRef, LoopNest, NestId};
+        use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+        use std::sync::Arc;
+
+        fn assert_matches_enumeration(p: &Program, id: NestId, prefix: usize, block_bytes: u64) {
+            let bm = BlockMap::new(p, block_bytes);
+            let space = IterationSpace::build_units(p, id, prefix);
+            let tags = static_unit_tags(p, id, &bm, prefix).expect("statically derivable");
+            assert_eq!(tags.len(), space.n_units());
+            for (u, t) in tags.iter().enumerate() {
+                assert_eq!(*t, space.unit_tag(u, &bm), "unit {u}");
+            }
+        }
+
+        #[test]
+        fn rectangular_affine_nest_matches_enumeration() {
+            let mut p = Program::new("t");
+            let a = p.add_array("A", &[16, 16], 8);
+            let b = p.add_array("B", &[16, 16], 8);
+            // The inner loop spans the full row width, so the row-major
+            // flattening 16·i + j is gapless even across multi-row units.
+            let d = IntegerSet::builder(2)
+                .bounds(0, 0, 14)
+                .bounds(1, 0, 15)
+                .build();
+            let shift = AffineMap::new(
+                2,
+                vec![
+                    AffineExpr::var(2, 0) + AffineExpr::constant(2, 1),
+                    AffineExpr::var(2, 1),
+                ],
+            );
+            let id = p.add_nest(
+                LoopNest::new("n", d)
+                    .with_ref(ArrayRef::write(b, AffineMap::identity(2)))
+                    .with_ref(ArrayRef::read(a, shift)),
+            );
+            for prefix in [0, 1, 2] {
+                assert_matches_enumeration(&p, id, prefix, 256);
+            }
+        }
+
+        #[test]
+        fn triangular_domain_matches_enumeration() {
+            // j ranges over [i, 11]: the inner box depends on the prefix.
+            let mut p = Program::new("t");
+            let a = p.add_array("A", &[12, 12], 8);
+            let d = IntegerSet::builder(2)
+                .bounds(0, 0, 11)
+                .upper(1, 11)
+                .le_var(0, 1)
+                .build();
+            let id = p.add_nest(
+                LoopNest::new("n", d).with_ref(ArrayRef::write(a, AffineMap::identity(2))),
+            );
+            assert_matches_enumeration(&p, id, 1, 128);
+        }
+
+        #[test]
+        fn indirect_table_matches_enumeration() {
+            let mut p = Program::new("t");
+            let a = p.add_array("A", &[32], 8);
+            let table: Arc<[u64]> = (0..16).map(|r| (r * 7) % 32).collect();
+            let id = p.add_nest(
+                LoopNest::new("n", IntegerSet::builder(1).bounds(0, 0, 15).build()).with_ref(
+                    ArrayRef::new(
+                        a,
+                        Subscript::Indirect {
+                            selector: AffineExpr::var(1, 0),
+                            table,
+                        },
+                        AccessKind::Write,
+                    ),
+                ),
+            );
+            assert_matches_enumeration(&p, id, 1, 64);
+        }
+
+        #[test]
+        fn clamping_subscript_declines() {
+            // A[i+4] over [0, 7] on an 8-element array clamps: interval
+            // reasoning cannot claim exactness.
+            let mut p = Program::new("t");
+            let a = p.add_array("A", &[8], 8);
+            let shifted =
+                AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, 4)]);
+            let id = p.add_nest(
+                LoopNest::new("n", IntegerSet::builder(1).bounds(0, 0, 7).build())
+                    .with_ref(ArrayRef::read(a, shifted)),
+            );
+            let bm = BlockMap::new(&p, 64);
+            assert!(static_unit_tags(&p, id, &bm, 1).is_none());
+        }
+
+        #[test]
+        fn gapped_selector_image_declines() {
+            // Selector 2i over a multi-point unit has a gapped image:
+            // claiming rows [0, 2] would over-claim row 1.
+            let mut p = Program::new("t");
+            let a = p.add_array("A", &[8], 8);
+            let table: Arc<[u64]> = vec![0, 7, 3, 5].into();
+            let id = p.add_nest(
+                LoopNest::new("n", IntegerSet::builder(1).bounds(0, 0, 1).build()).with_ref(
+                    ArrayRef::new(
+                        a,
+                        Subscript::Indirect {
+                            selector: AffineExpr::var(1, 0).scaled(2),
+                            table,
+                        },
+                        AccessKind::Read,
+                    ),
+                ),
+            );
+            let bm = BlockMap::new(&p, 8);
+            assert!(static_unit_tags(&p, id, &bm, 0).is_none());
+            // Per-point units pin the selector: exact again.
+            assert_matches_enumeration(&p, id, 1, 8);
+        }
     }
 }

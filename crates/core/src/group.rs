@@ -96,6 +96,24 @@ pub fn group_iterations(space: &IterationSpace, blocks: &BlockMap) -> Vec<Iterat
     groups
 }
 
+/// [`group_iterations`] from precomputed per-unit tags — e.g. the statically
+/// derived tags of [`crate::blocks::static_unit_tags`]. Produces the same
+/// groups as [`group_iterations`] whenever `tags[u] ==
+/// space.unit_tag(u, blocks)` for every unit; `tags[u]` must be the tag of
+/// unit `u`.
+pub fn group_units_by_tags(tags: Vec<Tag>) -> Vec<IterationGroup> {
+    let mut by_tag: HashMap<Tag, Vec<u32>> = HashMap::new();
+    for (u, t) in tags.into_iter().enumerate() {
+        by_tag.entry(t).or_default().push(u as u32);
+    }
+    let mut groups: Vec<IterationGroup> = by_tag
+        .into_iter()
+        .map(|(tag, units)| IterationGroup::new(tag, units))
+        .collect();
+    groups.sort_by_key(|g| g.iterations[0]);
+    groups
+}
+
 /// Total iterations across a slice of groups.
 pub fn total_size(groups: &[IterationGroup]) -> usize {
     groups.iter().map(IterationGroup::size).sum()

@@ -19,10 +19,10 @@ use ctam_loopir::{dependence, AccessKind, NestId, Program};
 use ctam_topology::Machine;
 
 use crate::baselines::{base_assignment, base_plus_assignment, local_assignment};
-use crate::blocks::{choose_block_size, BlockMap};
+use crate::blocks::{choose_block_size, static_unit_tags, BlockMap};
 use crate::cluster::{distribute, distribute_with, split_for_balance, Assignment, LeafSplit};
 use crate::depgraph::{condense, GroupDepGraph};
-use crate::group::{group_iterations, IterationGroup};
+use crate::group::{group_iterations, group_units_by_tags, IterationGroup};
 use crate::optimal::{optimal_assignment, OptimalError, OptimalOptions};
 use crate::schedule::{
     flatten_assignment, schedule_dependence_only, schedule_local, Schedule, ScheduleError,
@@ -316,6 +316,23 @@ fn acyclic_assignment(
     (assignment, graph)
 }
 
+/// Groups the mapping units of `space`, preferring the statically derived
+/// block tags of [`static_unit_tags`] (no inner-sweep enumeration) and
+/// falling back to the enumerated per-unit tags when the static analysis
+/// declines. Both paths produce identical groups — `static_unit_tags`
+/// returns `Some` only when its tags match the enumerated ones exactly.
+fn grouped_units(
+    program: &Program,
+    nest: NestId,
+    space: &IterationSpace,
+    blocks: &BlockMap,
+) -> Vec<IterationGroup> {
+    match static_unit_tags(program, nest, blocks, space.unit_prefix()) {
+        Some(tags) if tags.len() == space.n_units() => group_units_by_tags(tags),
+        _ => group_iterations(space, blocks),
+    }
+}
+
 /// Maps one nest for `machine` under `strategy`.
 ///
 /// # Errors
@@ -366,7 +383,7 @@ pub fn map_nest(
             (schedule_local(a, machine, &graph, params.weights)?, n)
         }
         Strategy::TopologyAware | Strategy::Combined => {
-            let groups = group_iterations(&space, &blocks);
+            let groups = grouped_units(program, nest, &space, &blocks);
             let (groups, _) = condense(groups, &space, &dep);
             // Try both last-level split policies (separate vs constructive
             // interleave, Figure 3a vs 3b) and keep whichever measures
@@ -403,7 +420,7 @@ pub fn map_nest(
             (schedule, n)
         }
         Strategy::Optimal => {
-            let groups = group_iterations(&space, &blocks);
+            let groups = grouped_units(program, nest, &space, &blocks);
             let (groups, _) = condense(groups, &space, &dep);
             // The exact search assigns whole groups; split oversized ones
             // so a balanced assignment exists (as an ILP formulation would

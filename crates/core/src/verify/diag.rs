@@ -79,6 +79,12 @@ pub enum Code {
     /// but outside the per-row screens, so analysis costs a conflict-set
     /// projection.
     CoupledSubscript,
+    /// `CTAM-W204`: a pair of references involving an indirect subscript
+    /// that none of the index-array screens (disjoint ranges, injectivity,
+    /// banded widening) could discharge — the dependence engine enumerated
+    /// the concrete tables, so the race verdict does not generalise to other
+    /// table contents.
+    UnprovableIndirectPair,
     /// `CTAM-A401`: two cores in the same barrier round both write data
     /// blocks that map onto a common cache line — the advisor predicts
     /// coherence ping-pong (false sharing) on that line.
@@ -104,6 +110,12 @@ pub enum Code {
     /// (indirect subscripts, symbolic resource limits, or a potential
     /// cross-core conflict that needed element-level resolution).
     RaceCheckEnumerated,
+    /// `CTAM-N303`: the race check proved every round race-free symbolically
+    /// *and* the dependence summary rests on index-array facts (range,
+    /// injectivity, bandedness) rather than affine subscripts alone — the
+    /// irregular nest was proved race-free without enumerating a single
+    /// iteration pair.
+    IndexFactRaceProof,
     /// `CTAM-T501`: a cache is larger than the cache above it — inclusion
     /// cannot hold and the capacity-driven clustering is meaningless. Fatal:
     /// no physical inclusive hierarchy looks like this.
@@ -146,12 +158,14 @@ impl Code {
             Code::SubscriptOutOfBounds => "CTAM-W201",
             Code::NonAffineSubscript => "CTAM-W202",
             Code::CoupledSubscript => "CTAM-W203",
+            Code::UnprovableIndirectPair => "CTAM-W204",
             Code::PredictedFalseSharing => "CTAM-A401",
             Code::AffinityLoss => "CTAM-A402",
             Code::ReuseStarvedSchedule => "CTAM-A403",
             Code::DeadTagBits => "CTAM-A404",
             Code::SymbolicRaceProof => "CTAM-N301",
             Code::RaceCheckEnumerated => "CTAM-N302",
+            Code::IndexFactRaceProof => "CTAM-N303",
             Code::TopoCapacityInversion => "CTAM-T501",
             Code::TopoAsymmetricArity => "CTAM-T502",
             Code::TopoLineShrink => "CTAM-T503",
@@ -175,12 +189,14 @@ impl Code {
             Code::SubscriptOutOfBounds => "SubscriptOutOfBounds",
             Code::NonAffineSubscript => "NonAffineSubscript",
             Code::CoupledSubscript => "CoupledSubscript",
+            Code::UnprovableIndirectPair => "UnprovableIndirectPair",
             Code::PredictedFalseSharing => "PredictedFalseSharing",
             Code::AffinityLoss => "AffinityLoss",
             Code::ReuseStarvedSchedule => "ReuseStarvedSchedule",
             Code::DeadTagBits => "DeadTagBits",
             Code::SymbolicRaceProof => "SymbolicRaceProof",
             Code::RaceCheckEnumerated => "RaceCheckEnumerated",
+            Code::IndexFactRaceProof => "IndexFactRaceProof",
             Code::TopoCapacityInversion => "TopoCapacityInversion",
             Code::TopoAsymmetricArity => "TopoAsymmetricArity",
             Code::TopoLineShrink => "TopoLineShrink",
@@ -207,6 +223,7 @@ impl Code {
             | Code::SubscriptOutOfBounds
             | Code::NonAffineSubscript
             | Code::CoupledSubscript
+            | Code::UnprovableIndirectPair
             | Code::TopoAsymmetricArity
             | Code::TopoLineShrink
             | Code::TopoLevelCoverageGap
@@ -215,7 +232,9 @@ impl Code {
             | Code::AffinityLoss
             | Code::ReuseStarvedSchedule
             | Code::DeadTagBits => Severity::Advice,
-            Code::SymbolicRaceProof | Code::RaceCheckEnumerated => Severity::Note,
+            Code::SymbolicRaceProof | Code::RaceCheckEnumerated | Code::IndexFactRaceProof => {
+                Severity::Note
+            }
         }
     }
 }
@@ -418,6 +437,10 @@ mod tests {
         assert_eq!(Code::RaceOnBlock.severity(), Severity::Error);
         assert_eq!(Code::NonAffineSubscript.id(), "CTAM-W202");
         assert_eq!(Code::TagMismatch.severity(), Severity::Warning);
+        assert_eq!(Code::UnprovableIndirectPair.id(), "CTAM-W204");
+        assert_eq!(Code::UnprovableIndirectPair.severity(), Severity::Warning);
+        assert_eq!(Code::IndexFactRaceProof.id(), "CTAM-N303");
+        assert_eq!(Code::IndexFactRaceProof.severity(), Severity::Note);
     }
 
     #[test]

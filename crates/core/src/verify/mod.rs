@@ -11,8 +11,11 @@
 //!   by a barrier or by same-core program order (Section 3.5.3),
 //! * **races** (`CTAM-E004`): no two cores touch the same element in the
 //!   same barrier round with a write involved — proved symbolically from the
-//!   dependence relations where possible (`CTAM-N301`), by element
-//!   enumeration otherwise (`CTAM-N302`),
+//!   dependence relations where possible (`CTAM-N301`, or `CTAM-N303` when
+//!   index-array facts carried the dependence summary of an irregular
+//!   nest), by element enumeration otherwise (`CTAM-N302`, with one
+//!   `CTAM-W204` per indirect pair whose verdict rests on the concrete
+//!   index tables),
 //! * **structure** (`CTAM-W101`–`W103`): load balance within the Figure 6
 //!   threshold, core fan-out matching the machine, stored tags covering the
 //!   recomputed block footprints,
@@ -172,9 +175,32 @@ pub fn verify_mapping_with(
     let symbolic = if !(options.symbolic_races && coverage_clean) {
         races::SymbolicRaces::Off
     } else if analysis.enumeration_free() {
-        races::SymbolicRaces::From(&analysis.info)
+        races::SymbolicRaces::From {
+            dep: &analysis.info,
+            index_facts: analysis.pairs.iter().any(|p| p.method.uses_index_facts()),
+        }
     } else {
-        races::SymbolicRaces::Unavailable
+        // Enumerated pairs with an indirect subscript involved are the ones
+        // whose verdicts hinge on the concrete index tables: one `CTAM-W204`
+        // each so the consumer knows the proof does not generalise.
+        let refs = program.nest(mapping.space.nest()).refs();
+        let indirect = |r: usize| {
+            matches!(
+                refs.get(r).map(|rf| rf.subscript()),
+                Some(ctam_loopir::Subscript::Indirect { .. })
+            )
+        };
+        races::SymbolicRaces::Unavailable {
+            indirect_pairs: analysis
+                .pairs
+                .iter()
+                .filter(|p| {
+                    p.method == ctam_loopir::PairMethod::Enumerated
+                        && (indirect(p.ref_a) || indirect(p.ref_b))
+                })
+                .map(|p| (p.ref_a, p.ref_b))
+                .collect(),
+        }
     };
     races::check(
         program,

@@ -27,6 +27,14 @@
 //! enumeration below (`CTAM-N302`), which decides exactly; the proof path
 //! only ever *skips* enumeration when race freedom is established, so both
 //! paths report the same errors.
+//!
+//! Irregular (indirect-subscript) nests take the same proof path when the
+//! index-array fact screens of `ctam-ia` delivered an enumeration-free
+//! summary; a successful proof is then reported as `CTAM-N303` instead of
+//! `CTAM-N301`. When a pair with an indirect subscript resisted every
+//! screen and had to be enumerated, each such pair additionally earns a
+//! `CTAM-W204` warning: the enumeration-based verdict holds for the
+//! concrete tables only.
 
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -45,16 +53,35 @@ pub(super) enum SymbolicRaces<'a> {
     Off,
     /// The nest is outside the enumeration-free symbolic model; note the
     /// fallback and enumerate.
-    Unavailable,
+    Unavailable {
+        /// Reference pairs (body indices) that forced the fallback because
+        /// an indirect subscript resisted every index-array screen and had
+        /// to be enumerated against the concrete tables. One `CTAM-W204`
+        /// warning each: the verdict below does not generalise to other
+        /// table contents.
+        indirect_pairs: Vec<(usize, usize)>,
+    },
     /// Attempt the proof from this (symbolically derived, exact) dependence
-    /// summary.
-    From(&'a DependenceInfo),
+    /// summary. `index_facts` records whether any pair of the summary was
+    /// discharged by an index-array fact screen (range disjointness,
+    /// injectivity, bandedness) — a successful proof is then reported as
+    /// `CTAM-N303` instead of `CTAM-N301`, since it covers an irregular
+    /// nest no affine engine could handle.
+    From {
+        /// The exact dependence summary the proof reasons from.
+        dep: &'a DependenceInfo,
+        /// True if an index-array fact screen contributed to the summary.
+        index_facts: bool,
+    },
 }
 
 /// Outcome of the symbolic proof attempt.
 enum Proof {
-    /// Race freedom established; enumeration can be skipped.
+    /// Race freedom established; enumeration can be skipped (`CTAM-N301`).
     Proven { distances: usize, deltas: usize },
+    /// Race freedom established for an irregular nest, with index-array
+    /// facts carrying part of the dependence summary (`CTAM-N303`).
+    ProvenIrregular { distances: usize, deltas: usize },
     /// Could not establish it symbolically; enumerate (the reason is
     /// reported in the `CTAM-N302` note).
     Fallback(String),
@@ -141,27 +168,67 @@ pub(super) fn check(
 ) {
     let attempt = match symbolic {
         SymbolicRaces::Off => None,
-        SymbolicRaces::Unavailable => Some(Proof::Fallback(
-            "symbolic dependence analysis unavailable (indirect or out-of-bounds \
-             subscripts, or resource limits exceeded)"
-                .to_owned(),
-        )),
-        SymbolicRaces::From(dep) => Some(symbolic_proof(dep, space, flat)),
-    };
-    if let Some(proof) = attempt {
-        match proof {
-            Proof::Proven { distances, deltas } => {
+        SymbolicRaces::Unavailable { indirect_pairs } => {
+            let refs = program.nest(space.nest()).refs();
+            for &(i, j) in &indirect_pairs {
+                let describe = |r: usize| {
+                    refs.get(r).map_or_else(
+                        || format!("reference {r}"),
+                        |rf| format!("reference {r} (`{}`)", program.array(rf.array()).name()),
+                    )
+                };
                 diags.push(
                     Diagnostic::new(
-                        Code::SymbolicRaceProof,
+                        Code::UnprovableIndirectPair,
                         format!(
-                            "race freedom proved symbolically: {distances} dependence \
-                             distance(s), {deltas} cross-unit direction(s), none \
-                             crossing cores within a round; element enumeration skipped"
+                            "no index-array fact screens the dependence between {} \
+                             and {}; the pair was enumerated against the concrete \
+                             index tables, so the race verdict holds for these \
+                             tables only",
+                            describe(i),
+                            describe(j),
                         ),
                     )
                     .with_nest(nest),
                 );
+            }
+            Some(Proof::Fallback(
+                "symbolic dependence analysis unavailable (indirect or out-of-bounds \
+                 subscripts, or resource limits exceeded)"
+                    .to_owned(),
+            ))
+        }
+        SymbolicRaces::From { dep, index_facts } => Some(match symbolic_proof(dep, space, flat) {
+            Proof::Proven { distances, deltas } if index_facts => {
+                Proof::ProvenIrregular { distances, deltas }
+            }
+            p => p,
+        }),
+    };
+    if let Some(proof) = attempt {
+        let proven = |code, distances: usize, deltas: usize, extra: &str| {
+            Diagnostic::new(
+                code,
+                format!(
+                    "race freedom proved symbolically{extra}: {distances} dependence \
+                     distance(s), {deltas} cross-unit direction(s), none \
+                     crossing cores within a round; element enumeration skipped"
+                ),
+            )
+            .with_nest(nest)
+        };
+        match proof {
+            Proof::Proven { distances, deltas } => {
+                diags.push(proven(Code::SymbolicRaceProof, distances, deltas, ""));
+                return;
+            }
+            Proof::ProvenIrregular { distances, deltas } => {
+                diags.push(proven(
+                    Code::IndexFactRaceProof,
+                    distances,
+                    deltas,
+                    " from index-array facts",
+                ));
                 return;
             }
             Proof::Fallback(reason) => {

@@ -14,24 +14,34 @@
 //! 4. conflict-set projection ([`ctam_poly::pair_distances`]) extracts the
 //!    exact distance set of any affine pair by Fourier–Motzkin elimination
 //!    with per-candidate integer rechecks — no domain enumeration;
-//! 5. pairs involving indirect (index-array) subscripts, out-of-bounds
-//!    affine references (whose accesses are clamped at evaluation time), or
-//!    pairs whose symbolic test exceeds its resource limits fall back to a
-//!    *pair-restricted* enumeration of the concrete domain.
+//! 5. pairs involving indirect (index-array) subscripts run the `ctam-ia`
+//!    screens over the table facts inferred by [`crate::indices`]:
+//!    disjoint-range separation, injective same-table reduction to the
+//!    affine selector problem, and band-widened conflict projection
+//!    ([`ctam_poly::banded_candidates`]);
+//! 6. everything else — out-of-bounds affine references (whose accesses are
+//!    clamped at evaluation time), indirect pairs the facts cannot
+//!    separate, and pairs whose symbolic test exceeds its resource limits —
+//!    falls back to a *pair-restricted* enumeration of the concrete domain,
+//!    with the precise reason recorded per pair.
 //!
 //! [`analyze_nest`] runs the ladder and reports per-pair provenance;
-//! [`analyze`] returns just the resulting [`DependenceInfo`];
-//! [`analyze_symbolic`] refuses enumeration entirely (used by the verifier's
-//! symbolic race proof); [`analyze_static`] and [`analyze_exact`] remain as
-//! the classic whole-nest tests.
+//! [`analyze_nest_with_facts`] additionally honours declared facts for
+//! symbolic tables; [`analyze`] returns just the resulting
+//! [`DependenceInfo`]; [`analyze_symbolic`] refuses enumeration entirely
+//! (used by the verifier's symbolic race proof); [`analyze_static`] and
+//! [`analyze_exact`] remain as the classic whole-nest tests.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
+use std::sync::Arc;
 
 use ctam_poly::{
-    pair_distances, AffineExpr, AffineMap, ConstraintKind, DependenceOptions, IntegerSet,
+    banded_candidates, pair_distances, AffineExpr, AffineMap, ConstraintKind, DependenceOptions,
+    IntegerSet,
 };
 
+use crate::indices::{FactBook, IndexFacts};
 use crate::nest::{AccessKind, NestId, Subscript};
 use crate::program::Program;
 
@@ -142,6 +152,14 @@ pub enum PairMethod {
     Screened,
     /// Conflict-set projection (Fourier–Motzkin plus integer rechecks).
     Symbolic,
+    /// Indirect pair separated by disjoint index-fact value ranges.
+    IndexRange,
+    /// Same-table indirect pair with an injective table, reduced to the
+    /// affine selector-equality problem.
+    IndexInjective,
+    /// Indirect pair whose band-widened affine conflict set admits no
+    /// non-zero distance.
+    IndexBanded,
     /// Pair-restricted enumeration of the concrete domain.
     Enumerated,
 }
@@ -153,8 +171,19 @@ impl PairMethod {
             PairMethod::Uniform => "uniform",
             PairMethod::Screened => "screened",
             PairMethod::Symbolic => "symbolic",
+            PairMethod::IndexRange => "index-range",
+            PairMethod::IndexInjective => "index-injective",
+            PairMethod::IndexBanded => "index-banded",
             PairMethod::Enumerated => "enumerated",
         }
+    }
+
+    /// True for the `ctam-ia` rungs that rest on index-table facts.
+    pub fn uses_index_facts(&self) -> bool {
+        matches!(
+            self,
+            PairMethod::IndexRange | PairMethod::IndexInjective | PairMethod::IndexBanded
+        )
     }
 }
 
@@ -382,48 +411,258 @@ fn shift_realizable(dom: &IntegerSet, d: &[i64]) -> bool {
     !b.build().is_empty()
 }
 
-/// True if the affine reference can be modelled symbolically: its rank
-/// matches the array's and every subscript row stays in bounds over the
-/// domain's bounding box (out-of-bounds accesses are clamped by
-/// [`Program::nest_accesses`], which symbolic subscript equations do not
-/// model).
-fn symbol_safe(program: &Program, r: &crate::nest::ArrayRef, bbox: &[(i64, i64)]) -> bool {
-    let Subscript::Affine(m) = r.subscript() else {
-        return false;
-    };
-    let decl = program.array(r.array());
-    if m.n_out() != decl.dims().len() {
-        return false;
+/// Range of an affine expression over a bounding box, corner-selected per
+/// coefficient sign, in `i128` (so composed flat-element expressions cannot
+/// overflow the screen).
+fn expr_range128(e: &AffineExpr, bbox: &[(i64, i64)]) -> (i128, i128) {
+    let mut lo = i128::from(e.constant_term());
+    let mut hi = lo;
+    for (v, &(blo, bhi)) in bbox.iter().enumerate() {
+        let c = i128::from(e.coeff(v));
+        if c > 0 {
+            lo += c * i128::from(blo);
+            hi += c * i128::from(bhi);
+        } else if c < 0 {
+            lo += c * i128::from(bhi);
+            hi += c * i128::from(blo);
+        }
     }
-    for (row, e) in m.exprs().iter().enumerate() {
-        let extent = decl.dims()[row] as i64;
-        let mut lo = e.constant_term();
-        let mut hi = e.constant_term();
-        for (v, &(blo, bhi)) in bbox.iter().enumerate() {
-            let c = e.coeff(v);
-            if c > 0 {
-                lo += c * blo;
-                hi += c * bhi;
-            } else if c < 0 {
-                lo += c * bhi;
-                hi += c * blo;
+    (lo, hi)
+}
+
+/// Flat-element expression of a multi-dimensional affine subscript
+/// (row-major composition with the array's strides). Only called for
+/// in-bounds references, so the composition is the element
+/// [`Program::nest_accesses`] computes.
+fn flat_expr(dims: &[u64], m: &AffineMap) -> AffineExpr {
+    let mut out = AffineExpr::zero(m.n_in());
+    let mut stride = 1i64;
+    for (row, e) in m.exprs().iter().enumerate().rev() {
+        out = out + e.clone() * stride;
+        stride = stride.saturating_mul(dims[row] as i64);
+    }
+    out
+}
+
+/// How one reference enters the symbolic ladder.
+enum RefModel<'a> {
+    /// An affine subscript, rank-checked and in-bounds over the domain box.
+    Affine(&'a AffineMap),
+    /// An indirect subscript whose selector never wraps and whose table
+    /// values stay inside the array (so the modular evaluation semantics of
+    /// [`Program::nest_accesses`] coincide with plain indexing).
+    Indirect {
+        selector: &'a AffineExpr,
+        table: &'a Arc<[u64]>,
+        facts: IndexFacts,
+    },
+}
+
+/// Classifies a reference for the ladder, or explains why it cannot be
+/// modelled symbolically (the per-pair skip reason).
+fn model_ref<'a>(
+    program: &Program,
+    r: &'a crate::nest::ArrayRef,
+    bbox: &[(i64, i64)],
+    facts_cache: &mut HashMap<usize, IndexFacts>,
+    book: &FactBook,
+) -> Result<RefModel<'a>, String> {
+    let decl = program.array(r.array());
+    let name = decl.name();
+    match r.subscript() {
+        Subscript::Affine(m) => {
+            if m.n_out() != decl.dims().len() {
+                return Err(format!("rank-mismatched subscript on `{name}`"));
+            }
+            for (row, e) in m.exprs().iter().enumerate() {
+                let extent = decl.dims()[row] as i64;
+                let (lo, hi) = expr_range128(e, bbox);
+                if lo < 0 || hi >= i128::from(extent) {
+                    return Err(format!(
+                        "out-of-bounds affine subscript on `{name}` (accesses are clamped)"
+                    ));
+                }
+            }
+            Ok(RefModel::Affine(m))
+        }
+        Subscript::Indirect { selector, table } => {
+            if table.is_empty() {
+                return Err(format!("empty index table on `{name}`"));
+            }
+            let (slo, shi) = expr_range128(selector, bbox);
+            if slo < 0 || shi >= table.len() as i128 {
+                return Err(format!(
+                    "indirect selector on `{name}` wraps modulo the table length"
+                ));
+            }
+            let facts = match book.lookup(table) {
+                Some(f) => f.clone(),
+                None => facts_cache
+                    .entry(table.as_ptr() as usize)
+                    .or_insert_with(|| IndexFacts::from_table(table))
+                    .clone(),
+            };
+            let n_elements: u64 = decl.dims().iter().product();
+            match facts.range() {
+                Some((_, hi)) if hi < n_elements => {}
+                Some(_) => {
+                    return Err(format!(
+                        "index table entries for `{name}` wrap modulo the array extent"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "no value range declared for `{name}`'s symbolic index table"
+                    ))
+                }
+            }
+            Ok(RefModel::Indirect {
+                selector,
+                table,
+                facts,
+            })
+        }
+    }
+}
+
+impl RefModel<'_> {
+    /// Over-approximate flat-element value range over the domain box.
+    fn element_range(&self, dims: &[u64], bbox: &[(i64, i64)]) -> (i128, i128) {
+        match self {
+            RefModel::Affine(m) => expr_range128(&flat_expr(dims, m), bbox),
+            RefModel::Indirect { facts, .. } => {
+                let (lo, hi) = facts.range().expect("model_ref requires a range");
+                (i128::from(lo), i128::from(hi))
             }
         }
-        if lo < 0 || hi >= extent {
-            return false;
+    }
+
+    /// `(expr, band)` such that the reference's flat element is within
+    /// `band` of `expr(I)` for every iteration — the banded-screen side.
+    /// `None` when no band is known for the table.
+    fn band_term(&self, dims: &[u64]) -> Option<(AffineExpr, u64)> {
+        match self {
+            RefModel::Affine(m) => Some((flat_expr(dims, m), 0)),
+            RefModel::Indirect {
+                selector, facts, ..
+            } => facts.band().map(|b| ((*selector).clone(), b)),
         }
     }
-    true
+}
+
+/// Runs the `ctam-ia` screens on a pair with at least one indirect side.
+/// `Ok` is a settled summary; `Err` is the reason the pair falls back to
+/// enumeration.
+fn indirect_pair(
+    dom: &IntegerSet,
+    bbox: &[(i64, i64)],
+    dims: &[u64],
+    (i, j): (usize, usize),
+    a: &RefModel<'_>,
+    b: &RefModel<'_>,
+    opts: &DependenceOptions,
+) -> Result<PairSummary, String> {
+    // Screen 1: disjoint element ranges can never touch the same element.
+    let (alo, ahi) = a.element_range(dims, bbox);
+    let (blo, bhi) = b.element_range(dims, bbox);
+    if ahi < blo || bhi < alo {
+        return Ok(PairSummary {
+            ref_a: i,
+            ref_b: j,
+            method: PairMethod::IndexRange,
+            distances: Vec::new(),
+            detail: format!("element ranges [{alo}, {ahi}] and [{blo}, {bhi}] are disjoint"),
+        });
+    }
+
+    // Screen 2: same injective table on both sides — elements collide
+    // exactly when the selectors do, which is an affine problem.
+    let mut why = String::new();
+    if let (
+        RefModel::Indirect {
+            selector: sa,
+            table: ta,
+            facts,
+        },
+        RefModel::Indirect {
+            selector: sb,
+            table: tb,
+            ..
+        },
+    ) = (a, b)
+    {
+        let same_table = Arc::ptr_eq(ta, tb) || ta == tb;
+        if same_table && facts.injective() {
+            let ma = AffineMap::new(dom.dim(), vec![(*sa).clone()]);
+            let mb = AffineMap::new(dom.dim(), vec![(*sb).clone()]);
+            match pair_distances(dom, &ma, &mb, opts) {
+                Ok(pd) => {
+                    let detail = match pd.screened {
+                        Some(screen) => {
+                            format!("injective table: selector equality screened ({screen:?})")
+                        }
+                        None => {
+                            "injective table: reduced to selector-equality projection".to_owned()
+                        }
+                    };
+                    return Ok(PairSummary {
+                        ref_a: i,
+                        ref_b: j,
+                        method: PairMethod::IndexInjective,
+                        distances: pd.distances,
+                        detail,
+                    });
+                }
+                Err(e) => why = format!("injective reduction failed: {e}"),
+            }
+        }
+    }
+
+    // Screen 3: widen each side to its band around an affine expression and
+    // project the widened conflict set. Empty means independent; non-empty
+    // candidates would need the concrete tables, so enumeration resolves
+    // them exactly.
+    match (a.band_term(dims), b.band_term(dims)) {
+        (Some((ea, ba)), Some((eb, bb))) => {
+            let slack = i64::try_from(u128::from(ba) + u128::from(bb)).unwrap_or(i64::MAX);
+            match banded_candidates(dom, &ea, &eb, slack, opts) {
+                Ok(cands) if cands.is_empty() => Ok(PairSummary {
+                    ref_a: i,
+                    ref_b: j,
+                    method: PairMethod::IndexBanded,
+                    distances: Vec::new(),
+                    detail: format!("band-widened conflict set (slack {slack}) admits no distance"),
+                }),
+                Ok(cands) => Err(format!(
+                    "{} band-widened candidate distance(s) need the concrete tables",
+                    cands.len()
+                )),
+                Err(e) => Err(format!("band-widened projection failed: {e}")),
+            }
+        }
+        _ => {
+            if why.is_empty() {
+                why = "no band declared for a symbolic index table".to_owned();
+            }
+            Err(why)
+        }
+    }
 }
 
 /// Runs the per-pair ladder. With `allow_enumeration == false`, returns
 /// `None` as soon as any pair would need the enumeration fallback.
-fn analyze_pairs(program: &Program, nest: NestId, allow_enumeration: bool) -> Option<NestAnalysis> {
+fn analyze_pairs(
+    program: &Program,
+    nest: NestId,
+    allow_enumeration: bool,
+    book: &FactBook,
+) -> Option<NestAnalysis> {
     let n = program.nest(nest);
     let depth = n.depth();
     let dom = n.domain();
     let bbox = dom.bounding_box();
     let opts = DependenceOptions::default();
+    let mut facts_cache: HashMap<usize, IndexFacts> = HashMap::new();
 
     let mut pairs: Vec<PairSummary> = Vec::new();
     // (ref_a, ref_b, why) for pairs needing the enumeration fallback.
@@ -436,20 +675,37 @@ fn analyze_pairs(program: &Program, nest: NestId, allow_enumeration: bool) -> Op
             if a.kind() == AccessKind::Read && b.kind() == AccessKind::Read {
                 continue;
             }
-            let symbolic_ok = bbox
-                .as_ref()
-                .is_some_and(|bb| symbol_safe(program, a, bb) && symbol_safe(program, b, bb));
-            if !symbolic_ok {
-                pending.push((
-                    i,
-                    j,
-                    "indirect, out-of-bounds or rank-mismatched subscript".to_owned(),
-                ));
+            let Some(bb) = bbox.as_ref() else {
+                pending.push((i, j, "empty or unbounded iteration domain".to_owned()));
                 continue;
-            }
-            let (Subscript::Affine(ma), Subscript::Affine(mb)) = (a.subscript(), b.subscript())
-            else {
-                unreachable!("symbol_safe only accepts affine references");
+            };
+            let model_a = model_ref(program, a, bb, &mut facts_cache, book);
+            let model_b = model_ref(program, b, bb, &mut facts_cache, book);
+            let (model_a, model_b) = match (model_a, model_b) {
+                (Ok(x), Ok(y)) => (x, y),
+                (ra, rb) => {
+                    let mut reasons: Vec<String> = Vec::new();
+                    for r in [ra, rb] {
+                        if let Err(e) = r {
+                            if !reasons.contains(&e) {
+                                reasons.push(e);
+                            }
+                        }
+                    }
+                    pending.push((i, j, reasons.join("; ")));
+                    continue;
+                }
+            };
+            let (ma, mb) = match (&model_a, &model_b) {
+                (RefModel::Affine(ma), RefModel::Affine(mb)) => (*ma, *mb),
+                _ => {
+                    let dims = program.array(a.array()).dims();
+                    match indirect_pair(dom, bb, dims, (i, j), &model_a, &model_b, &opts) {
+                        Ok(summary) => pairs.push(summary),
+                        Err(why) => pending.push((i, j, why)),
+                    }
+                    continue;
+                }
             };
             match uniform_delta(ma, mb, depth) {
                 Uniform::Inconsistent => {
@@ -599,15 +855,25 @@ fn enumerate_pairs(
 /// pair-restricted enumeration only where not. The result is always exact
 /// for the concrete domain.
 pub fn analyze_nest(program: &Program, nest: NestId) -> NestAnalysis {
-    analyze_pairs(program, nest, true).expect("enumeration fallback was allowed")
+    analyze_nest_with_facts(program, nest, &FactBook::new())
+}
+
+/// [`analyze_nest`] with declared facts for symbolic index tables: tables
+/// found in `book` are modelled by their declared facts *instead of* a
+/// content scan. The result is exact for the concrete domain only insofar
+/// as the declarations hold for the tables' real run-time contents
+/// ([`IndexFacts::check_against`] audits a concrete candidate).
+pub fn analyze_nest_with_facts(program: &Program, nest: NestId, book: &FactBook) -> NestAnalysis {
+    analyze_pairs(program, nest, true, book).expect("enumeration fallback was allowed")
 }
 
 /// Purely symbolic analysis: like [`analyze_nest`] but returns `None` if any
-/// pair would need domain enumeration (indirect or out-of-bounds subscripts,
-/// or symbolic resource limits exceeded). The result never enumerates the
-/// iteration domain, so it scales to domains enumeration cannot touch.
+/// pair would need domain enumeration (unscreenable indirect or
+/// out-of-bounds subscripts, or symbolic resource limits exceeded). The
+/// result never enumerates the iteration domain, so it scales to domains
+/// enumeration cannot touch.
 pub fn analyze_symbolic(program: &Program, nest: NestId) -> Option<DependenceInfo> {
-    analyze_pairs(program, nest, false).map(|a| a.info)
+    analyze_pairs(program, nest, false, &FactBook::new()).map(|a| a.info)
 }
 
 /// Convenience: [`analyze_nest`]'s classification report.
@@ -1003,5 +1269,241 @@ mod tests {
             DependenceInfo::direction_of(&[0, 2, -1]),
             vec![Direction::Eq, Direction::Gt, Direction::Lt]
         );
+    }
+
+    #[test]
+    fn disjoint_index_ranges_screen_without_enumeration() {
+        // Indirect write into [0, 7], affine read from [32, 39]: the value
+        // ranges never meet.
+        let mut p = Program::new("ranges");
+        let a = p.add_array("A", &[64], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let hi = AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, 32)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::new(
+                    a,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0),
+                        table: vec![3u64, 1, 4, 7, 5, 0, 2, 6].into(),
+                    },
+                    AccessKind::Write,
+                ))
+                .with_ref(ArrayRef::read(a, hi)),
+        );
+        let analysis = analyze_nest(&p, id);
+        assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+        let pair = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 1))
+            .expect("mixed pair analyzed");
+        assert_eq!(pair.method, PairMethod::IndexRange);
+        assert!(pair.distances.is_empty());
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+    }
+
+    #[test]
+    fn injective_table_reduces_to_selector_problem() {
+        // x[perm[i]] = x[perm[i-1]]: the permutation makes element equality
+        // equivalent to selector equality, so the exact distance 1 falls out
+        // of the affine machinery with no enumeration.
+        let mut p = Program::new("perm");
+        let x = p.add_array("x", &[8], 8);
+        let d = IntegerSet::builder(1).bounds(0, 1, 7).build();
+        let table: Arc<[u64]> = vec![3u64, 6, 0, 7, 1, 4, 2, 5].into();
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::new(
+                    x,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0),
+                        table: Arc::clone(&table),
+                    },
+                    AccessKind::Write,
+                ))
+                .with_ref(ArrayRef::new(
+                    x,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0) - AffineExpr::constant(1, 1),
+                        table,
+                    },
+                    AccessKind::Read,
+                )),
+        );
+        let analysis = analyze_nest(&p, id);
+        assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+        let flow = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 1))
+            .expect("pair analyzed");
+        assert_eq!(flow.method, PairMethod::IndexInjective);
+        assert_eq!(flow.distances, vec![vec![1]]);
+        let own = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 0))
+            .expect("self-pair analyzed");
+        assert_eq!(own.method, PairMethod::IndexInjective);
+        assert!(own.distances.is_empty());
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+    }
+
+    #[test]
+    fn banded_table_screens_strided_pair() {
+        // A[swap[2i]] vs A[2i] with the adjacent-swap permutation (band 1):
+        // a conflict would need |2D| <= 1, so only D = 0 — independent,
+        // proved by the widened projection alone.
+        let n = 16u64;
+        let mut p = Program::new("band");
+        let a = p.add_array("A", &[2 * n], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, n as i64 - 1).build();
+        let swap: Arc<[u64]> = (0..2 * n).map(|r| r ^ 1).collect::<Vec<_>>().into();
+        let even = AffineMap::new(1, vec![AffineExpr::var(1, 0) * 2]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                .with_ref(ArrayRef::new(
+                    a,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0) * 2,
+                        table: swap,
+                    },
+                    AccessKind::Write,
+                ))
+                .with_ref(ArrayRef::read(a, even)),
+        );
+        let analysis = analyze_nest(&p, id);
+        assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+        let mixed = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 1))
+            .expect("mixed pair analyzed");
+        assert_eq!(mixed.method, PairMethod::IndexBanded);
+        assert!(mixed.distances.is_empty());
+        // The write self-pair rides the injective reduction.
+        let own = analysis
+            .pairs
+            .iter()
+            .find(|p| (p.ref_a, p.ref_b) == (0, 0))
+            .expect("self-pair analyzed");
+        assert_eq!(own.method, PairMethod::IndexInjective);
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+        assert!(analysis.info.is_fully_parallel());
+    }
+
+    #[test]
+    fn skip_reasons_are_distinct() {
+        // Satellite: the catch-all "indirect, out-of-bounds or
+        // rank-mismatched" reason is gone — each fallback names its cause.
+        let mut p = Program::new("reasons");
+        let a = p.add_array("A", &[8], 8);
+        let x = p.add_array("x", &[8], 8);
+        let y = p.add_array("y", &[4], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let far = AffineMap::new(1, vec![AffineExpr::var(1, 0) + AffineExpr::constant(1, 4)]);
+        let id = p.add_nest(
+            LoopNest::new("n", d)
+                // Out-of-bounds affine self-pair.
+                .with_ref(ArrayRef::write(a, far))
+                // Selector range [0, 7] wraps a 4-row table.
+                .with_ref(ArrayRef::new(
+                    x,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0),
+                        table: vec![0u64, 1, 2, 3].into(),
+                    },
+                    AccessKind::Write,
+                ))
+                // Table values wrap modulo y's 4 elements.
+                .with_ref(ArrayRef::new(
+                    y,
+                    Subscript::Indirect {
+                        selector: AffineExpr::var(1, 0),
+                        table: vec![0u64, 1, 2, 3, 4, 5, 6, 7].into(),
+                    },
+                    AccessKind::Write,
+                )),
+        );
+        let analysis = analyze_nest(&p, id);
+        let detail_of = |pair: (usize, usize)| -> &str {
+            let s = analysis
+                .pairs
+                .iter()
+                .find(|p| (p.ref_a, p.ref_b) == pair)
+                .expect("pair analyzed");
+            assert_eq!(s.method, PairMethod::Enumerated);
+            &s.detail
+        };
+        assert!(
+            detail_of((0, 0)).contains("out-of-bounds affine subscript on `A`"),
+            "{}",
+            detail_of((0, 0))
+        );
+        assert!(
+            detail_of((1, 1)).contains("selector on `x` wraps modulo the table length"),
+            "{}",
+            detail_of((1, 1))
+        );
+        assert!(
+            detail_of((2, 2)).contains("entries for `y` wrap modulo the array extent"),
+            "{}",
+            detail_of((2, 2))
+        );
+        assert_eq!(analysis.info.distances(), analyze_exact(&p, id).distances());
+    }
+
+    #[test]
+    fn unscreenable_indirect_pair_reports_candidates() {
+        // Non-injective, overlapping, same-range table: the banded screen
+        // runs but leaves candidates, and the fallback reason says so.
+        let mut p = Program::new("cands");
+        let x = p.add_array("x", &[32], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let id = p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::new(
+            x,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table: vec![0u64, 1, 2, 3, 0, 1, 2, 3].into(),
+            },
+            AccessKind::Write,
+        )));
+        let analysis = analyze_nest(&p, id);
+        let own = &analysis.pairs[0];
+        assert_eq!(own.method, PairMethod::Enumerated);
+        assert!(
+            own.detail.contains("band-widened candidate distance(s)"),
+            "{}",
+            own.detail
+        );
+        assert_eq!(own.distances, vec![vec![4]]);
+    }
+
+    #[test]
+    fn declared_facts_unlock_symbolic_tables() {
+        // A placeholder table (contents meaningless at compile time) with
+        // declared permutation facts analyzes enumeration-free; without the
+        // declaration the scan sees the constant placeholder and falls back.
+        let mut p = Program::new("declared");
+        let x = p.add_array("x", &[8], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 7).build();
+        let table: Arc<[u64]> = vec![0u64; 8].into();
+        let id = p.add_nest(LoopNest::new("n", d).with_ref(ArrayRef::new(
+            x,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table: Arc::clone(&table),
+            },
+            AccessKind::Write,
+        )));
+        let scanned = analyze_nest(&p, id);
+        assert!(!scanned.enumeration_free());
+        let mut book = FactBook::new();
+        book.declare(&table, IndexFacts::declared(8).with_permutation());
+        let declared = analyze_nest_with_facts(&p, id, &book);
+        assert!(declared.enumeration_free(), "{:?}", declared.pairs);
+        assert_eq!(declared.pairs[0].method, PairMethod::IndexInjective);
+        assert!(declared.info.is_fully_parallel());
     }
 }

@@ -1,0 +1,615 @@
+//! `ctam-ia`: abstract interpretation over index-array contents.
+//!
+//! Indirect subscripts (`A[idx[f(I)]]`) defeat purely affine dependence
+//! reasoning, but the index *table* is data the compiler can look at. This
+//! module infers a small lattice of per-table facts in one linear scan:
+//!
+//! * **value range** — every entry lies in `[lo, hi]`;
+//! * **monotonicity** — entries are nondecreasing / strictly increasing;
+//! * **injectivity / permutation** — no two rows share a value; a
+//!   permutation additionally covers `0..len` exactly;
+//! * **bandedness** — `|idx[i] − i| ≤ b` for every row `i`.
+//!
+//! The dependence ladder ([`crate::dependence`]) uses these facts to screen
+//! indirect reference pairs without enumerating the iteration domain:
+//! disjoint ranges separate pairs outright, injectivity reduces same-table
+//! pairs to the affine selector problem, and bands widen a pair into an
+//! affine conflict set for Fourier–Motzkin projection.
+//!
+//! Facts follow a *claims* semantics: a `false`/`None` field claims nothing,
+//! a `true`/`Some` field is a proof obligation [`IndexFacts::check_against`]
+//! can discharge against any concrete table (the property tests do exactly
+//! that for random tables). [`IndexFacts::declared`] builds fact sets for
+//! *symbolic* tables — placeholders whose real contents only exist at run
+//! time — which a [`FactBook`] hands to the ladder in place of a scan.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// Facts about one index table, all optional ("claims" semantics: absent
+/// fields claim nothing, present fields must hold for every row).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexFacts {
+    len: usize,
+    range: Option<(u64, u64)>,
+    nondecreasing: bool,
+    strictly_increasing: bool,
+    injective: bool,
+    permutation: bool,
+    band: Option<u64>,
+}
+
+/// A violated fact claim, found by [`IndexFacts::check_against`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FactViolation {
+    /// The fact set describes a table of a different length.
+    Len {
+        /// Claimed length.
+        claimed: usize,
+        /// The concrete table's length.
+        actual: usize,
+    },
+    /// A value falls outside the claimed range.
+    Range {
+        /// Offending row.
+        row: usize,
+        /// The out-of-range value.
+        value: u64,
+    },
+    /// Claimed monotone, but a row decreases (or repeats, for strict).
+    Monotone {
+        /// First row violating the ordering (relative to its predecessor).
+        row: usize,
+    },
+    /// Claimed injective, but two rows share a value.
+    Duplicate {
+        /// Earlier row.
+        first: usize,
+        /// Later row with the same value.
+        second: usize,
+    },
+    /// Claimed a permutation, but some value of `0..len` is missing.
+    NotPermutation,
+    /// A row strays further than the claimed band.
+    Band {
+        /// Offending row.
+        row: usize,
+        /// The row's value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for FactViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FactViolation::Len { claimed, actual } => {
+                write!(f, "facts describe {claimed} rows, table has {actual}")
+            }
+            FactViolation::Range { row, value } => {
+                write!(f, "row {row} value {value} outside the claimed range")
+            }
+            FactViolation::Monotone { row } => write!(f, "row {row} breaks monotonicity"),
+            FactViolation::Duplicate { first, second } => {
+                write!(f, "rows {first} and {second} share a value")
+            }
+            FactViolation::NotPermutation => write!(f, "table is not a permutation of 0..len"),
+            FactViolation::Band { row, value } => {
+                write!(f, "row {row} value {value} outside the claimed band")
+            }
+        }
+    }
+}
+
+impl IndexFacts {
+    /// Infers the strongest fact set for a concrete table in one linear
+    /// scan (plus a hash set for injectivity).
+    pub fn from_table(table: &[u64]) -> Self {
+        let len = table.len();
+        let mut range = None;
+        let mut nondecreasing = true;
+        let mut strictly_increasing = true;
+        let mut injective = true;
+        let mut band: u64 = 0;
+        let mut seen: HashSet<u64> = HashSet::with_capacity(len);
+        let mut prev: Option<u64> = None;
+        for (row, &v) in table.iter().enumerate() {
+            range = match range {
+                None => Some((v, v)),
+                Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+            };
+            if let Some(p) = prev {
+                if v < p {
+                    nondecreasing = false;
+                }
+                if v <= p {
+                    strictly_increasing = false;
+                }
+            }
+            prev = Some(v);
+            if !seen.insert(v) {
+                injective = false;
+            }
+            band = band.max((i128::from(v) - row as i128).unsigned_abs() as u64);
+        }
+        // `len` distinct values inside an interval of size `len` are exactly
+        // `0..len`.
+        let permutation = injective && (len == 0 || range == Some((0, len as u64 - 1)));
+        Self {
+            len,
+            range,
+            nondecreasing,
+            strictly_increasing,
+            injective,
+            permutation,
+            band: Some(band),
+        }
+    }
+
+    /// An empty fact set (claims nothing) for a symbolic table of `len`
+    /// rows; strengthen it with the `with_*` builders. The caller vouches
+    /// for declared facts — the ladder trusts them without scanning.
+    pub fn declared(len: usize) -> Self {
+        Self {
+            len,
+            range: None,
+            nondecreasing: false,
+            strictly_increasing: false,
+            injective: false,
+            permutation: false,
+            band: None,
+        }
+    }
+
+    /// Declares the value range `[lo, hi]`.
+    #[must_use]
+    pub fn with_range(mut self, lo: u64, hi: u64) -> Self {
+        assert!(lo <= hi, "empty range");
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// Declares injectivity (no two rows share a value).
+    #[must_use]
+    pub fn with_injective(mut self) -> Self {
+        self.injective = true;
+        self
+    }
+
+    /// Declares the table a permutation of `0..len` (implies injectivity
+    /// and pins the range).
+    #[must_use]
+    pub fn with_permutation(mut self) -> Self {
+        self.permutation = true;
+        self.injective = true;
+        if self.len > 0 {
+            self.range = Some((0, self.len as u64 - 1));
+        }
+        self
+    }
+
+    /// Declares nondecreasing entries.
+    #[must_use]
+    pub fn with_nondecreasing(mut self) -> Self {
+        self.nondecreasing = true;
+        self
+    }
+
+    /// Declares strictly increasing entries (implies nondecreasing and
+    /// injective).
+    #[must_use]
+    pub fn with_strictly_increasing(mut self) -> Self {
+        self.strictly_increasing = true;
+        self.nondecreasing = true;
+        self.injective = true;
+        self
+    }
+
+    /// Declares the band bound `|idx[i] − i| ≤ b`.
+    #[must_use]
+    pub fn with_band(mut self, b: u64) -> Self {
+        self.band = Some(b);
+        self
+    }
+
+    /// Number of table rows the facts describe.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a zero-row table.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The claimed value range, if any.
+    pub fn range(&self) -> Option<(u64, u64)> {
+        self.range
+    }
+
+    /// Whether entries are claimed nondecreasing.
+    pub fn nondecreasing(&self) -> bool {
+        self.nondecreasing
+    }
+
+    /// Whether entries are claimed strictly increasing.
+    pub fn strictly_increasing(&self) -> bool {
+        self.strictly_increasing
+    }
+
+    /// Whether the table is claimed injective.
+    pub fn injective(&self) -> bool {
+        self.injective
+    }
+
+    /// Whether the table is claimed a permutation of `0..len`.
+    pub fn permutation(&self) -> bool {
+        self.permutation
+    }
+
+    /// The claimed band bound `max |idx[i] − i|`, if any.
+    pub fn band(&self) -> Option<u64> {
+        self.band
+    }
+
+    /// Verifies every claimed fact against a concrete table. `Ok(())`
+    /// means the claims hold; the first violation found is returned
+    /// otherwise. This is the soundness oracle the property tests drive.
+    pub fn check_against(&self, table: &[u64]) -> Result<(), FactViolation> {
+        if table.len() != self.len {
+            return Err(FactViolation::Len {
+                claimed: self.len,
+                actual: table.len(),
+            });
+        }
+        if let Some((lo, hi)) = self.range {
+            for (row, &v) in table.iter().enumerate() {
+                if v < lo || v > hi {
+                    return Err(FactViolation::Range { row, value: v });
+                }
+            }
+        }
+        if self.nondecreasing || self.strictly_increasing {
+            for (row, w) in table.windows(2).enumerate() {
+                if w[1] < w[0] || (self.strictly_increasing && w[1] == w[0]) {
+                    return Err(FactViolation::Monotone { row: row + 1 });
+                }
+            }
+        }
+        if self.injective || self.permutation {
+            let mut first_row: std::collections::HashMap<u64, usize> =
+                std::collections::HashMap::with_capacity(table.len());
+            for (row, &v) in table.iter().enumerate() {
+                if let Some(&first) = first_row.get(&v) {
+                    return Err(FactViolation::Duplicate { first, second: row });
+                }
+                first_row.insert(v, row);
+            }
+        }
+        if self.permutation && table.iter().any(|&v| v >= self.len as u64) {
+            return Err(FactViolation::NotPermutation);
+        }
+        if let Some(b) = self.band {
+            for (row, &v) in table.iter().enumerate() {
+                if (i128::from(v) - row as i128).unsigned_abs() as u64 > b {
+                    return Err(FactViolation::Band { row, value: v });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Componentwise-strongest combination of two fact sets known for the
+    /// *same* table: ranges intersect, claims union, the tighter band wins.
+    /// Sound because every claim of either input holds for the table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two fact sets describe different lengths.
+    #[must_use]
+    pub fn meet(&self, other: &IndexFacts) -> IndexFacts {
+        assert_eq!(self.len, other.len, "facts describe different tables");
+        let range = match (self.range, other.range) {
+            (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.max(blo), ahi.min(bhi))),
+            (r, None) | (None, r) => r,
+        };
+        let band = match (self.band, other.band) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (b, None) | (None, b) => b,
+        };
+        IndexFacts {
+            len: self.len,
+            range,
+            nondecreasing: self.nondecreasing || other.nondecreasing,
+            strictly_increasing: self.strictly_increasing || other.strictly_increasing,
+            injective: self.injective || other.injective,
+            permutation: self.permutation || other.permutation,
+            band,
+        }
+    }
+
+    /// Facts valid for the concatenation `self ++ other` of the two tables
+    /// (the abstract-domain join under concatenation):
+    ///
+    /// * the range is the union of the parts' ranges;
+    /// * monotonicity survives when the parts are monotone and ordered
+    ///   across the seam;
+    /// * injectivity survives when both parts are injective with disjoint
+    ///   ranges; a permutation additionally needs the combined range to be
+    ///   exactly `0..len`;
+    /// * a row of `other` sits at offset `self.len() + i`, so its band
+    ///   widens by `self.len()`.
+    #[must_use]
+    pub fn concat(&self, other: &IndexFacts) -> IndexFacts {
+        if self.len == 0 {
+            return other.clone();
+        }
+        if other.len == 0 {
+            return self.clone();
+        }
+        let len = self.len + other.len;
+        let range = match (self.range, other.range) {
+            (Some((alo, ahi)), Some((blo, bhi))) => Some((alo.min(blo), ahi.max(bhi))),
+            _ => None,
+        };
+        let seam_le =
+            matches!((self.range, other.range), (Some((_, ahi)), Some((blo, _))) if ahi <= blo);
+        let seam_lt =
+            matches!((self.range, other.range), (Some((_, ahi)), Some((blo, _))) if ahi < blo);
+        let disjoint = matches!(
+            (self.range, other.range),
+            (Some((alo, ahi)), Some((blo, bhi))) if ahi < blo || bhi < alo
+        );
+        let injective = self.injective && other.injective && disjoint;
+        let permutation = injective && range == Some((0, len as u64 - 1));
+        let band = match (self.band, other.band) {
+            (Some(a), Some(b)) => Some(a.max(b + self.len as u64)),
+            _ => None,
+        };
+        IndexFacts {
+            len,
+            range,
+            nondecreasing: self.nondecreasing && other.nondecreasing && seam_le,
+            strictly_increasing: self.strictly_increasing && other.strictly_increasing && seam_lt,
+            injective,
+            permutation,
+            band,
+        }
+    }
+}
+
+impl fmt::Display for IndexFacts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rows", self.len)?;
+        if let Some((lo, hi)) = self.range {
+            write!(f, ", range [{lo}, {hi}]")?;
+        }
+        if self.permutation {
+            write!(f, ", permutation")?;
+        } else if self.injective {
+            write!(f, ", injective")?;
+        }
+        if self.strictly_increasing {
+            write!(f, ", strictly increasing")?;
+        } else if self.nondecreasing {
+            write!(f, ", nondecreasing")?;
+        }
+        if let Some(b) = self.band {
+            write!(f, ", band {b}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Declared facts for symbolic index tables, keyed by table identity
+/// (`Arc` pointer). When the dependence ladder finds a table here it uses
+/// the declared facts *instead of* scanning the table's contents — the
+/// in-memory entries may be placeholders for data that only exists at run
+/// time, and the analysis is sound exactly when the declared facts hold
+/// for the real contents ([`IndexFacts::check_against`] can audit that).
+#[derive(Debug, Clone, Default)]
+pub struct FactBook {
+    entries: Vec<(Arc<[u64]>, IndexFacts)>,
+}
+
+impl FactBook {
+    /// An empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares facts for a table; later declarations for the same table
+    /// are met with earlier ones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `facts.len()` differs from the table's row count.
+    pub fn declare(&mut self, table: &Arc<[u64]>, facts: IndexFacts) {
+        assert_eq!(facts.len(), table.len(), "facts/table length mismatch");
+        for (t, f) in &mut self.entries {
+            if Arc::ptr_eq(t, table) {
+                *f = f.meet(&facts);
+                return;
+            }
+        }
+        self.entries.push((Arc::clone(table), facts));
+    }
+
+    /// Looks up declared facts by table identity.
+    pub fn lookup(&self, table: &Arc<[u64]>) -> Option<&IndexFacts> {
+        self.entries
+            .iter()
+            .find(|(t, _)| Arc::ptr_eq(t, table))
+            .map(|(_, f)| f)
+    }
+
+    /// Number of declared tables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_is_recognized() {
+        let f = IndexFacts::from_table(&[3, 0, 2, 1]);
+        assert_eq!(f.range(), Some((0, 3)));
+        assert!(f.injective());
+        assert!(f.permutation());
+        assert!(!f.nondecreasing());
+        assert_eq!(f.band(), Some(3));
+        assert_eq!(f.check_against(&[3, 0, 2, 1]), Ok(()));
+    }
+
+    #[test]
+    fn identity_is_strictly_increasing_band_zero() {
+        let f = IndexFacts::from_table(&[0, 1, 2, 3, 4]);
+        assert!(f.strictly_increasing() && f.nondecreasing());
+        assert!(f.permutation());
+        assert_eq!(f.band(), Some(0));
+    }
+
+    #[test]
+    fn duplicates_kill_injectivity_but_keep_band() {
+        let f = IndexFacts::from_table(&[0, 1, 2, 3, 0, 1, 2, 3]);
+        assert!(!f.injective());
+        assert!(!f.permutation());
+        assert_eq!(f.range(), Some((0, 3)));
+        assert_eq!(f.band(), Some(4));
+    }
+
+    #[test]
+    fn injective_but_not_permutation() {
+        // Distinct values, but not covering 0..len.
+        let f = IndexFacts::from_table(&[10, 11, 13]);
+        assert!(f.injective());
+        assert!(!f.permutation());
+        assert_eq!(f.range(), Some((10, 13)));
+    }
+
+    #[test]
+    fn empty_table_facts() {
+        let f = IndexFacts::from_table(&[]);
+        assert!(f.is_empty());
+        assert_eq!(f.range(), None);
+        assert!(f.injective() && f.permutation());
+        assert_eq!(f.check_against(&[]), Ok(()));
+    }
+
+    #[test]
+    fn check_against_catches_each_violation() {
+        let t = [2u64, 2, 9];
+        assert_eq!(
+            IndexFacts::declared(2).check_against(&t),
+            Err(FactViolation::Len {
+                claimed: 2,
+                actual: 3
+            })
+        );
+        assert_eq!(
+            IndexFacts::declared(3).with_range(0, 5).check_against(&t),
+            Err(FactViolation::Range { row: 2, value: 9 })
+        );
+        assert_eq!(
+            IndexFacts::declared(3).with_injective().check_against(&t),
+            Err(FactViolation::Duplicate {
+                first: 0,
+                second: 1
+            })
+        );
+        assert_eq!(
+            IndexFacts::declared(3)
+                .with_strictly_increasing()
+                .check_against(&t),
+            Err(FactViolation::Monotone { row: 1 })
+        );
+        assert_eq!(
+            IndexFacts::declared(3).with_band(2).check_against(&t),
+            Err(FactViolation::Band { row: 2, value: 9 })
+        );
+        assert_eq!(
+            IndexFacts::declared(3)
+                .with_permutation()
+                .check_against(&[0, 1, 9]),
+            Err(FactViolation::Range { row: 2, value: 9 })
+        );
+        assert_eq!(
+            IndexFacts::declared(3).check_against(&t),
+            Ok(()),
+            "an empty fact set claims nothing"
+        );
+    }
+
+    #[test]
+    fn meet_takes_the_strongest_of_each_claim() {
+        let t = [4u64, 5, 7];
+        let scanned = IndexFacts::from_table(&t);
+        let declared = IndexFacts::declared(3).with_range(4, 9).with_band(10);
+        let met = scanned.meet(&declared);
+        assert_eq!(met.range(), Some((4, 7)));
+        assert_eq!(met.band(), scanned.band());
+        assert!(met.injective());
+        assert_eq!(met.check_against(&t), Ok(()));
+    }
+
+    #[test]
+    fn concat_joins_soundly() {
+        let a = [0u64, 2, 1];
+        let b = [5u64, 3, 4];
+        let joined = IndexFacts::from_table(&a).concat(&IndexFacts::from_table(&b));
+        let mut whole = a.to_vec();
+        whole.extend_from_slice(&b);
+        assert_eq!(joined.check_against(&whole), Ok(()));
+        // Disjoint injective halves covering 0..6: still a permutation.
+        assert!(joined.permutation());
+        assert_eq!(joined.range(), Some((0, 5)));
+    }
+
+    #[test]
+    fn concat_drops_injectivity_on_overlap() {
+        let a = IndexFacts::from_table(&[0, 1]);
+        let b = IndexFacts::from_table(&[1, 2]);
+        let joined = a.concat(&b);
+        assert!(!joined.injective());
+        assert_eq!(joined.check_against(&[0, 1, 1, 2]), Ok(()));
+    }
+
+    #[test]
+    fn concat_with_empty_is_identity() {
+        let a = IndexFacts::from_table(&[7, 8, 9]);
+        let e = IndexFacts::from_table(&[]);
+        assert_eq!(e.concat(&a), a);
+        assert_eq!(a.concat(&e), a);
+    }
+
+    #[test]
+    fn fact_book_declares_and_meets() {
+        let table: Arc<[u64]> = vec![0u64; 8].into();
+        let other: Arc<[u64]> = vec![0u64; 8].into();
+        let mut book = FactBook::new();
+        assert!(book.is_empty());
+        book.declare(&table, IndexFacts::declared(8).with_permutation());
+        book.declare(&table, IndexFacts::declared(8).with_band(3));
+        assert_eq!(book.len(), 1);
+        let f = book.lookup(&table).expect("declared");
+        assert!(f.permutation());
+        assert_eq!(f.band(), Some(3));
+        // Identity is pointer-based: a content-equal table is a different
+        // symbolic table.
+        assert!(book.lookup(&other).is_none());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = IndexFacts::from_table(&[1, 0, 2]).to_string();
+        assert_eq!(s, "3 rows, range [0, 2], permutation, band 1");
+    }
+}

@@ -50,6 +50,7 @@
 
 mod array;
 pub mod dependence;
+pub mod indices;
 pub mod lint;
 mod nest;
 pub mod parse;
@@ -58,9 +59,10 @@ pub mod transform;
 
 pub use array::{ArrayDecl, ArrayId};
 pub use dependence::{
-    analyze_nest, analyze_symbolic, classify, DependenceInfo, Direction, LevelCarriers,
-    NestAnalysis, PairMethod, PairSummary, ParallelismReport, Provenance,
+    analyze_nest, analyze_nest_with_facts, analyze_symbolic, classify, DependenceInfo, Direction,
+    LevelCarriers, NestAnalysis, PairMethod, PairSummary, ParallelismReport, Provenance,
 };
+pub use indices::{FactBook, FactViolation, IndexFacts};
 pub use lint::{lint_nest, LintKind, SubscriptLint};
 pub use nest::{AccessKind, ArrayRef, ElementAccess, LoopNest, NestId, Subscript};
 pub use program::Program;

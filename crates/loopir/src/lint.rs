@@ -43,8 +43,10 @@ pub struct SubscriptLint {
 /// Lints every reference of `nest`: affine subscripts are interval-checked
 /// against the referenced array's extents over the domain's bounding box
 /// (exact for affine expressions, since extrema are attained at box
-/// corners); indirect subscripts are flagged as non-affine and their index
-/// tables checked against the array's element count.
+/// corners); indirect subscripts are flagged as non-affine and the
+/// *reachable* rows of their index tables (the selector's range, when it
+/// stays inside the table) checked against the array's element count, with
+/// the offending row reported.
 ///
 /// # Panics
 ///
@@ -118,7 +120,7 @@ pub fn lint_nest(program: &Program, nest: NestId) -> Vec<SubscriptLint> {
                     }
                 }
             }
-            Subscript::Indirect { table, .. } => {
+            Subscript::Indirect { selector, table } => {
                 out.push(lint(
                     LintKind::NonAffine,
                     format!(
@@ -128,18 +130,50 @@ pub fn lint_nest(program: &Program, nest: NestId) -> Vec<SubscriptLint> {
                         table.len()
                     ),
                 ));
-                let n_elements = decl.n_elements();
-                if let Some(&worst) = table.iter().max() {
-                    if worst >= n_elements {
-                        out.push(lint(
-                            LintKind::OutOfBounds,
-                            format!(
-                                "index table entry {worst} exceeds `{}`'s {} elements",
-                                decl.name(),
-                                n_elements
-                            ),
-                        ));
+                let Some(bbox) = &bbox else { continue }; // empty domain: nothing runs
+                if table.is_empty() {
+                    continue;
+                }
+                // Only rows the selector can actually reach matter: the
+                // selector wraps modulo the table length, so a selector that
+                // stays inside `[0, len)` pins the reachable row window,
+                // while one that strays makes every row reachable.
+                let mut slo = selector.constant_term();
+                let mut shi = selector.constant_term();
+                for (v, &c) in selector.coeffs().iter().enumerate() {
+                    let (blo, bhi) = bbox[v];
+                    if c >= 0 {
+                        slo += c * blo;
+                        shi += c * bhi;
+                    } else {
+                        slo += c * bhi;
+                        shi += c * blo;
                     }
+                }
+                let len = table.len() as i64;
+                let (rlo, rhi) = if slo >= 0 && shi < len {
+                    (slo as usize, shi as usize)
+                } else {
+                    (0, table.len() - 1)
+                };
+                let n_elements = decl.n_elements();
+                let mut worst = (table[rlo], rlo);
+                for row in rlo + 1..=rhi {
+                    if table[row] > worst.0 {
+                        worst = (table[row], row);
+                    }
+                }
+                if worst.0 >= n_elements {
+                    out.push(lint(
+                        LintKind::OutOfBounds,
+                        format!(
+                            "index table entry {} (row {}) exceeds `{}`'s {} elements",
+                            worst.0,
+                            worst.1,
+                            decl.name(),
+                            n_elements
+                        ),
+                    ));
                 }
             }
         }
@@ -234,5 +268,51 @@ mod tests {
         assert_eq!(lints.len(), 2);
         assert_eq!(lints[0].kind, LintKind::NonAffine);
         assert_eq!(lints[1].kind, LintKind::OutOfBounds);
+        assert!(
+            lints[1].detail.contains("entry 99 (row 2)"),
+            "{}",
+            lints[1].detail
+        );
+    }
+
+    #[test]
+    fn unreachable_bad_rows_are_not_flagged() {
+        // Rows 4..8 hold out-of-bounds entries, but the selector only
+        // reaches rows 0..4 — no wrap, no lint beyond non-affine.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[16], 8);
+        let table: Arc<[u64]> = vec![0, 1, 2, 3, 99, 99, 99, 99].into();
+        let id = p.add_nest(LoopNest::new("n", domain(4)).with_ref(ArrayRef::new(
+            a,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table,
+            },
+            AccessKind::Read,
+        )));
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 1, "{lints:?}");
+        assert_eq!(lints[0].kind, LintKind::NonAffine);
+    }
+
+    #[test]
+    fn wrapping_selector_flags_the_whole_table() {
+        // The same table, but the selector wraps modulo the 8-row table —
+        // every row becomes reachable and row 4 is reported.
+        let mut p = Program::new("t");
+        let a = p.add_array("A", &[16], 8);
+        let table: Arc<[u64]> = vec![0, 1, 2, 3, 99, 99, 99, 99].into();
+        let id = p.add_nest(LoopNest::new("n", domain(12)).with_ref(ArrayRef::new(
+            a,
+            Subscript::Indirect {
+                selector: AffineExpr::var(1, 0),
+                table,
+            },
+            AccessKind::Read,
+        )));
+        let lints = lint_nest(&p, id);
+        assert_eq!(lints.len(), 2, "{lints:?}");
+        assert_eq!(lints[1].kind, LintKind::OutOfBounds);
+        assert!(lints[1].detail.contains("(row 4)"), "{}", lints[1].detail);
     }
 }

@@ -1,0 +1,113 @@
+//! Property tests for the index-array abstract domain ([`ctam_loopir::
+//! indices`]): on random tables, the facts the single-scan inference claims
+//! must hold concretely ([`IndexFacts::check_against`] is the oracle), the
+//! inferred facts must be the *strongest* claimable ones, and the lattice
+//! operations must stay sound — `concat` against concatenated tables,
+//! `meet` against tables satisfying both operands.
+
+use ctam_loopir::IndexFacts;
+use proptest::prelude::*;
+
+/// A random table: up to 24 rows of values in `[0, 32)`.
+fn arb_table() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..32, 0..=24)
+}
+
+/// A random *sorted* table, to exercise the monotone facts non-vacuously.
+fn arb_sorted_table() -> impl Strategy<Value = Vec<u64>> {
+    arb_table().prop_map(|mut t| {
+        t.sort_unstable();
+        t
+    })
+}
+
+/// A random permutation of `0..len`, via deterministic index-shuffling from
+/// a seed vector (proptest supplies the randomness; no RNG in the test).
+fn arb_permutation() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0usize..64, 0..=16).prop_map(|swaps| {
+        let len = swaps.len();
+        let mut t: Vec<u64> = (0..len as u64).collect();
+        for (i, &s) in swaps.iter().enumerate() {
+            t.swap(i, s % len.max(1));
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever `from_table` claims holds on the table it scanned.
+    #[test]
+    fn inferred_facts_hold_concretely(t in arb_table()) {
+        let f = IndexFacts::from_table(&t);
+        prop_assert!(f.check_against(&t).is_ok(), "{f}: {t:?}");
+    }
+
+    /// `from_table` claims the strongest facts: every stronger claim is
+    /// refuted by the table itself.
+    #[test]
+    fn inferred_facts_are_strongest(t in arb_table()) {
+        let f = IndexFacts::from_table(&t);
+        if let Some((lo, hi)) = f.range() {
+            prop_assert!(t.contains(&lo) && t.contains(&hi));
+        }
+        if !f.nondecreasing() {
+            prop_assert!(t.windows(2).any(|w| w[1] < w[0]));
+        }
+        if !f.injective() {
+            let mut s = t.clone();
+            s.sort_unstable();
+            prop_assert!(s.windows(2).any(|w| w[0] == w[1]));
+        }
+        if let (Some(b), false) = (f.band(), t.is_empty()) {
+            prop_assert!(t
+                .iter()
+                .enumerate()
+                .any(|(i, &v)| (v as i128 - i as i128).unsigned_abs() == u128::from(b)));
+        }
+    }
+
+    /// Sorted tables are recognized as nondecreasing (non-vacuous coverage
+    /// of the monotone facts).
+    #[test]
+    fn sorted_tables_are_nondecreasing(t in arb_sorted_table()) {
+        prop_assert!(IndexFacts::from_table(&t).nondecreasing());
+    }
+
+    /// Permutations are recognized as permutations.
+    #[test]
+    fn permutations_are_recognized(t in arb_permutation()) {
+        let f = IndexFacts::from_table(&t);
+        prop_assert!(f.injective());
+        prop_assert!(t.is_empty() || f.permutation(), "{f}: {t:?}");
+    }
+
+    /// The concat join is sound: facts joined from two tables hold on the
+    /// concatenated table.
+    #[test]
+    fn concat_join_is_sound(a in arb_table(), b in arb_table()) {
+        let joined = IndexFacts::from_table(&a).concat(&IndexFacts::from_table(&b));
+        let mut whole = a.clone();
+        whole.extend_from_slice(&b);
+        prop_assert!(joined.check_against(&whole).is_ok(), "{joined}: {whole:?}");
+    }
+
+    /// The meet is sound: a table satisfying both operands satisfies their
+    /// meet. Using the same table for both operands (with one weakened to a
+    /// declared-range fact) guarantees a common model exists.
+    #[test]
+    fn meet_is_sound(t in arb_table()) {
+        let scanned = IndexFacts::from_table(&t);
+        let declared = match scanned.range() {
+            Some((lo, hi)) => IndexFacts::declared(t.len()).with_range(lo, hi),
+            None => IndexFacts::declared(t.len()),
+        };
+        let met = scanned.meet(&declared);
+        prop_assert!(met.check_against(&t).is_ok(), "{met}: {t:?}");
+        // The meet refines both operands: anything the operands claim, the
+        // meet claims at least as strongly.
+        prop_assert!(met.injective() >= scanned.injective());
+        prop_assert!(met.nondecreasing() >= scanned.nondecreasing());
+    }
+}

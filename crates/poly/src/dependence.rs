@@ -370,6 +370,96 @@ pub fn pair_distances(
     })
 }
 
+/// Candidate distances of a *band-widened* conflict between two scalar
+/// index expressions: `{D ≠ 0 : ∃I. I ∈ domain, I + D ∈ domain,
+/// |a(I) − b(I + D)| ≤ slack}`, lexicographically normalized and sorted.
+///
+/// This is the polyhedral core of the indirect-subscript banded screen:
+/// when two references only satisfy `|flat_a(I) − a(I)| ≤ b_a` (an index
+/// table within band `b_a` of its selector `a`), any conflict between them
+/// forces the selectors within `slack = b_a + b_b` of each other. Unlike
+/// [`pair_distances`] the result is an *over-approximation* — no
+/// per-candidate integer recheck runs, because the widened system has no
+/// equality rows to recheck against. An empty result is therefore a proof
+/// of independence; a non-empty one only lists distances that *might* be
+/// realized by the concrete tables.
+///
+/// # Panics
+///
+/// Panics if the expressions' dimensionality differs from the domain's.
+pub fn banded_candidates(
+    domain: &IntegerSet,
+    a: &AffineExpr,
+    b: &AffineExpr,
+    slack: i64,
+    opts: &DependenceOptions,
+) -> Result<Vec<Vec<i64>>, DependenceError> {
+    assert_eq!(a.dim(), domain.dim(), "expr/domain dimensionality mismatch");
+    assert_eq!(b.dim(), domain.dim(), "expr/domain dimensionality mismatch");
+    assert!(slack >= 0, "band slack must be non-negative");
+    let d = domain.dim();
+    if d == 0 {
+        return Ok(Vec::new());
+    }
+    if domain.bounding_box().is_none() {
+        return if domain.is_empty() {
+            Ok(Vec::new())
+        } else {
+            Err(DependenceError::Unbounded)
+        };
+    }
+
+    // Widened conflict system over (D, I): I and I + D in the domain, and
+    // slack ± (a(I) − b(I + D)) >= 0.
+    let dom_ge = normalize_to_ge(domain.constraints());
+    let mut sys: Vec<AffineExpr> = Vec::with_capacity(2 * dom_ge.len() + 2);
+    for e in &dom_ge {
+        sys.push(over_i(e, d));
+        sys.push(over_i_plus_d(e, d));
+    }
+    let gap = equality_row(a, b, d);
+    sys.push(gap.clone() + AffineExpr::constant(2 * d, slack));
+    sys.push(-gap + AffineExpr::constant(2 * d, slack));
+    let proj = try_project_onto_prefix(&sys, d, 2 * d, &opts.fm)?;
+
+    let mut builder = IntegerSet::builder(d);
+    for e in &proj {
+        debug_assert!(e.coeffs()[d..].iter().all(|&c| c == 0));
+        builder = builder.ge(AffineExpr::new(e.coeffs()[..d].to_vec(), e.constant_term()));
+    }
+    let dset = builder.build();
+
+    let Some(bbox) = dset.bounding_box() else {
+        return Ok(Vec::new());
+    };
+    let volume: u128 = bbox
+        .iter()
+        .map(|&(lo, hi)| (hi - lo + 1).max(0) as u128)
+        .product();
+    if volume > opts.max_candidates as u128 {
+        return Err(DependenceError::TooManyCandidates {
+            limit: opts.max_candidates,
+        });
+    }
+    let dset_ge = normalize_to_ge(dset.constraints());
+    for k in 1..d {
+        try_project_onto_prefix(&dset_ge, k, d, &opts.fm)?;
+    }
+
+    let mut out: BTreeSet<Vec<i64>> = BTreeSet::new();
+    for (count, cand) in dset.iter().enumerate() {
+        if count >= opts.max_candidates {
+            return Err(DependenceError::TooManyCandidates {
+                limit: opts.max_candidates,
+            });
+        }
+        if let Some(norm) = lex_normalize(cand) {
+            out.insert(norm);
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -504,6 +594,50 @@ mod tests {
         )
         .unwrap();
         assert!(pd.distances.is_empty());
+    }
+
+    #[test]
+    fn banded_widening_excludes_far_distances() {
+        // a = 2i (a band-1 table's selector, doubled), b = 2i: any conflict
+        // needs |2D| <= 1, so D = 0 is the only candidate — and the zero
+        // vector is never reported. Independence, no enumeration.
+        let dom = line(32);
+        let two_i = AffineExpr::var(1, 0) * 2;
+        let got =
+            banded_candidates(&dom, &two_i, &two_i, 1, &DependenceOptions::default()).unwrap();
+        assert!(got.is_empty(), "{got:?}");
+    }
+
+    #[test]
+    fn banded_widening_lists_near_distances() {
+        // |I - (I + D)| <= 2 over a line: candidates D in {1, 2} after
+        // normalization (the over-approximation callers must resolve).
+        let dom = line(16);
+        let i = AffineExpr::var(1, 0);
+        let got = banded_candidates(&dom, &i, &i, 2, &DependenceOptions::default()).unwrap();
+        assert_eq!(got, vec![vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn banded_respects_candidate_cap() {
+        let dom = line(1 << 10);
+        let i = AffineExpr::var(1, 0);
+        let opts = DependenceOptions {
+            max_candidates: 8,
+            ..DependenceOptions::default()
+        };
+        assert_eq!(
+            banded_candidates(&dom, &i, &i, 1 << 9, &opts),
+            Err(DependenceError::TooManyCandidates { limit: 8 })
+        );
+    }
+
+    #[test]
+    fn banded_empty_domain_is_independent() {
+        let dom = IntegerSet::builder(1).bounds(0, 5, 2).build();
+        let i = AffineExpr::var(1, 0);
+        let got = banded_candidates(&dom, &i, &i, 100, &DependenceOptions::default()).unwrap();
+        assert!(got.is_empty());
     }
 
     #[test]

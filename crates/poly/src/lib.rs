@@ -56,7 +56,8 @@ mod set;
 
 pub use codegen::{generate_loop_nest, generate_union, CodegenOptions};
 pub use dependence::{
-    pair_distances, screen_pair, DependenceError, DependenceOptions, Independence, PairDependence,
+    banded_candidates, pair_distances, screen_pair, DependenceError, DependenceOptions,
+    Independence, PairDependence,
 };
 pub use expr::AffineExpr;
 pub use fm::{

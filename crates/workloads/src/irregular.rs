@@ -1,0 +1,257 @@
+//! Irregular (indirect-subscript) kernels for the index-array fact engine.
+//!
+//! These are *not* part of the Table 2 suite ([`crate::all`] stays at the
+//! paper's twelve applications). They exist to exercise the `ctam-ia`
+//! screens of [`ctam_loopir::dependence`] — the rungs that settle pairs
+//! involving indirect subscripts from per-table *facts* (value range,
+//! injectivity, bandedness) instead of enumerating the iteration domain:
+//!
+//! * [`spmv_csr`] — CSR sparse matrix-vector product with a genuinely
+//!   sparse column table and a *permuted* output vector. The only
+//!   write-pair (`y[perm[i]]` against itself) is discharged by the
+//!   injectivity screen, so the nest is outer-parallel and race freedom is
+//!   provable symbolically with zero enumerated pairs (`CTAM-N303`).
+//! * [`edge_gather`] — an edge-based gather/scatter whose three `node`
+//!   pairs each need a *different* screen: disjoint value ranges, same-table
+//!   injectivity, and band widening.
+//! * [`scatter_duplicates`] — a scatter through a duplicate-heavy table
+//!   that no fact can discharge: the engine falls back to enumerating the
+//!   concrete tables, and the verifier flags the pair (`CTAM-W204`).
+
+use ctam_loopir::{ArrayRef, LoopNest, Program, Subscript};
+use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+
+use crate::registry::Workload;
+use crate::util::{banded_table, rng_for, skewed_table, uniform_table};
+use crate::SizeClass;
+
+/// `y[perm[i]] += vals[i][s] * x[cols[i*K+s]]` over `(i, s) ∈ [0, n) × [0,
+/// K)`: CSR SpMV with a permuted output row order (as cache-blocked and
+/// reordered SpMV codes produce). `perm` is a stride permutation, `cols` a
+/// banded random sparsity pattern.
+pub fn spmv_csr(size: SizeClass) -> Workload {
+    let n = 96 * size.scale();
+    const K: u64 = 4;
+    let mut rng = rng_for("spmv_csr");
+    let mut p = Program::new("spmv_csr");
+    let y = p.add_array("y", &[n], 8);
+    let x = p.add_array("x", &[n], 8);
+    let vals = p.add_array("vals", &[n, K], 8);
+    let d = IntegerSet::builder(2)
+        .names(["i", "s"])
+        .bounds(0, 0, n as i64 - 1)
+        .bounds(1, 0, K as i64 - 1)
+        .build();
+    // Stride permutation i ↦ 5i mod n (gcd(5, n) = 1 for n = 96·2^k): a
+    // deterministic stand-in for a row-reordering pass.
+    let perm: Vec<u64> = (0..n).map(|i| (i * 5) % n).collect();
+    let cols = banded_table(n, K as usize, 8, &mut rng);
+    p.add_nest(
+        LoopNest::new("spmv", d)
+            .with_ref(ArrayRef::new(
+                y,
+                Subscript::Indirect {
+                    selector: AffineExpr::var(2, 0),
+                    table: perm.into(),
+                },
+                ctam_loopir::AccessKind::Write,
+            ))
+            .with_ref(ArrayRef::new(
+                x,
+                Subscript::Indirect {
+                    selector: AffineExpr::var(2, 0).scaled(K as i64) + AffineExpr::var(2, 1),
+                    table: cols.into(),
+                },
+                ctam_loopir::AccessKind::Read,
+            ))
+            .with_ref(ArrayRef::read(vals, AffineMap::identity(2))),
+    );
+    Workload {
+        name: "spmv_csr",
+        suite: "irregular",
+        parallel: true,
+        description: "CSR SpMV y[perm[i]] += vals[i][s] * x[cols[i*K+s]]: \
+                      injective scatter, outer-parallel",
+        program: p,
+    }
+}
+
+/// An edge-based gather over a `node` array split into an owned half and a
+/// ghost half: `node[swap[2i]] = node[2i] + node[ghost[i]]`. Each of the
+/// three dependence pairs on `node` exercises one screen: the write against
+/// itself (injective adjacent-swap permutation), against the affine read
+/// (band-1 widening), and against the ghost read (disjoint value ranges).
+pub fn edge_gather(size: SizeClass) -> Workload {
+    let n = 64 * size.scale();
+    let mut rng = rng_for("edge_gather");
+    let mut p = Program::new("edge_gather");
+    // [0, 2n): owned nodes, [2n, 4n): ghost nodes.
+    let node = p.add_array("node", &[4 * n], 8);
+    let d = IntegerSet::builder(1)
+        .names(["i"])
+        .bounds(0, 0, n as i64 - 1)
+        .build();
+    // Adjacent-swap permutation of the owned half: r ↦ r ^ 1, band 1.
+    let swap: Vec<u64> = (0..2 * n).map(|r| r ^ 1).collect();
+    // Ghost targets live strictly in the upper half.
+    let ghost: Vec<u64> = uniform_table(n as usize, 2 * n, &mut rng)
+        .into_iter()
+        .map(|v| 2 * n + v)
+        .collect();
+    let two_i = AffineExpr::var(1, 0).scaled(2);
+    p.add_nest(
+        LoopNest::new("gather", d)
+            .with_ref(ArrayRef::new(
+                node,
+                Subscript::Indirect {
+                    selector: two_i.clone(),
+                    table: swap.into(),
+                },
+                ctam_loopir::AccessKind::Write,
+            ))
+            .with_ref(ArrayRef::read(node, AffineMap::new(1, vec![two_i])))
+            .with_ref(ArrayRef::new(
+                node,
+                Subscript::Indirect {
+                    selector: AffineExpr::var(1, 0),
+                    table: ghost.into(),
+                },
+                ctam_loopir::AccessKind::Read,
+            )),
+    );
+    Workload {
+        name: "edge_gather",
+        suite: "irregular",
+        parallel: true,
+        description: "edge gather node[swap[2i]] = node[2i] + node[ghost[i]]: \
+                      range, injectivity, and band screens in one nest",
+        program: p,
+    }
+}
+
+/// `out[dup[i]] += src[i]` through a duplicate-heavy (skewed) target table:
+/// no index-array fact discharges the write's self-pair, so the engine
+/// enumerates the concrete tables and the verifier warns (`CTAM-W204`).
+pub fn scatter_duplicates(size: SizeClass) -> Workload {
+    let n = 48 * size.scale();
+    let mut rng = rng_for("scatter_duplicates");
+    let mut p = Program::new("scatter_duplicates");
+    let out = p.add_array("out", &[n], 8);
+    let src = p.add_array("src", &[n], 8);
+    let d = IntegerSet::builder(1)
+        .names(["i"])
+        .bounds(0, 0, n as i64 - 1)
+        .build();
+    let dup: Vec<u64> = skewed_table(n as usize, n, &mut rng);
+    let scatter = Subscript::Indirect {
+        selector: AffineExpr::var(1, 0),
+        table: dup.into(),
+    };
+    p.add_nest(
+        LoopNest::new("scatter", d)
+            .with_ref(ArrayRef::new(
+                out,
+                scatter.clone(),
+                ctam_loopir::AccessKind::Write,
+            ))
+            .with_ref(ArrayRef::read(src, AffineMap::identity(1))),
+    );
+    Workload {
+        name: "scatter_duplicates",
+        suite: "irregular",
+        parallel: false,
+        description: "histogram-style scatter out[dup[i]] += src[i]: \
+                      duplicate targets defeat every fact screen",
+        program: p,
+    }
+}
+
+/// All irregular kernels, in a fixed order.
+pub fn irregular_suite(size: SizeClass) -> Vec<Workload> {
+    vec![spmv_csr(size), edge_gather(size), scatter_duplicates(size)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctam_loopir::{dependence, lint_nest, LintKind, PairMethod};
+
+    fn bounds_clean(w: &Workload) {
+        let (id, _) = w.program.nests().next().unwrap();
+        let lints = lint_nest(&w.program, id);
+        assert!(
+            lints.iter().all(|l| l.kind == LintKind::NonAffine),
+            "{}: {lints:?}",
+            w.name
+        );
+    }
+
+    #[test]
+    fn spmv_is_outer_parallel_with_zero_enumerated_pairs() {
+        let w = spmv_csr(SizeClass::Test);
+        bounds_clean(&w);
+        let (id, _) = w.program.nests().next().unwrap();
+        let analysis = dependence::analyze_nest(&w.program, id);
+        assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+        assert!(
+            analysis.pairs.iter().any(|p| p.method.uses_index_facts()),
+            "{:?}",
+            analysis.pairs
+        );
+        let report = analysis.classify();
+        assert_eq!(report.outermost_parallel, Some(0));
+        // Matches full enumeration.
+        let exact = dependence::analyze_exact(&w.program, id);
+        assert_eq!(analysis.info.distances(), exact.distances());
+    }
+
+    #[test]
+    fn edge_gather_uses_all_three_screens() {
+        let w = edge_gather(SizeClass::Test);
+        bounds_clean(&w);
+        let (id, _) = w.program.nests().next().unwrap();
+        let analysis = dependence::analyze_nest(&w.program, id);
+        assert!(analysis.enumeration_free(), "{:?}", analysis.pairs);
+        for m in [
+            PairMethod::IndexRange,
+            PairMethod::IndexInjective,
+            PairMethod::IndexBanded,
+        ] {
+            assert!(
+                analysis.pairs.iter().any(|p| p.method == m),
+                "missing {m:?}: {:?}",
+                analysis.pairs
+            );
+        }
+        assert!(analysis.info.is_fully_parallel(), "{:?}", analysis.pairs);
+        let exact = dependence::analyze_exact(&w.program, id);
+        assert!(exact.is_fully_parallel());
+    }
+
+    #[test]
+    fn scatter_duplicates_needs_enumeration() {
+        let w = scatter_duplicates(SizeClass::Test);
+        bounds_clean(&w);
+        let (id, _) = w.program.nests().next().unwrap();
+        let analysis = dependence::analyze_nest(&w.program, id);
+        assert!(!analysis.enumeration_free(), "{:?}", analysis.pairs);
+        assert!(analysis
+            .pairs
+            .iter()
+            .any(|p| p.method == PairMethod::Enumerated));
+        // The fallback is still exact.
+        let exact = dependence::analyze_exact(&w.program, id);
+        assert_eq!(analysis.info.distances(), exact.distances());
+        // The duplicates induce genuine output dependences.
+        assert!(!analysis.info.distances().is_empty());
+    }
+
+    #[test]
+    fn sizes_scale() {
+        for build in [spmv_csr, edge_gather, scatter_duplicates] {
+            let t = build(SizeClass::Test).total_iterations();
+            let r = build(SizeClass::Reference).total_iterations();
+            assert!(r > t);
+        }
+    }
+}

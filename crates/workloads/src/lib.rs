@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 mod apps;
+pub mod irregular;
 mod registry;
 pub mod stress;
 pub mod util;
