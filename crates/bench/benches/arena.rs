@@ -1,0 +1,18 @@
+//! The strategy arena: the whole mapping-strategy registry (or the
+//! `CTAM_STRATEGIES` subset) ranked on every workload, normalized to Base.
+//!
+//! Run with `cargo bench --bench arena`; set `CTAM_SIZE=test|small|reference`
+//! (default: test) for the problem size, `CTAM_JOBS=<n>` for the worker
+//! count, and `CTAM_STRATEGIES=Base,PCOT,TreeMatch` (exact registry names,
+//! comma-separated; unknown names abort) to restrict the contenders.
+//! Output on stdout is byte-identical across worker counts.
+fn main() {
+    let size = ctam_bench::runner::size_from_env();
+    let engine = ctam_bench::Engine::from_env();
+    let strategies = ctam_bench::jobs::strategies_from_env();
+    print!(
+        "{}",
+        ctam_bench::experiments::arena_ranking(&engine, size, &strategies)
+    );
+    engine.eprint_timings();
+}

@@ -135,6 +135,40 @@ fn indirect_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mapping cost across the strategy arena's contenders — the registry's
+/// cost story in numbers. `PCOT` reads no machine parameters and simulates
+/// nothing, so it must come in cheapest; `TreeMatch` builds a group×group
+/// sharing matrix and matches it onto the topology tree, which is allowed
+/// to cost more than `TopologyAware`'s three-candidate measurement but not
+/// more than 3× of it (compare the per-app timings).
+fn strategy_cost(c: &mut Criterion) {
+    let machine = catalog::dunnington();
+    let params = CtamParams::default();
+    let mut group = c.benchmark_group("strategy_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for name in ["applu", "galgel", "bodytrack"] {
+        let w = by_name(name, SizeClass::Test).expect("known app");
+        for strategy in [
+            Strategy::Base,
+            Strategy::TopologyAware,
+            Strategy::Pcot,
+            Strategy::TreeMatch,
+        ] {
+            group.bench_with_input(BenchmarkId::new(strategy.name(), w.name), &w, |b, w| {
+                b.iter(|| {
+                    for (nest, _) in w.program.nests() {
+                        let m = map_nest(&w.program, nest, &machine, strategy, &params)
+                            .expect("mapping succeeds");
+                        std::hint::black_box(m.n_groups);
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 /// Cost of the static advisor relative to the pipeline it advises on — the
 /// advisory band is only worth keeping on by default in tooling if it stays
 /// well under 5% of the mapping pass it piggybacks on. Compare the
@@ -363,6 +397,7 @@ fn cluster_scale(c: &mut Criterion) {
 criterion_group!(
     benches,
     pass_overhead,
+    strategy_cost,
     dependence_cost,
     indirect_cost,
     advisor_cost,

@@ -567,6 +567,55 @@ pub fn fig20_levels_and_optimal(engine: &Engine, size: SizeClass) -> FigureData 
     fig
 }
 
+/// The strategy arena: every selected registry strategy on every workload,
+/// on Dunnington (the deepest commercial hierarchy), cycles normalized to
+/// `Base`. The strategy list usually comes from [`Strategy::ALL`] or the
+/// `CTAM_STRATEGIES` filter ([`crate::jobs::strategies_from_env`]); `Base`
+/// is always evaluated for normalization even when filtered out. Uses
+/// coarse blocks ([`coarse_block_bytes`]) so `Optimal`'s exponential search
+/// stays tractable whenever it is selected — all contenders see the same
+/// block size, so the comparison stays apples-to-apples.
+///
+/// Not part of [`render_all`]: the committed `bench_output.txt` pins the
+/// paper's figures, while the arena grows with the registry (its reference
+/// output is `ci/expected_arena_ref.txt`).
+pub fn arena_ranking(engine: &Engine, size: SizeClass, strategies: &[Strategy]) -> FigureData {
+    let apps = all(size);
+    let m = catalog::dunnington();
+    let ps: Vec<CtamParams> = apps
+        .iter()
+        .map(|w| CtamParams {
+            block_bytes: Some(coarse_block_bytes(w, 14)),
+            ..params()
+        })
+        .collect();
+    let mut cells: Vec<Cell> = Vec::new();
+    for (w, p) in apps.iter().zip(&ps) {
+        cells.push(Cell::native(w, &m, Strategy::Base, p));
+        for &s in strategies {
+            cells.push(Cell::native(w, &m, s, p));
+        }
+    }
+    engine.prefetch(&cells);
+    let mut fig = FigureData::new(
+        "Strategy arena (Dunnington)",
+        "cycles normalized to Base, whole registry (coarse blocks; lower is better)",
+        strategies.iter().map(|s| s.name().to_string()).collect(),
+    );
+    for (w, p) in apps.iter().zip(&ps) {
+        let base = cycles(engine, w, &m, Strategy::Base, p) as f64;
+        fig.push_row(
+            w.name,
+            strategies
+                .iter()
+                .map(|&s| cycles(engine, w, &m, s, p) as f64 / base)
+                .collect(),
+        );
+    }
+    fig.push_geomean();
+    fig
+}
+
 /// Renders the full sweep — every table and figure, in presentation order —
 /// into one string. This is what `cargo bench --bench sweep` prints and
 /// what the parallel-vs-sequential determinism test compares byte for byte.

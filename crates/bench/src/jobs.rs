@@ -242,6 +242,48 @@ fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Parses a comma-separated strategy list (the `CTAM_STRATEGIES` grammar):
+/// exact [`Strategy::name`]s, whitespace around items ignored, empty items
+/// skipped. Unknown names are an error — a typo must not silently drop a
+/// strategy from an experiment.
+///
+/// # Errors
+///
+/// The parse error of the first unrecognized name, or a message when the
+/// list selects nothing at all.
+pub fn parse_strategies(list: &str) -> Result<Vec<Strategy>, String> {
+    let mut out = Vec::new();
+    for item in list.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(item.parse::<Strategy>().map_err(|e| e.to_string())?);
+    }
+    if out.is_empty() {
+        return Err("the list selects no strategies".into());
+    }
+    Ok(out)
+}
+
+/// Strategy filter from the `CTAM_STRATEGIES` environment variable: a
+/// comma-separated list of [`Strategy::name`]s restricting what
+/// registry-driven experiments (the strategy arena) run. Unset or empty
+/// selects the whole registry ([`Strategy::ALL`]).
+///
+/// # Panics
+///
+/// Panics when `CTAM_STRATEGIES` contains an unknown name — unknown names
+/// must error, not silently skip.
+pub fn strategies_from_env() -> Vec<Strategy> {
+    match std::env::var("CTAM_STRATEGIES") {
+        Err(_) => Strategy::ALL.to_vec(),
+        Ok(s) if s.trim().is_empty() => Strategy::ALL.to_vec(),
+        Ok(s) => parse_strategies(&s)
+            .unwrap_or_else(|e| panic!("unrecognized CTAM_STRATEGIES value {s:?}: {e}")),
+    }
+}
+
 #[derive(Default)]
 struct EngineStats {
     /// Cells actually evaluated (memo misses).
@@ -477,6 +519,27 @@ mod tests {
     use super::*;
     use ctam_topology::catalog;
     use ctam_workloads::{by_name, SizeClass};
+
+    #[test]
+    fn parse_strategies_accepts_names_and_rejects_typos() {
+        assert_eq!(
+            parse_strategies("Base, TreeMatch ,PCOT").unwrap(),
+            vec![Strategy::Base, Strategy::TreeMatch, Strategy::Pcot]
+        );
+        // Empty items are skipped, a fully empty list is an error.
+        assert_eq!(
+            parse_strategies(",Combined,").unwrap(),
+            vec![Strategy::Combined]
+        );
+        assert!(parse_strategies(",,").is_err());
+        // Unknown names error instead of silently skipping.
+        let err = parse_strategies("Base,Topology").unwrap_err();
+        assert!(err.contains("Topology"), "{err}");
+        assert!(
+            err.contains("TopologyAware"),
+            "error lists valid names: {err}"
+        );
+    }
 
     #[test]
     fn memo_evaluates_each_cell_once() {

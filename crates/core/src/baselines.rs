@@ -38,7 +38,7 @@ pub fn chunk_ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
 }
 
 /// OR of the tags of a set of mapping units.
-fn union_tag(space: &IterationSpace, blocks: &BlockMap, units: &[u32]) -> Tag {
+pub(crate) fn union_tag(space: &IterationSpace, blocks: &BlockMap, units: &[u32]) -> Tag {
     let mut t = Tag::empty(blocks.n_blocks());
     for &u in units {
         t.or_assign(&space.unit_tag(u as usize, blocks));

@@ -71,6 +71,7 @@ pub mod optimal;
 pub mod pipeline;
 pub mod schedule;
 pub mod space;
+pub mod strategies;
 pub mod tag;
 pub mod verify;
 
@@ -88,5 +89,6 @@ pub use schedule::{
     schedule_dependence_only, schedule_local, Schedule, ScheduleError, ScheduleWeights,
 };
 pub use space::IterationSpace;
+pub use strategies::{MappingContext, MappingStrategy, ParseStrategyError};
 pub use tag::Tag;
 pub use verify::{verify_mapping, Diagnostic};

@@ -14,22 +14,18 @@ use std::ops::AddAssign;
 use std::time::{Duration, Instant};
 
 use ctam_cachesim::trace::{MulticoreTrace, Op};
-use ctam_cachesim::{SimError, SimReport, SimScratch, Simulator};
+use ctam_cachesim::{SimError, SimReport, Simulator};
 use ctam_loopir::{dependence, AccessKind, NestId, Program};
 use ctam_topology::Machine;
 
-use crate::baselines::{base_assignment, base_plus_assignment, local_assignment};
-use crate::blocks::{choose_block_size, static_unit_tags, BlockMap};
-use crate::cluster::{distribute, distribute_with, split_for_balance, Assignment, LeafSplit};
-use crate::depgraph::{condense, GroupDepGraph};
-use crate::group::{group_iterations, group_units_by_tags, IterationGroup};
-use crate::optimal::{optimal_assignment, OptimalError, OptimalOptions};
-use crate::schedule::{
-    flatten_assignment, schedule_dependence_only, schedule_local, Schedule, ScheduleError,
-    ScheduleWeights,
-};
+use crate::group::IterationGroup;
+use crate::optimal::OptimalError;
+use crate::schedule::{Schedule, ScheduleError, ScheduleWeights};
 use crate::space::IterationSpace;
+use crate::strategies::MappingContext;
 use crate::verify::{self, Diagnostic, Severity, VerifyOptions};
+
+pub use crate::strategies::Strategy;
 
 /// Tunable parameters of the pass (the paper's defaults are the `Default`).
 #[derive(Debug, Clone, PartialEq)]
@@ -74,57 +70,6 @@ impl Default for CtamParams {
             advise: false,
             lint_topology: false,
         }
-    }
-}
-
-/// The code versions compared throughout Section 4.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Strategy {
-    /// Original parallel code: contiguous chunks, program order.
-    Base,
-    /// Conventional per-core locality optimization (tiling) on Base's
-    /// distribution.
-    BasePlus,
-    /// Local reorganization (Figure 7) on Base's distribution — the `Local`
-    /// bars of Figure 15.
-    Local,
-    /// Cache-topology-aware distribution (Figure 6), dependence-only
-    /// scheduling.
-    TopologyAware,
-    /// Distribution + local scheduling (Figures 6 + 7) — the `Combined`
-    /// bars of Figure 15.
-    Combined,
-    /// Exact branch-and-bound distribution (the Figure 20 reference).
-    Optimal,
-}
-
-impl Strategy {
-    /// All strategies, in the paper's presentation order.
-    pub const ALL: [Strategy; 6] = [
-        Strategy::Base,
-        Strategy::BasePlus,
-        Strategy::Local,
-        Strategy::TopologyAware,
-        Strategy::Combined,
-        Strategy::Optimal,
-    ];
-
-    /// Display name matching the paper's figures.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Strategy::Base => "Base",
-            Strategy::BasePlus => "Base+",
-            Strategy::Local => "Local",
-            Strategy::TopologyAware => "TopologyAware",
-            Strategy::Combined => "Combined",
-            Strategy::Optimal => "Optimal",
-        }
-    }
-}
-
-impl fmt::Display for Strategy {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.name())
     }
 }
 
@@ -268,77 +213,18 @@ pub struct NestMapping {
     pub parallelism: dependence::ParallelismReport,
 }
 
-/// Rebuilds an acyclic per-core dependence graph after distribution: groups
-/// split by load balancing can re-introduce cycles, which are merged (each
-/// merged group lands on the core contributing most of its iterations).
-fn acyclic_assignment(
-    assignment: Assignment,
-    space: &IterationSpace,
-    dep: &dependence::DependenceInfo,
-) -> (Assignment, GroupDepGraph) {
-    let n_cores = assignment.n_cores();
-    let flat = flatten_assignment(&assignment);
-    // Fast path: a fully parallel nest constrains nothing.
-    if dep.is_fully_parallel() {
-        return (assignment, GroupDepGraph::edgeless(flat.len()));
-    }
-    // Fast path: already acyclic.
-    let graph = GroupDepGraph::build(&flat, space, dep);
-    if graph.is_acyclic() {
-        return (assignment, graph);
-    }
-    // Remember which core owns each unit, condense globally, then send
-    // every merged group to its majority core.
-    let mut owner = vec![0usize; space.n_units()];
-    for (c, groups) in assignment.per_core().iter().enumerate() {
-        for g in groups {
-            for &i in g.iterations() {
-                owner[i as usize] = c;
-            }
-        }
-    }
-    let (merged, _) = condense(flat, space, dep);
-    let mut per_core: Vec<Vec<IterationGroup>> = vec![Vec::new(); n_cores];
-    for g in merged {
-        let mut votes = vec![0usize; n_cores];
-        for &i in g.iterations() {
-            votes[owner[i as usize]] += 1;
-        }
-        let best = (0..n_cores)
-            .max_by_key(|&c| votes[c])
-            .expect("at least one core");
-        per_core[best].push(g);
-    }
-    let assignment = Assignment::from_per_core(per_core);
-    let flat = flatten_assignment(&assignment);
-    let graph = GroupDepGraph::build(&flat, space, dep);
-    debug_assert!(graph.is_acyclic(), "condensation yields a DAG");
-    (assignment, graph)
-}
-
-/// Groups the mapping units of `space`, preferring the statically derived
-/// block tags of [`static_unit_tags`] (no inner-sweep enumeration) and
-/// falling back to the enumerated per-unit tags when the static analysis
-/// declines. Both paths produce identical groups — `static_unit_tags`
-/// returns `Some` only when its tags match the enumerated ones exactly.
-fn grouped_units(
-    program: &Program,
-    nest: NestId,
-    space: &IterationSpace,
-    blocks: &BlockMap,
-) -> Vec<IterationGroup> {
-    match static_unit_tags(program, nest, blocks, space.unit_prefix()) {
-        Some(tags) if tags.len() == space.n_units() => group_units_by_tags(tags),
-        _ => group_iterations(space, blocks),
-    }
-}
-
 /// Maps one nest for `machine` under `strategy`.
+///
+/// Builds one [`MappingContext`] (dependence analysis, mapping-unit
+/// enumeration, block tagging — everything strategy-independent), hands it
+/// to the strategy's registered [`crate::strategies::MappingStrategy`]
+/// backend, and assembles the result. See [`crate::strategies`] for the
+/// backend contract.
 ///
 /// # Errors
 ///
 /// [`CtamError::Optimal`] when [`Strategy::Optimal`] is given an instance
-/// with too many groups.
+/// with too many groups; otherwise backend-specific.
 pub fn map_nest(
     program: &Program,
     nest: NestId,
@@ -350,126 +236,11 @@ pub fn map_nest(
     // outermost loop without carried dependencies (Anderson-style, Section
     // 4.1) — each carrying its whole inner sweep. Nests with no parallel
     // level fall back to point granularity and rely on the dependence
-    // machinery of Section 3.5.2.
-    let analysis = dependence::analyze_nest(program, nest);
-    let parallelism = analysis.classify();
-    let dep = analysis.info;
-    let depth = program.nest(nest).depth();
-    let unit_prefix = dep
-        .outermost_parallel()
-        .map_or(depth, |l| (l + 1).min(depth));
-    let space = IterationSpace::build_units(program, nest, unit_prefix);
-    let block_bytes = params
-        .block_bytes
-        .unwrap_or_else(|| choose_block_size(machine, space.max_refs_per_iteration()));
-    let blocks = BlockMap::new(program, block_bytes);
-    let n_cores = machine.n_cores();
-
-    let (schedule, n_groups) = match strategy {
-        Strategy::Base => {
-            let a = base_assignment(&space, &blocks, n_cores);
-            let n = a.per_core().iter().map(Vec::len).sum();
-            (Schedule::single_round(a), n)
-        }
-        Strategy::BasePlus => {
-            let a = base_plus_assignment(&space, &blocks, machine, params.base_plus_tile);
-            let n = a.per_core().iter().map(Vec::len).sum();
-            (Schedule::single_round(a), n)
-        }
-        Strategy::Local => {
-            let a = local_assignment(&space, &blocks, n_cores);
-            let (a, graph) = acyclic_assignment(a, &space, &dep);
-            let n = a.per_core().iter().map(Vec::len).sum();
-            (schedule_local(a, machine, &graph, params.weights)?, n)
-        }
-        Strategy::TopologyAware | Strategy::Combined => {
-            let groups = grouped_units(program, nest, &space, &blocks);
-            let (groups, _) = condense(groups, &space, &dep);
-            // Try both last-level split policies (separate vs constructive
-            // interleave, Figure 3a vs 3b) and keep whichever measures
-            // faster on this nest — the same measured selection the paper
-            // applies to its Base+ tile size.
-            let sim = Simulator::new(machine);
-            // Candidate measurement is the mapping hot path: recycle one
-            // trace buffer and one simulator scratch across candidates
-            // instead of allocating (and cloning cold caches) per probe.
-            let mut scratch = SimScratch::default();
-            let mut trace = MulticoreTrace::new(n_cores);
-            let mut best: Option<(Schedule, usize, u64)> = None;
-            for leaf in [
-                LeafSplit::Separate,
-                LeafSplit::Interleave(1),
-                LeafSplit::Interleave(2),
-            ] {
-                let a = distribute_with(groups.clone(), machine, params.balance_threshold, leaf);
-                let (a, graph) = acyclic_assignment(a, &space, &dep);
-                let n = a.per_core().iter().map(Vec::len).sum();
-                let schedule = if strategy == Strategy::Combined {
-                    schedule_local(a, machine, &graph, params.weights)?
-                } else {
-                    schedule_dependence_only(a, &graph)?
-                };
-                trace.clear();
-                append_trace_for(&mut trace, program, &space, &schedule);
-                let cycles = sim.run_with(&trace, &mut scratch)?.total_cycles();
-                if best.as_ref().is_none_or(|(_, _, c)| cycles < *c) {
-                    best = Some((schedule, n, cycles));
-                }
-            }
-            let (schedule, n, _) = best.expect("candidates were measured");
-            (schedule, n)
-        }
-        Strategy::Optimal => {
-            let groups = grouped_units(program, nest, &space, &blocks);
-            let (groups, _) = condense(groups, &space, &dep);
-            // The exact search assigns whole groups; split oversized ones
-            // so a balanced assignment exists (as an ILP formulation would
-            // require of its instance).
-            // The heuristic candidate uses the unsplit groups, exactly as
-            // Strategy::TopologyAware would.
-            let a_heur = distribute(groups.clone(), machine, params.balance_threshold);
-            let groups = split_for_balance(groups, n_cores, params.balance_threshold);
-            let a_model = optimal_assignment(
-                groups,
-                machine,
-                OptimalOptions {
-                    balance_threshold: params.balance_threshold,
-                    ..OptimalOptions::default()
-                },
-            )?;
-            // The search is exact for the *sharing-cost model*; the paper's
-            // ILP objective coincided with its measured metric, ours is a
-            // surrogate. Candidate-set minimization restores the reference
-            // semantics: measure the model-optimal assignment against the
-            // heuristic's and keep whichever simulates faster.
-            let sim = Simulator::new(machine);
-            let mut scratch = SimScratch::default();
-            let mut trace = MulticoreTrace::new(n_cores);
-            let mut measure = |a: &Assignment| -> Result<(Schedule, usize, u64), CtamError> {
-                let (a, graph) = acyclic_assignment(a.clone(), &space, &dep);
-                let n = a.per_core().iter().map(Vec::len).sum();
-                let schedule = schedule_dependence_only(a, &graph)?;
-                trace.clear();
-                append_trace_for(&mut trace, program, &space, &schedule);
-                let cycles = sim.run_with(&trace, &mut scratch)?.total_cycles();
-                Ok((schedule, n, cycles))
-            };
-            let (s_model, n_model, c_model) = measure(&a_model)?;
-            let (s_heur, n_heur, c_heur) = measure(&a_heur)?;
-            if c_model <= c_heur {
-                (s_model, n_model)
-            } else {
-                (s_heur, n_heur)
-            }
-        }
-    };
-    let mapping = NestMapping {
-        schedule,
-        space,
-        block_bytes,
-        n_groups,
-        parallelism,
-    };
+    // machinery of Section 3.5.2. All of that is strategy-independent and
+    // lives in the context build.
+    let mut cx = MappingContext::build(program, nest, machine, params);
+    let (schedule, n_groups) = strategy.backend().map(&mut cx)?;
+    let mapping = cx.finish(schedule, n_groups);
     if params.verify {
         verify_or_fail(program, machine, &mapping, params)?;
     }
@@ -723,13 +494,12 @@ mod tests {
             ..CtamParams::default()
         };
         let expected = 23 * 23 * 4; // iterations x refs
-        for s in [
-            Strategy::Base,
-            Strategy::BasePlus,
-            Strategy::Local,
-            Strategy::TopologyAware,
-            Strategy::Combined,
-        ] {
+                                    // Every registered strategy except Optimal (which rejects large
+                                    // instances by design; see optimal_errors_on_large_instances).
+        for s in Strategy::ALL
+            .into_iter()
+            .filter(|&s| s != Strategy::Optimal)
+        {
             let r = evaluate(&p, &m, s, &params).unwrap();
             assert_eq!(r.report.n_accesses(), expected, "{s}");
             assert!(r.cycles() > 0, "{s}");

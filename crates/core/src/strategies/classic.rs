@@ -1,0 +1,156 @@
+//! The paper's six code versions (Section 4.1), ported onto
+//! [`MappingStrategy`] verbatim — these backends are behavior-preserving
+//! with the pre-arena pipeline arms, and the committed figure outputs pin
+//! that.
+
+use crate::baselines::{base_assignment, base_plus_assignment, local_assignment};
+use crate::cluster::{distribute, distribute_with, split_for_balance, LeafSplit};
+use crate::optimal::{optimal_assignment, OptimalOptions};
+use crate::pipeline::CtamError;
+use crate::schedule::{schedule_dependence_only, schedule_local, Schedule};
+
+use super::{MappingContext, MappingStrategy};
+
+/// Original parallel code: contiguous chunks, program order.
+pub struct Base;
+
+impl MappingStrategy for Base {
+    fn name(&self) -> &'static str {
+        "Base"
+    }
+
+    fn map(&self, cx: &mut MappingContext<'_>) -> Result<(Schedule, usize), CtamError> {
+        let a = base_assignment(&cx.space, &cx.blocks, cx.n_cores());
+        let n = a.per_core().iter().map(Vec::len).sum();
+        Ok((Schedule::single_round(a), n))
+    }
+}
+
+/// Conventional per-core locality optimization (tiling) on Base's
+/// distribution.
+pub struct BasePlus;
+
+impl MappingStrategy for BasePlus {
+    fn name(&self) -> &'static str {
+        "Base+"
+    }
+
+    fn map(&self, cx: &mut MappingContext<'_>) -> Result<(Schedule, usize), CtamError> {
+        let a = base_plus_assignment(&cx.space, &cx.blocks, cx.machine, cx.params.base_plus_tile);
+        let n = a.per_core().iter().map(Vec::len).sum();
+        Ok((Schedule::single_round(a), n))
+    }
+}
+
+/// Local reorganization (Figure 7) on Base's distribution.
+pub struct Local;
+
+impl MappingStrategy for Local {
+    fn name(&self) -> &'static str {
+        "Local"
+    }
+
+    fn map(&self, cx: &mut MappingContext<'_>) -> Result<(Schedule, usize), CtamError> {
+        let a = local_assignment(&cx.space, &cx.blocks, cx.n_cores());
+        let (a, graph) = cx.acyclic(a);
+        let n = a.per_core().iter().map(Vec::len).sum();
+        Ok((schedule_local(a, cx.machine, &graph, cx.params.weights)?, n))
+    }
+}
+
+/// The topology-aware distribution of Figure 6, with (`Combined`) or
+/// without (`TopologyAware`) the Figure 7 local scheduler on top.
+pub struct Topology {
+    local_schedule: bool,
+}
+
+/// The `TopologyAware` backend: Figure 6 distribution, dependence-only
+/// scheduling.
+pub static TOPOLOGY_AWARE: Topology = Topology {
+    local_schedule: false,
+};
+
+/// The `Combined` backend: Figures 6 + 7.
+pub static COMBINED: Topology = Topology {
+    local_schedule: true,
+};
+
+impl MappingStrategy for Topology {
+    fn name(&self) -> &'static str {
+        if self.local_schedule {
+            "Combined"
+        } else {
+            "TopologyAware"
+        }
+    }
+
+    fn map(&self, cx: &mut MappingContext<'_>) -> Result<(Schedule, usize), CtamError> {
+        let groups = cx.condensed_groups();
+        // Try both last-level split policies (separate vs constructive
+        // interleave, Figure 3a vs 3b) and keep whichever measures faster
+        // on this nest — the same measured selection the paper applies to
+        // its Base+ tile size.
+        let mut candidates = Vec::new();
+        for leaf in [
+            LeafSplit::Separate,
+            LeafSplit::Interleave(1),
+            LeafSplit::Interleave(2),
+        ] {
+            let a = distribute_with(
+                groups.clone(),
+                cx.machine,
+                cx.params.balance_threshold,
+                leaf,
+            );
+            let (a, graph) = cx.acyclic(a);
+            let n = a.per_core().iter().map(Vec::len).sum();
+            let schedule = if self.local_schedule {
+                schedule_local(a, cx.machine, &graph, cx.params.weights)?
+            } else {
+                schedule_dependence_only(a, &graph)?
+            };
+            candidates.push((schedule, n));
+        }
+        cx.measure_candidates(candidates)
+    }
+}
+
+/// Exact branch-and-bound distribution (the Figure 20 reference).
+pub struct Optimal;
+
+impl MappingStrategy for Optimal {
+    fn name(&self) -> &'static str {
+        "Optimal"
+    }
+
+    fn map(&self, cx: &mut MappingContext<'_>) -> Result<(Schedule, usize), CtamError> {
+        let groups = cx.condensed_groups();
+        // The exact search assigns whole groups; split oversized ones so a
+        // balanced assignment exists (as an ILP formulation would require
+        // of its instance). The heuristic candidate uses the unsplit
+        // groups, exactly as Strategy::TopologyAware would.
+        let a_heur = distribute(groups.clone(), cx.machine, cx.params.balance_threshold);
+        let groups = split_for_balance(groups, cx.n_cores(), cx.params.balance_threshold);
+        let a_model = optimal_assignment(
+            groups,
+            cx.machine,
+            OptimalOptions {
+                balance_threshold: cx.params.balance_threshold,
+                ..OptimalOptions::default()
+            },
+        )?;
+        // The search is exact for the *sharing-cost model*; the paper's ILP
+        // objective coincided with its measured metric, ours is a
+        // surrogate. Candidate-set minimization restores the reference
+        // semantics: measure the model-optimal assignment against the
+        // heuristic's and keep whichever simulates faster (the model on
+        // ties — candidate order encodes the preference).
+        let mut candidates = Vec::new();
+        for a in [a_model, a_heur] {
+            let (a, graph) = cx.acyclic(a);
+            let n = a.per_core().iter().map(Vec::len).sum();
+            candidates.push((schedule_dependence_only(a, &graph)?, n));
+        }
+        cx.measure_candidates(candidates)
+    }
+}

@@ -1,0 +1,34 @@
+//! The strategy arena, end to end: rank every registered mapping strategy
+//! — the paper's six plus the PCOT-style cache-oblivious and
+//! TreeMatch-style contenders — on the workload registry, normalized to
+//! Base on Dunnington.
+//!
+//! Output is deterministic for a given `CTAM_SIZE`; CI diffs it against
+//! `ci/expected_arena_ref.txt` at `CTAM_SIZE=ref`.
+//!
+//! Run with: `cargo run --release --example strategy_arena`
+//! (set `CTAM_SIZE=test|small|ref` to change the workload size, and
+//! `CTAM_STRATEGIES=Base,PCOT,TreeMatch` — exact registry names — to
+//! restrict the contenders; unknown names abort).
+
+use ctam_bench::experiments::arena_ranking;
+use ctam_bench::jobs::strategies_from_env;
+use ctam_bench::Engine;
+use ctam_workloads::SizeClass;
+
+fn size_from_env() -> SizeClass {
+    match std::env::var("CTAM_SIZE").as_deref() {
+        Ok("test") => SizeClass::Test,
+        Ok("small") => SizeClass::Small,
+        Ok("ref") | Ok("reference") | Err(_) => SizeClass::Reference,
+        Ok(other) => panic!("unknown CTAM_SIZE `{other}` (use test|small|ref)"),
+    }
+}
+
+fn main() {
+    let size = size_from_env();
+    let engine = Engine::from_env();
+    let strategies = strategies_from_env();
+    print!("{}", arena_ranking(&engine, size, &strategies));
+    engine.eprint_timings();
+}

@@ -6,8 +6,10 @@
 //! barrier-round structure alone — no simulation. This harness checks the
 //! prediction is *useful*: over the full workload registry × commercial
 //! machine catalog, the advisor's per-level interference ranking of the
-//! paper's strategy quartet {Base, Base+, Local, TopologyAware} must agree
-//! with the simulated per-level miss counts, up to tolerance.
+//! paper's {Base, Base+, Local, TopologyAware} strategies must agree
+//! with the simulated per-level miss counts, up to tolerance. (The
+//! registry's remaining backends — `Strategy::ALL` minus this subset —
+//! face the same predicate in `tests/strategy_arena.rs`.)
 //!
 //! The agreement predicate is weak monotonicity rather than exact rank
 //! equality: when the advisor predicts strategy A to interfere *clearly*
