@@ -226,6 +226,71 @@ fn advisor_cost(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cost of the certificate gate on top of the pass — build the
+/// certificate, serialize, re-parse, and run the independent checker, as
+/// `CtamParams::certify` does. The checker re-enumerates the iteration
+/// domain and re-settles every pair, so its cost scales with the nest, not
+/// the schedule; compare `map_and_certify` against `map_only`, and
+/// `certify_only` for the marginal cost on a pre-built mapping.
+fn cert_cost(c: &mut Criterion) {
+    let machine = catalog::dunnington();
+    let params = CtamParams::default();
+    let mut group = c.benchmark_group("cert_cost");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(8));
+    for name in ["applu", "cg", "bodytrack"] {
+        let w = by_name(name, SizeClass::Test).expect("known app");
+        group.bench_with_input(BenchmarkId::new("map_only", w.name), &w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    let m = map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                        .expect("mapping succeeds");
+                    std::hint::black_box(m.n_groups);
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("map_and_certify", w.name), &w, |b, w| {
+            b.iter(|| {
+                for (nest, _) in w.program.nests() {
+                    let m = map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                        .expect("mapping succeeds");
+                    let cert = ctam::verify::certificate_for(&w.program, &machine, &m);
+                    let parsed = ctam_cert::Certificate::from_json(&cert.to_json())
+                        .expect("certificate round-trips");
+                    let stats = ctam_cert::check_certificate(&parsed).expect("certificate checks");
+                    std::hint::black_box((m.n_groups, stats.n_points));
+                }
+            });
+        });
+        // The gate alone, on pre-built mappings: the marginal cost.
+        let mappings: Vec<_> = w
+            .program
+            .nests()
+            .map(|(nest, _)| {
+                map_nest(&w.program, nest, &machine, Strategy::Combined, &params)
+                    .expect("mapping succeeds")
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("certify_only", w.name),
+            &mappings,
+            |b, mappings| {
+                b.iter(|| {
+                    for m in mappings {
+                        let cert = ctam::verify::certificate_for(&w.program, &machine, m);
+                        let parsed = ctam_cert::Certificate::from_json(&cert.to_json())
+                            .expect("certificate round-trips");
+                        let stats =
+                            ctam_cert::check_certificate(&parsed).expect("certificate checks");
+                        std::hint::black_box(stats.n_points);
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// A figure9-style 4-core machine (two L2 pairs under one L3) — small
 /// enough that the scaling curves time the clustering pass, not the tree
 /// walk.
@@ -401,6 +466,7 @@ criterion_group!(
     dependence_cost,
     indirect_cost,
     advisor_cost,
+    cert_cost,
     cluster_scale
 );
 criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! `ctam-cert`: proof-carrying mapping certificates.
+//!
+//! The ctam pipeline renders race-freedom and coverage verdicts for the
+//! mappings it produces; this crate is the *independent* trust anchor for
+//! those claims. It holds three things:
+//!
+//! - a dependency-free JSON codec ([`json`]) shared with the verifier's
+//!   diagnostic renderer,
+//! - the serialized certificate data model ([`model`]): iteration domain,
+//!   arrays, references, unit partition, schedule, index tables with their
+//!   claimed facts, and per-pair dependence dispositions with their
+//!   evidence (candidates and distance witnesses),
+//! - a first-principles checker ([`check`]) that re-validates every
+//!   obligation without calling back into `ctam-poly`, the dependence
+//!   analyzer, or the advisor — plus a mutation harness ([`mutate`]) that
+//!   proves the checker actually bites.
+//!
+//! The crate has **no dependencies** (not even workspace-internal ones), so
+//! the trusted computing base of an accepted certificate is this crate and
+//! the Rust standard library — nothing else. See DESIGN.md §12 for the
+//! precise statement of what is re-derived exactly and what is trusted
+//! above the checker's work caps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod json;
+pub mod model;
+pub mod mutate;
+
+pub use check::{check_certificate, CheckStats, RejectCode, Rejection};
+pub use json::JsonValue;
+pub use model::{
+    CertArray, CertConstraint, CertExpr, CertFacts, CertGroup, CertPair, CertRef, CertSubscript,
+    CertTable, Certificate, Verdict,
+};
+pub use mutate::{Corruption, ALL_CORRUPTIONS};

@@ -1,0 +1,214 @@
+//! A mutation harness that corrupts certificates in targeted ways, used to
+//! demonstrate the checker's teeth: each corruption class carries the
+//! `CTAM-C6xx` code an honest checker must reject it with.
+//!
+//! [`Corruption::apply`] returns `None` when a certificate has nothing for
+//! that corruption to bite on (no witnesses to flip, no band to widen); the
+//! test suites build certificates where every class applies.
+
+use crate::check::RejectCode;
+use crate::model::{Certificate, Verdict};
+
+/// A targeted corruption of a serialized certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// Teleport every coordinate of a distance witness far outside any
+    /// bounded domain.
+    FlipWitness,
+    /// Widen a claimed index band by one (bands must be tight).
+    WidenBand,
+    /// Drop the last schedule group, leaving its units uncovered.
+    DropGroup,
+    /// Shrink the first disposed array's leading extent by one.
+    OffByOneExtent,
+    /// Schedule the first unit a second time.
+    DuplicateUnit,
+    /// Drop the last pair disposition.
+    DropPair,
+    /// Shift a claimed dependence distance by one in its leading non-zero
+    /// coordinate (keeping it lexicographically positive and keeping the
+    /// merged set consistent, so only the recheck can catch it).
+    TamperDistance,
+    /// Inflate the first per-unit witness count.
+    WrongUnitSizes,
+    /// Push a table value just past its claimed range.
+    CorruptTableValue,
+    /// Swap the verdict for one its pair methods cannot support.
+    WrongVerdict,
+    /// Remove the upper bounds of the first iteration variable.
+    UnboundDomain,
+    /// Flatten all rounds to zero so a carried dependence crosses cores
+    /// inside one round.
+    CrossCoreRound,
+    /// Place a group on a core the machine does not have.
+    ForeignCore,
+}
+
+/// Every corruption class, in a stable order.
+pub const ALL_CORRUPTIONS: &[Corruption] = &[
+    Corruption::FlipWitness,
+    Corruption::WidenBand,
+    Corruption::DropGroup,
+    Corruption::OffByOneExtent,
+    Corruption::DuplicateUnit,
+    Corruption::DropPair,
+    Corruption::TamperDistance,
+    Corruption::WrongUnitSizes,
+    Corruption::CorruptTableValue,
+    Corruption::WrongVerdict,
+    Corruption::UnboundDomain,
+    Corruption::CrossCoreRound,
+    Corruption::ForeignCore,
+];
+
+impl Corruption {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Corruption::FlipWitness => "flip-witness",
+            Corruption::WidenBand => "widen-band",
+            Corruption::DropGroup => "drop-group",
+            Corruption::OffByOneExtent => "off-by-one-extent",
+            Corruption::DuplicateUnit => "duplicate-unit",
+            Corruption::DropPair => "drop-pair",
+            Corruption::TamperDistance => "tamper-distance",
+            Corruption::WrongUnitSizes => "wrong-unit-sizes",
+            Corruption::CorruptTableValue => "corrupt-table-value",
+            Corruption::WrongVerdict => "wrong-verdict",
+            Corruption::UnboundDomain => "unbound-domain",
+            Corruption::CrossCoreRound => "cross-core-round",
+            Corruption::ForeignCore => "foreign-core",
+        }
+    }
+
+    /// The rejection code an honest checker must answer with, for
+    /// certificates whose dispositions are symbolic (the test nests).
+    pub fn expected_code(&self) -> RejectCode {
+        match self {
+            Corruption::FlipWitness => RejectCode::Witness,
+            Corruption::WidenBand | Corruption::CorruptTableValue => RejectCode::IndexFacts,
+            Corruption::DropGroup | Corruption::DuplicateUnit | Corruption::WrongUnitSizes => {
+                RejectCode::Coverage
+            }
+            Corruption::OffByOneExtent | Corruption::ForeignCore => RejectCode::Structure,
+            Corruption::DropPair => RejectCode::PairCoverage,
+            Corruption::TamperDistance => RejectCode::Recheck,
+            Corruption::WrongVerdict => RejectCode::VerdictMismatch,
+            Corruption::UnboundDomain => RejectCode::Malformed,
+            Corruption::CrossCoreRound => RejectCode::Placement,
+        }
+    }
+
+    /// Applies the corruption to a copy of `cert`, or `None` when the
+    /// certificate has nothing this class can corrupt.
+    #[allow(clippy::too_many_lines)]
+    pub fn apply(&self, cert: &Certificate) -> Option<Certificate> {
+        let mut c = cert.clone();
+        match self {
+            Corruption::FlipWitness => {
+                let w = c.pairs.iter_mut().find_map(|p| p.witnesses.first_mut())?;
+                for x in &mut w.1 {
+                    *x = -*x - 1_000_003;
+                }
+            }
+            Corruption::WidenBand => {
+                let band = c.tables.iter_mut().find_map(|t| t.facts.band.as_mut())?;
+                *band += 1;
+            }
+            Corruption::DropGroup => {
+                c.schedule.pop()?;
+            }
+            Corruption::OffByOneExtent => {
+                let array = c.pairs.first().map(|p| c.refs[p.ref_a].array)?;
+                let dim = c.arrays[array].dims.first_mut()?;
+                *dim = dim.checked_sub(1)?;
+            }
+            Corruption::DuplicateUnit => {
+                let unit = *c.schedule.first()?.units.first()?;
+                c.schedule[0].units.push(unit);
+            }
+            Corruption::DropPair => {
+                c.pairs.pop()?;
+            }
+            Corruption::TamperDistance => {
+                let p = c.pairs.iter_mut().find(|p| !p.distances.is_empty())?;
+                let d = &mut p.distances[0];
+                let lead = d.iter().position(|&x| x != 0)?;
+                d[lead] += 1;
+                // Keep the merged set the honest union of the (now wrong)
+                // pair distances, so only the per-pair recheck can object.
+                let mut merged: std::collections::BTreeSet<Vec<i64>> =
+                    std::collections::BTreeSet::new();
+                for p in &c.pairs {
+                    merged.extend(p.distances.iter().cloned());
+                }
+                c.distances = merged.into_iter().collect();
+            }
+            Corruption::WrongUnitSizes => {
+                let s = c.unit_sizes.first_mut()?;
+                *s += 1;
+            }
+            Corruption::CorruptTableValue => {
+                let t = c
+                    .tables
+                    .iter_mut()
+                    .find(|t| t.facts.range.is_some() && !t.values.is_empty())?;
+                let (_, hi) = t.facts.range?;
+                t.values[0] = hi + 1;
+            }
+            Corruption::WrongVerdict => {
+                c.verdict = match c.verdict {
+                    Verdict::SymbolicProof => Verdict::IndexFactProof,
+                    Verdict::IndexFactProof => Verdict::SymbolicProof,
+                    Verdict::Enumerated => {
+                        if c.pairs.iter().any(|p| p.method == "enumerated") {
+                            Verdict::SymbolicProof
+                        } else {
+                            return None;
+                        }
+                    }
+                };
+            }
+            Corruption::UnboundDomain => {
+                let before = c.domain.len();
+                c.domain
+                    .retain(|row| row.eq || row.coeffs.first().is_none_or(|&x| x >= 0));
+                if c.domain.len() == before {
+                    return None;
+                }
+            }
+            Corruption::CrossCoreRound => {
+                let cores: std::collections::BTreeSet<usize> =
+                    c.schedule.iter().map(|g| g.core).collect();
+                let cross = c
+                    .distances
+                    .iter()
+                    .any(|d| d[..c.unit_prefix].iter().any(|&x| x != 0));
+                if cores.len() < 2 || !cross {
+                    return None;
+                }
+                for g in &mut c.schedule {
+                    g.round = 0;
+                }
+            }
+            Corruption::ForeignCore => {
+                let g = c.schedule.first_mut()?;
+                g.core = c.n_cores;
+            }
+        }
+        Some(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_classes_are_distinctly_named() {
+        let mut names: Vec<&str> = ALL_CORRUPTIONS.iter().map(Corruption::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_CORRUPTIONS.len());
+    }
+}

@@ -1,0 +1,334 @@
+//! JSON (de)serialization for [`NestMapping`], on the workspace's shared
+//! self-describing codec ([`ctam_cert::json`]).
+//!
+//! A mapping document records what the pipeline *decided* — the unit
+//! granularity, the barrier-structured schedule with each group's tag and
+//! unit list, the block size, and the parallelism classification. It does
+//! not embed the iteration space (that is derivable), so deserialization
+//! takes the [`Program`] the mapping was computed for and rebuilds the
+//! space with [`IterationSpace::build_units`]. For any mapping the pipeline
+//! produces, `mapping_from_json(program, &mapping_to_json(m)) == m`.
+
+use ctam_cert::json::{self, field, int_array, read_i64s, read_usizes, JsonValue};
+use ctam_loopir::dependence::{LevelCarriers, ParallelismReport};
+use ctam_loopir::Program;
+
+use crate::group::IterationGroup;
+use crate::pipeline::NestMapping;
+use crate::schedule::Schedule;
+use crate::space::IterationSpace;
+use crate::tag::Tag;
+
+/// Format tag every mapping document carries.
+pub const FORMAT: &str = "ctam-mapping";
+/// Current mapping document version.
+pub const VERSION: i64 = 1;
+
+fn group_value(g: &IterationGroup) -> JsonValue {
+    JsonValue::Object(vec![
+        (
+            "tag_bits".to_owned(),
+            JsonValue::Int(g.tag().n_bits() as i64),
+        ),
+        (
+            "tag".to_owned(),
+            int_array(g.tag().iter_bits().map(|b| b as i64)),
+        ),
+        (
+            "units".to_owned(),
+            int_array(g.iterations().iter().map(|&u| i64::from(u))),
+        ),
+    ])
+}
+
+fn group_from_value(v: &JsonValue) -> Result<IterationGroup, String> {
+    let n_bits = field(v, "tag_bits")?
+        .as_usize()
+        .ok_or("tag_bits must be a non-negative integer")?;
+    let bits = read_usizes(field(v, "tag")?, "group tag")?;
+    if let Some(&b) = bits.iter().find(|&&b| b >= n_bits) {
+        return Err(format!("tag bit {b} out of range for {n_bits} bits"));
+    }
+    let units = read_usizes(field(v, "units")?, "group units")?
+        .into_iter()
+        .map(|u| u32::try_from(u).map_err(|_| "unit id overflows u32".to_owned()))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(IterationGroup::new(Tag::from_bits(n_bits, bits), units))
+}
+
+fn parallelism_value(p: &ParallelismReport) -> JsonValue {
+    JsonValue::Object(vec![
+        ("depth".to_owned(), JsonValue::Int(p.depth as i64)),
+        (
+            "doall".to_owned(),
+            int_array(p.doall.iter().map(|&l| l as i64)),
+        ),
+        (
+            "carried".to_owned(),
+            JsonValue::Array(
+                p.carried
+                    .iter()
+                    .map(|c| {
+                        JsonValue::Object(vec![
+                            ("level".to_owned(), JsonValue::Int(c.level as i64)),
+                            (
+                                "pairs".to_owned(),
+                                JsonValue::Array(
+                                    c.pairs
+                                        .iter()
+                                        .map(|&(a, b)| int_array([a as i64, b as i64]))
+                                        .collect(),
+                                ),
+                            ),
+                            ("example".to_owned(), int_array(c.example.iter().copied())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "outermost_parallel".to_owned(),
+            match p.outermost_parallel {
+                Some(l) => JsonValue::Int(l as i64),
+                None => JsonValue::Null,
+            },
+        ),
+        ("exact".to_owned(), JsonValue::Bool(p.exact)),
+    ])
+}
+
+fn parallelism_from_value(v: &JsonValue) -> Result<ParallelismReport, String> {
+    let carried = field(v, "carried")?
+        .as_array()
+        .ok_or("carried must be an array")?
+        .iter()
+        .map(|c| {
+            let pairs = field(c, "pairs")?
+                .as_array()
+                .ok_or("carrier pairs must be an array")?
+                .iter()
+                .map(|p| {
+                    let xs = read_usizes(p, "carrier pair")?;
+                    if xs.len() != 2 {
+                        return Err("carrier pair must be [a, b]".to_owned());
+                    }
+                    Ok((xs[0], xs[1]))
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(LevelCarriers {
+                level: field(c, "level")?
+                    .as_usize()
+                    .ok_or("carrier level must be a non-negative integer")?,
+                pairs,
+                example: read_i64s(field(c, "example")?, "carrier example")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ParallelismReport {
+        depth: field(v, "depth")?
+            .as_usize()
+            .ok_or("depth must be a non-negative integer")?,
+        doall: read_usizes(field(v, "doall")?, "doall levels")?,
+        carried,
+        outermost_parallel: match field(v, "outermost_parallel")? {
+            JsonValue::Null => None,
+            l => Some(
+                l.as_usize()
+                    .ok_or("outermost_parallel must be null or a non-negative integer")?,
+            ),
+        },
+        exact: field(v, "exact")?.as_bool().ok_or("exact must be a bool")?,
+    })
+}
+
+/// The mapping as a [`JsonValue`] tree.
+pub fn mapping_to_value(m: &NestMapping) -> JsonValue {
+    JsonValue::Object(vec![
+        ("format".to_owned(), JsonValue::Str(FORMAT.to_owned())),
+        ("version".to_owned(), JsonValue::Int(VERSION)),
+        (
+            "nest".to_owned(),
+            JsonValue::Int(m.space.nest().index() as i64),
+        ),
+        (
+            "unit_prefix".to_owned(),
+            JsonValue::Int(m.space.unit_prefix() as i64),
+        ),
+        (
+            "block_bytes".to_owned(),
+            JsonValue::Int(m.block_bytes as i64),
+        ),
+        ("n_groups".to_owned(), JsonValue::Int(m.n_groups as i64)),
+        (
+            "n_cores".to_owned(),
+            JsonValue::Int(m.schedule.n_cores() as i64),
+        ),
+        (
+            "rounds".to_owned(),
+            JsonValue::Array(
+                m.schedule
+                    .rounds()
+                    .iter()
+                    .map(|round| {
+                        JsonValue::Array(
+                            round
+                                .iter()
+                                .map(|groups| {
+                                    JsonValue::Array(groups.iter().map(group_value).collect())
+                                })
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        ("parallelism".to_owned(), parallelism_value(&m.parallelism)),
+    ])
+}
+
+/// Serializes the mapping as a compact self-describing JSON document.
+pub fn mapping_to_json(m: &NestMapping) -> String {
+    mapping_to_value(m).render()
+}
+
+/// Parses a mapping from a [`JsonValue`] tree, rebuilding the iteration
+/// space from `program`.
+///
+/// # Errors
+///
+/// A description of the first structural error: wrong format tag, a nest
+/// index `program` does not have, a unit prefix deeper than the nest, or
+/// ragged rounds.
+pub fn mapping_from_value(program: &Program, v: &JsonValue) -> Result<NestMapping, String> {
+    let format = field(v, "format")?.as_str().unwrap_or_default();
+    if format != FORMAT {
+        return Err(format!("not a mapping document (format `{format}`)"));
+    }
+    let version = field(v, "version")?.as_i64().unwrap_or(0);
+    if version != VERSION {
+        return Err(format!("unsupported mapping document version {version}"));
+    }
+    let nest_index = field(v, "nest")?
+        .as_usize()
+        .ok_or("nest must be a non-negative integer")?;
+    let (nest_id, nest) = program
+        .nests()
+        .find(|(id, _)| id.index() == nest_index)
+        .ok_or_else(|| format!("program has no nest {nest_index}"))?;
+    let unit_prefix = field(v, "unit_prefix")?
+        .as_usize()
+        .ok_or("unit_prefix must be a non-negative integer")?;
+    if unit_prefix > nest.depth() {
+        return Err(format!(
+            "unit_prefix {unit_prefix} exceeds nest depth {}",
+            nest.depth()
+        ));
+    }
+    let n_cores = field(v, "n_cores")?
+        .as_usize()
+        .ok_or("n_cores must be a non-negative integer")?;
+    let rounds = field(v, "rounds")?
+        .as_array()
+        .ok_or("rounds must be an array")?
+        .iter()
+        .map(|round| {
+            round
+                .as_array()
+                .ok_or("round must be an array of per-core group lists")?
+                .iter()
+                .map(|groups| {
+                    groups
+                        .as_array()
+                        .ok_or("core groups must be an array")?
+                        .iter()
+                        .map(group_from_value)
+                        .collect::<Result<Vec<_>, String>>()
+                })
+                .collect::<Result<Vec<_>, String>>()
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    let schedule = Schedule::from_rounds(rounds, n_cores).map_err(|e| e.to_string())?;
+    Ok(NestMapping {
+        schedule,
+        space: IterationSpace::build_units(program, nest_id, unit_prefix),
+        block_bytes: field(v, "block_bytes")?
+            .as_u64()
+            .ok_or("block_bytes must be a non-negative integer")?,
+        n_groups: field(v, "n_groups")?
+            .as_usize()
+            .ok_or("n_groups must be a non-negative integer")?,
+        parallelism: parallelism_from_value(field(v, "parallelism")?)?,
+    })
+}
+
+/// Parses a mapping from its JSON encoding.
+///
+/// # Errors
+///
+/// Same as [`mapping_from_value`], plus JSON syntax errors.
+pub fn mapping_from_json(program: &Program, input: &str) -> Result<NestMapping, String> {
+    mapping_from_value(program, &json::parse(input)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{map_nest, CtamParams, Strategy};
+    use ctam_loopir::{ArrayRef, LoopNest};
+    use ctam_poly::{AffineExpr, AffineMap, IntegerSet};
+    use ctam_topology::catalog;
+
+    fn wave(n: u64) -> Program {
+        let mut p = Program::new("wave");
+        let a = p.add_array("A", &[n, n], 8);
+        let d = IntegerSet::builder(2)
+            .bounds(0, 1, n as i64 - 1)
+            .bounds(1, 0, n as i64 - 1)
+            .build();
+        let up = AffineMap::new(
+            2,
+            vec![
+                AffineExpr::var(2, 0) - AffineExpr::constant(2, 1),
+                AffineExpr::var(2, 1),
+            ],
+        );
+        p.add_nest(
+            LoopNest::new("rows", d)
+                .with_ref(ArrayRef::write(a, AffineMap::identity(2)))
+                .with_ref(ArrayRef::read(a, up)),
+        );
+        p
+    }
+
+    #[test]
+    fn pipeline_mappings_roundtrip() {
+        let p = wave(16);
+        let m = catalog::harpertown();
+        let nest = p.nests().next().unwrap().0;
+        for s in [Strategy::Base, Strategy::TopologyAware, Strategy::Combined] {
+            let mapping = map_nest(&p, nest, &m, s, &CtamParams::default()).unwrap();
+            let json = mapping_to_json(&mapping);
+            let back = mapping_from_json(&p, &json).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(back, mapping, "{s}");
+            assert_eq!(mapping_to_json(&back), json, "{s}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let p = wave(8);
+        assert!(mapping_from_json(&p, "{\"format\":\"other\"}").is_err());
+        assert!(mapping_from_json(&p, "no").is_err());
+        // A mapping for a nest the program does not have.
+        let mapping = map_nest(
+            &p,
+            p.nests().next().unwrap().0,
+            &catalog::harpertown(),
+            Strategy::Base,
+            &CtamParams::default(),
+        )
+        .unwrap();
+        let json = mapping_to_json(&mapping).replace("\"nest\":0", "\"nest\":7");
+        assert!(mapping_from_json(&p, &json).is_err());
+    }
+}

@@ -61,6 +61,7 @@
 pub mod baselines;
 pub mod blocks;
 pub mod cluster;
+pub mod codec;
 pub mod coschedule;
 pub mod depgraph;
 pub mod emit;
@@ -77,6 +78,7 @@ pub mod verify;
 
 pub use blocks::BlockMap;
 pub use cluster::{distribute, distribute_with_build, AffinityBuild, Assignment};
+pub use codec::{mapping_from_json, mapping_to_json};
 pub use depgraph::{condense, GroupDepGraph};
 pub use emit::emit_core_code;
 pub use graph::AffinityGraph;

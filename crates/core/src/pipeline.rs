@@ -57,6 +57,17 @@ pub struct CtamParams {
     /// taints every mapping computed for it. Off by default; has no effect
     /// unless `verify` is set.
     pub lint_topology: bool,
+    /// Emit a proof-carrying certificate ([`ctam_cert::Certificate`]) for
+    /// every mapping the pipeline produces, round-trip it through its JSON
+    /// codec, and re-validate it with the independent checker
+    /// ([`ctam_cert::check_certificate`]) — a second, analyzer-free opinion
+    /// on the verdict. A rejection aborts the run with
+    /// [`PipelineError::CertificationFailed`]. Independent of `verify` (the
+    /// checker does not need the verifier's diagnostics), but the two
+    /// compose: `verify` + `certify` means every accepted mapping passed
+    /// both the full-strength verifier and the minimal-TCB checker. Off by
+    /// default — certification re-enumerates the nest's iteration domain.
+    pub certify: bool,
 }
 
 impl Default for CtamParams {
@@ -69,6 +80,7 @@ impl Default for CtamParams {
             verify: false,
             advise: false,
             lint_topology: false,
+            certify: false,
         }
     }
 }
@@ -92,6 +104,16 @@ pub enum PipelineError {
         nest: usize,
         /// The verifier's findings, errors first.
         diagnostics: Vec<Diagnostic>,
+    },
+    /// The independent certificate checker rejected a produced mapping's
+    /// certificate (only with [`CtamParams::certify`] set). Either the
+    /// mapping is wrong or the certificate emitter is — both are pipeline
+    /// bugs the checker exists to catch.
+    CertificationFailed {
+        /// Index of the offending nest.
+        nest: usize,
+        /// The checker's coded rejection.
+        rejection: ctam_cert::Rejection,
     },
 }
 
@@ -119,6 +141,9 @@ impl fmt::Display for PipelineError {
                 }
                 Ok(())
             }
+            PipelineError::CertificationFailed { nest, rejection } => {
+                write!(f, "certificate check failed for nest {nest}: {rejection}")
+            }
         }
     }
 }
@@ -130,6 +155,7 @@ impl Error for PipelineError {
             PipelineError::Sim(e) => Some(e),
             PipelineError::Schedule(e) => Some(e),
             PipelineError::VerificationFailed { .. } => None,
+            PipelineError::CertificationFailed { rejection, .. } => Some(rejection),
         }
     }
 }
@@ -197,7 +223,7 @@ impl fmt::Display for StageTimings {
 
 /// The mapping of one nest: its schedule plus the artifacts the harness
 /// reports on.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NestMapping {
     /// The barrier-structured schedule.
     pub schedule: Schedule,
@@ -244,6 +270,9 @@ pub fn map_nest(
     if params.verify {
         verify_or_fail(program, machine, &mapping, params)?;
     }
+    if params.certify {
+        certify_or_fail(program, machine, &mapping)?;
+    }
     Ok(mapping)
 }
 
@@ -271,6 +300,28 @@ fn verify_or_fail(
             diagnostics,
         })
     }
+}
+
+/// Emits the mapping's certificate, round-trips it through the JSON codec
+/// (so the checked object is exactly what an external consumer would parse),
+/// and runs the independent checker over it.
+fn certify_or_fail(
+    program: &Program,
+    machine: &Machine,
+    mapping: &NestMapping,
+) -> Result<(), PipelineError> {
+    let nest = mapping.space.nest().index();
+    let fail = |rejection| PipelineError::CertificationFailed { nest, rejection };
+    let cert = verify::certificate_for(program, machine, mapping);
+    let parsed = ctam_cert::Certificate::from_json(&cert.to_json()).map_err(|e| {
+        fail(ctam_cert::Rejection {
+            code: ctam_cert::RejectCode::Malformed,
+            detail: format!("emitted certificate does not round-trip: {e}"),
+        })
+    })?;
+    ctam_cert::check_certificate(&parsed)
+        .map(|_| ())
+        .map_err(fail)
 }
 
 /// Appends the memory accesses of `mapping` to `trace`: per round, each
@@ -430,6 +481,10 @@ pub fn evaluate_ported(
             // The fold is a schedule step of its own: re-verify against the
             // machine the folded schedule actually runs on.
             verify_or_fail(program, run_on, &mapping, params)?;
+        }
+        if params.certify {
+            // Likewise: certify the folded schedule against the host.
+            certify_or_fail(program, run_on, &mapping)?;
         }
         timings.mapping += t0.elapsed();
         let t0 = Instant::now();
@@ -617,6 +672,46 @@ mod tests {
         assert_eq!(native_rounds, ported_rounds, "folding must keep rounds");
         assert_eq!(ported.mappings[0].schedule.n_cores(), 8);
         assert_eq!(ported.report.n_accesses(), (n - 1) * n * 2);
+    }
+
+    #[test]
+    fn certified_pipeline_accepts_its_own_mappings() {
+        let p = stencil(16);
+        let m = catalog::harpertown();
+        let params = CtamParams {
+            verify: true,
+            certify: true,
+            ..CtamParams::default()
+        };
+        for s in [Strategy::Base, Strategy::TopologyAware, Strategy::Combined] {
+            evaluate(&p, &m, s, &params).unwrap_or_else(|e| panic!("{s}: {e}"));
+        }
+        // Certification also covers the folded schedule of a ported run.
+        let dun = catalog::dunnington();
+        evaluate_ported(&p, &dun, &m, Strategy::Combined, &params).unwrap();
+    }
+
+    #[test]
+    fn certificates_mirror_the_verifier_verdict() {
+        let p = stencil(12);
+        let m = catalog::harpertown();
+        let mapping = map_nest(
+            &p,
+            p.nests().next().unwrap().0,
+            &m,
+            Strategy::Combined,
+            &CtamParams::default(),
+        )
+        .unwrap();
+        let cert = verify::certificate_for(&p, &m, &mapping);
+        // The stencil is all-affine with uniform dependences: the verifier
+        // proves race freedom symbolically, and so must the certificate.
+        assert_eq!(cert.verdict, ctam_cert::Verdict::SymbolicProof);
+        let stats = ctam_cert::check_certificate(&cert).unwrap();
+        assert_eq!(stats.n_points, 11 * 11);
+        // And the JSON round-trip is the identity on the emitted object.
+        let parsed = ctam_cert::Certificate::from_json(&cert.to_json()).unwrap();
+        assert_eq!(parsed, cert);
     }
 
     #[test]

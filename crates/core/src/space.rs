@@ -37,6 +37,19 @@ pub struct IterationSpace {
     unit_prefix: usize,
 }
 
+/// Equality compares the defining fields (nest, unit prefix, points, unit
+/// partition); the access cache and point index are derived from them and
+/// the program, so comparing them again would be redundant. Two spaces are
+/// only meaningfully comparable when built from the same program.
+impl PartialEq for IterationSpace {
+    fn eq(&self, other: &Self) -> bool {
+        self.nest == other.nest
+            && self.unit_prefix == other.unit_prefix
+            && self.points == other.points
+            && self.units == other.units
+    }
+}
+
 impl IterationSpace {
     /// Enumerates `nest` of `program` and resolves every reference; every
     /// point is its own mapping unit.

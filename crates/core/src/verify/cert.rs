@@ -1,0 +1,165 @@
+//! Builds proof-carrying mapping certificates ([`ctam_cert::Certificate`]).
+//!
+//! The builder runs the same dependence analysis the verifier uses and
+//! flattens everything the independent checker needs — domain rows,
+//! subscript tables, the schedule as `(round, core, units)` triples, and
+//! per-pair evidence (candidate points, distance witnesses) — into plain
+//! data. The claimed verdict mirrors the verifier's race finding exactly:
+//! `symbolic-proof` / `index-fact-proof` when the symbolic proof would
+//! succeed for this placement, `enumerated` otherwise.
+
+use std::sync::Arc;
+
+use ctam_cert::{
+    CertArray, CertConstraint, CertExpr, CertFacts, CertGroup, CertPair, CertRef, CertSubscript,
+    CertTable, Certificate, Verdict,
+};
+use ctam_loopir::{dependence, AccessKind, IndexFacts, Program, Subscript};
+use ctam_poly::{AffineExpr, ConstraintKind};
+use ctam_topology::Machine;
+
+use super::{races, FlatSchedule};
+use crate::pipeline::NestMapping;
+
+fn cert_expr(e: &AffineExpr) -> CertExpr {
+    CertExpr {
+        coeffs: e.coeffs().to_vec(),
+        constant: e.constant_term(),
+    }
+}
+
+fn cert_facts(f: &IndexFacts) -> CertFacts {
+    CertFacts {
+        len: f.len(),
+        range: f.range(),
+        nondecreasing: f.nondecreasing(),
+        strictly_increasing: f.strictly_increasing(),
+        injective: f.injective(),
+        permutation: f.permutation(),
+        band: f.band(),
+    }
+}
+
+/// Emits the certificate for a finished mapping of one nest.
+///
+/// `machine` must be the machine the schedule actually runs on (for ported
+/// schedules, the *host*): its name and core count are recorded and the
+/// checker validates every placement against that core count.
+pub fn certificate_for(program: &Program, machine: &Machine, mapping: &NestMapping) -> Certificate {
+    let nest_id = mapping.space.nest();
+    let nest = program.nest(nest_id);
+    let space = &mapping.space;
+
+    let domain = nest
+        .domain()
+        .constraints()
+        .iter()
+        .map(|c| CertConstraint {
+            coeffs: c.expr().coeffs().to_vec(),
+            constant: c.expr().constant_term(),
+            eq: c.kind() == ConstraintKind::Eq,
+        })
+        .collect();
+
+    let arrays = program
+        .arrays()
+        .map(|(_, a)| CertArray {
+            name: a.name().to_owned(),
+            dims: a.dims().to_vec(),
+            elem_bytes: a.elem_bytes(),
+        })
+        .collect();
+
+    // Concrete index tables, deduplicated by identity so two references to
+    // the same table share one `tables` entry. The recorded facts are
+    // re-derived from the values (`IndexFacts::from_table`), never declared:
+    // the checker enforces band tightness by equality.
+    let mut table_arcs: Vec<Arc<[u64]>> = Vec::new();
+    let mut tables: Vec<CertTable> = Vec::new();
+    let mut table_index = |t: &Arc<[u64]>, tables: &mut Vec<CertTable>| -> usize {
+        if let Some(i) = table_arcs.iter().position(|a| Arc::ptr_eq(a, t)) {
+            return i;
+        }
+        table_arcs.push(Arc::clone(t));
+        tables.push(CertTable {
+            values: t.to_vec(),
+            facts: cert_facts(&IndexFacts::from_table(t)),
+        });
+        table_arcs.len() - 1
+    };
+
+    let refs = nest
+        .refs()
+        .iter()
+        .map(|r| CertRef {
+            array: r.array().index(),
+            write: r.kind() == AccessKind::Write,
+            subscript: match r.subscript() {
+                Subscript::Affine(m) => {
+                    CertSubscript::Affine(m.exprs().iter().map(cert_expr).collect())
+                }
+                Subscript::Indirect { selector, table } => CertSubscript::Indirect {
+                    selector: cert_expr(selector),
+                    table: table_index(table, &mut tables),
+                },
+            },
+        })
+        .collect();
+
+    let flat = FlatSchedule::new(&mapping.schedule);
+    let schedule = flat
+        .entries
+        .iter()
+        .map(|&(round, core, _, g)| CertGroup {
+            round,
+            core,
+            units: g.iterations().iter().map(|&u| u as usize).collect(),
+        })
+        .collect();
+
+    // Same analysis the verifier runs; the verdict mirrors its race finding.
+    let analysis = dependence::analyze_nest(program, nest_id);
+    let verdict =
+        if !analysis.enumeration_free() || !races::proof_succeeds(&analysis.info, space, &flat) {
+            Verdict::Enumerated
+        } else if analysis.pairs.iter().any(|p| p.method.uses_index_facts()) {
+            Verdict::IndexFactProof
+        } else {
+            Verdict::SymbolicProof
+        };
+
+    let pairs = analysis
+        .pairs
+        .iter()
+        .map(|p| CertPair {
+            ref_a: p.ref_a,
+            ref_b: p.ref_b,
+            method: p.method.name().to_owned(),
+            distances: p.distances.clone(),
+            candidates: p.candidates.clone(),
+            witnesses: p.witnesses.clone(),
+        })
+        .collect();
+
+    Certificate {
+        nest: nest_id.index(),
+        nest_name: nest.name().to_owned(),
+        machine: machine.name().to_owned(),
+        n_cores: machine.n_cores(),
+        block_bytes: mapping.block_bytes,
+        depth: nest.depth(),
+        unit_prefix: space.unit_prefix(),
+        domain,
+        arrays,
+        refs,
+        n_units: space.n_units(),
+        unit_sizes: (0..space.n_units())
+            .map(|u| space.unit_members(u).len())
+            .collect(),
+        schedule,
+        distances: analysis.info.distances().to_vec(),
+        pairs,
+        tables,
+        verdict,
+    }
+}

@@ -207,6 +207,40 @@ impl Code {
         }
     }
 
+    /// Every code, in the catalogue's declaration order.
+    pub const ALL: &'static [Code] = &[
+        Code::IterationUnmapped,
+        Code::IterationDoubleMapped,
+        Code::DependenceViolation,
+        Code::RaceOnBlock,
+        Code::BalanceThresholdExceeded,
+        Code::DegreeMismatch,
+        Code::TagMismatch,
+        Code::SubscriptOutOfBounds,
+        Code::NonAffineSubscript,
+        Code::CoupledSubscript,
+        Code::UnprovableIndirectPair,
+        Code::PredictedFalseSharing,
+        Code::AffinityLoss,
+        Code::ReuseStarvedSchedule,
+        Code::DeadTagBits,
+        Code::SymbolicRaceProof,
+        Code::RaceCheckEnumerated,
+        Code::IndexFactRaceProof,
+        Code::TopoCapacityInversion,
+        Code::TopoAsymmetricArity,
+        Code::TopoLineShrink,
+        Code::TopoImplausibleLatency,
+        Code::TopoLevelCoverageGap,
+        Code::TopoNonLaminarSharing,
+        Code::TopoDegenerateTree,
+    ];
+
+    /// Resolves a stable identifier (e.g. `"CTAM-E003"`) back to its code.
+    pub fn from_id(id: &str) -> Option<Code> {
+        Code::ALL.iter().copied().find(|c| c.id() == id)
+    }
+
     /// The severity every diagnostic with this code carries.
     pub fn severity(&self) -> Severity {
         match self {
@@ -394,6 +428,30 @@ impl fmt::Display for Diagnostic {
     }
 }
 
+/// The canonical diagnostic ordering: severity, then code id, then
+/// coordinates (nest, round, core, group), then message. Total — two
+/// diagnostics compare equal only if they are field-for-field identical —
+/// so any stable sort using it yields one deterministic order regardless of
+/// the emission (e.g. pair-iteration) order of the checks.
+pub fn diagnostic_order(a: &Diagnostic, b: &Diagnostic) -> std::cmp::Ordering {
+    let key = |d: &Diagnostic| {
+        (
+            d.severity(),
+            d.code().id(),
+            d.nest(),
+            d.round(),
+            d.core(),
+            d.group(),
+        )
+    };
+    key(a).cmp(&key(b)).then_with(|| a.message.cmp(&b.message))
+}
+
+/// Sorts a diagnostic list into the canonical [`diagnostic_order`].
+pub fn sort_diagnostics(diags: &mut [Diagnostic]) {
+    diags.sort_by(diagnostic_order);
+}
+
 /// Renders a diagnostic list as a JSON array.
 pub fn render_json(diags: &[Diagnostic]) -> String {
     let mut s = String::from("[");
@@ -411,19 +469,7 @@ fn push_json_str(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");
-    for c in value.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
+    ctam_cert::json::escape_into(value, out);
     out.push('"');
 }
 

@@ -38,6 +38,7 @@
 //! yields diagnostics, not aborts.
 
 pub mod advisor;
+pub mod cert;
 pub mod diag;
 pub mod toplint;
 
@@ -48,7 +49,8 @@ mod races;
 mod structure;
 
 pub use advisor::{advise_mapping, AdvisorOptions, AdvisorReport, LevelPrediction, ReuseScore};
-pub use diag::{render_json, Code, Diagnostic, Severity};
+pub use cert::certificate_for;
+pub use diag::{diagnostic_order, render_json, sort_diagnostics, Code, Diagnostic, Severity};
 pub use toplint::{lint_shared_cpu_maps, lint_topology};
 
 use ctam_loopir::Program;
@@ -238,16 +240,9 @@ pub fn verify_mapping_with(
         diags.extend(toplint::lint_topology(machine));
     }
 
-    // Errors first, then stable within a severity by code and coordinates.
-    diags.sort_by(|a, b| {
-        (a.severity(), a.code().id(), a.round(), a.core(), a.group()).cmp(&(
-            b.severity(),
-            b.code().id(),
-            b.round(),
-            b.core(),
-            b.group(),
-        ))
-    });
+    // Errors first, then the canonical total order within a severity — the
+    // result no longer depends on the emission order of any check.
+    diag::sort_diagnostics(&mut diags);
     diags
 }
 

@@ -87,6 +87,19 @@ enum Proof {
     Fallback(String),
 }
 
+/// True if the symbolic race proof succeeds for this placement — exposed so
+/// the certificate builder can mirror the verifier's verdict exactly.
+pub(crate) fn proof_succeeds(
+    dep: &DependenceInfo,
+    space: &IterationSpace,
+    flat: &FlatSchedule<'_>,
+) -> bool {
+    matches!(
+        symbolic_proof(dep, space, flat),
+        Proof::Proven { .. } | Proof::ProvenIrregular { .. }
+    )
+}
+
 fn symbolic_proof(dep: &DependenceInfo, space: &IterationSpace, flat: &FlatSchedule<'_>) -> Proof {
     if dep.distances().is_empty() {
         return Proof::Proven {

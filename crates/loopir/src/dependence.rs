@@ -202,6 +202,15 @@ pub struct PairSummary {
     /// Why this rung (e.g. the screen that fired, or the reason for the
     /// enumeration fallback).
     pub detail: String,
+    /// For projection-settled pairs: every lexicographically-normalized
+    /// non-zero candidate of the projected distance polyhedron (the set
+    /// `distances` was selected from). Empty for other rungs.
+    pub candidates: Vec<Vec<i64>>,
+    /// One `(distance, iteration)` realizability witness per distance, for
+    /// rungs that can produce one (uniform and projection-settled pairs):
+    /// the iteration and its shift by the distance both lie in the domain
+    /// and touch the same element.
+    pub witnesses: Vec<(Vec<i64>, Vec<i64>)>,
 }
 
 /// Full result of the hybrid dependence engine: the merged
@@ -395,9 +404,8 @@ fn domain_ge(dom: &IntegerSet) -> Vec<AffineExpr> {
     out
 }
 
-/// True if some iteration `I` has both `I` and `I + d` in the domain — i.e.
-/// the uniform distance `d` is actually realized.
-fn shift_realizable(dom: &IntegerSet, d: &[i64]) -> bool {
+/// The set of iterations `I` with both `I` and `I + d` in the domain.
+fn shift_set(dom: &IntegerSet, d: &[i64]) -> IntegerSet {
     let mut b = IntegerSet::builder(dom.dim());
     for e in domain_ge(dom) {
         let mut shifted = e.constant_term();
@@ -408,7 +416,13 @@ fn shift_realizable(dom: &IntegerSet, d: &[i64]) -> bool {
             .ge(AffineExpr::new(e.coeffs().to_vec(), shifted))
             .ge(e.clone());
     }
-    !b.build().is_empty()
+    b.build()
+}
+
+/// First iteration realizing the uniform distance `d` (both endpoints in
+/// the domain), or `None` when the shift is not realized.
+fn shift_witness(dom: &IntegerSet, d: &[i64]) -> Option<Vec<i64>> {
+    shift_set(dom, d).iter().next()
 }
 
 /// Range of an affine expression over a bounding box, corner-selected per
@@ -572,6 +586,8 @@ fn indirect_pair(
             method: PairMethod::IndexRange,
             distances: Vec::new(),
             detail: format!("element ranges [{alo}, {ahi}] and [{blo}, {bhi}] are disjoint"),
+            candidates: Vec::new(),
+            witnesses: Vec::new(),
         });
     }
 
@@ -611,6 +627,8 @@ fn indirect_pair(
                         method: PairMethod::IndexInjective,
                         distances: pd.distances,
                         detail,
+                        candidates: pd.candidates,
+                        witnesses: pd.witnesses,
                     });
                 }
                 Err(e) => why = format!("injective reduction failed: {e}"),
@@ -632,6 +650,8 @@ fn indirect_pair(
                     method: PairMethod::IndexBanded,
                     distances: Vec::new(),
                     detail: format!("band-widened conflict set (slack {slack}) admits no distance"),
+                    candidates: Vec::new(),
+                    witnesses: Vec::new(),
                 }),
                 Ok(cands) => Err(format!(
                     "{} band-widened candidate distance(s) need the concrete tables",
@@ -715,24 +735,31 @@ fn analyze_pairs(
                         method: PairMethod::Uniform,
                         distances: Vec::new(),
                         detail: "uniform references with mismatched constant rows".to_owned(),
+                        candidates: Vec::new(),
+                        witnesses: Vec::new(),
                     });
                     continue;
                 }
                 Uniform::Delta(d) => {
-                    let distances = lex_positive(d)
-                        .filter(|d| {
-                            // The constant distance must be realized by some
-                            // iteration pair of the concrete domain.
-                            shift_realizable(dom, d)
-                        })
-                        .map(|d| vec![d])
-                        .unwrap_or_default();
+                    let mut distances = Vec::new();
+                    let mut witnesses = Vec::new();
+                    if let Some(d) = lex_positive(d) {
+                        // The constant distance must be realized by some
+                        // iteration pair of the concrete domain; the first
+                        // realizing iteration doubles as the witness.
+                        if let Some(w) = shift_witness(dom, &d) {
+                            witnesses.push((d.clone(), w));
+                            distances.push(d);
+                        }
+                    }
                     pairs.push(PairSummary {
                         ref_a: i,
                         ref_b: j,
                         method: PairMethod::Uniform,
+                        candidates: distances.clone(),
                         distances,
                         detail: "uniformly generated references".to_owned(),
+                        witnesses,
                     });
                     continue;
                 }
@@ -750,6 +777,8 @@ fn analyze_pairs(
                         method,
                         distances: pd.distances,
                         detail,
+                        candidates: pd.candidates,
+                        witnesses: pd.witnesses,
                     });
                 }
                 Err(e) => pending.push((i, j, e.to_string())),
@@ -847,6 +876,8 @@ fn enumerate_pairs(
             method: PairMethod::Enumerated,
             distances,
             detail: format!("enumerated: {why}"),
+            candidates: Vec::new(),
+            witnesses: Vec::new(),
         });
     }
 }

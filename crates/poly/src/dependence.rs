@@ -108,6 +108,27 @@ pub struct PairDependence {
     /// Set when a screen proved independence before any projection ran
     /// (`distances` is then empty).
     pub screened: Option<Independence>,
+    /// Every lexicographically-normalized non-zero integer point of the
+    /// projected distance polyhedron — the candidate set `distances` was
+    /// selected from. Checkers re-refute the unrealized ones.
+    pub candidates: Vec<Vec<i64>>,
+    /// One `(distance, iteration)` witness per realized distance: the
+    /// iteration `I` satisfies `a(I) = b(I + distance)` (or the reverse
+    /// orientation, which checkers try symmetrically).
+    pub witnesses: Vec<(Vec<i64>, Vec<i64>)>,
+}
+
+impl PairDependence {
+    /// A result with empty evidence (used for screened and trivially
+    /// conflict-free pairs).
+    fn bare(distances: Vec<Vec<i64>>, screened: Option<Independence>) -> Self {
+        Self {
+            distances,
+            screened,
+            candidates: Vec::new(),
+            witnesses: Vec::new(),
+        }
+    }
 }
 
 fn gcd(a: i64, b: i64) -> i64 {
@@ -276,25 +297,16 @@ pub fn pair_distances(
     opts: &DependenceOptions,
 ) -> Result<PairDependence, DependenceError> {
     if let Some(why) = screen_pair(domain, a, b) {
-        return Ok(PairDependence {
-            distances: Vec::new(),
-            screened: Some(why),
-        });
+        return Ok(PairDependence::bare(Vec::new(), Some(why)));
     }
     let d = domain.dim();
     if d == 0 {
-        return Ok(PairDependence {
-            distances: Vec::new(),
-            screened: None,
-        });
+        return Ok(PairDependence::bare(Vec::new(), None));
     }
     if domain.bounding_box().is_none() {
         // Either rationally empty (no conflicts) or unbounded (unsupported).
         return if domain.is_empty() {
-            Ok(PairDependence {
-                distances: Vec::new(),
-                screened: None,
-            })
+            Ok(PairDependence::bare(Vec::new(), None))
         } else {
             Err(DependenceError::Unbounded)
         };
@@ -325,10 +337,7 @@ pub fn pair_distances(
 
     let Some(bbox) = dset.bounding_box() else {
         // Rationally empty (a bounded domain always bounds D).
-        return Ok(PairDependence {
-            distances: Vec::new(),
-            screened: None,
-        });
+        return Ok(PairDependence::bare(Vec::new(), None));
     };
     let volume: u128 = bbox
         .iter()
@@ -347,6 +356,9 @@ pub fn pair_distances(
     }
 
     let mut out: BTreeSet<Vec<i64>> = BTreeSet::new();
+    let mut cands: BTreeSet<Vec<i64>> = BTreeSet::new();
+    let mut wits: std::collections::BTreeMap<Vec<i64>, Vec<i64>> =
+        std::collections::BTreeMap::new();
     for (count, cand) in dset.iter().enumerate() {
         if count >= opts.max_candidates {
             return Err(DependenceError::TooManyCandidates {
@@ -356,17 +368,35 @@ pub fn pair_distances(
         if cand.iter().all(|&x| x == 0) {
             continue;
         }
+        let Some(norm) = lex_normalize(cand.clone()) else {
+            continue;
+        };
+        cands.insert(norm.clone());
+        if out.contains(&norm) {
+            // The mirror candidate already proved this distance realized.
+            continue;
+        }
         // FM candidates are rational-shadow points; keep only distances
-        // realized by an integer iteration pair.
-        if !slice_for_candidate(&dom_ge, a, b, &cand, d).is_empty() {
-            if let Some(norm) = lex_normalize(cand) {
-                out.insert(norm);
-            }
+        // realized by an integer iteration pair — and remember the first
+        // realizing iteration as a checkable witness, stored in the
+        // normalized orientation (I + cand when cand was flipped, so the
+        // witness always satisfies one of b(W + D) = a(W) / a(W + D) = b(W)).
+        let slice = slice_for_candidate(&dom_ge, a, b, &cand, d);
+        if let Some(point) = slice.iter().next() {
+            let start = if cand == norm {
+                point
+            } else {
+                point.iter().zip(&cand).map(|(&x, &dx)| x + dx).collect()
+            };
+            wits.entry(norm.clone()).or_insert(start);
+            out.insert(norm);
         }
     }
     Ok(PairDependence {
         distances: out.into_iter().collect(),
         screened: None,
+        candidates: cands.into_iter().collect(),
+        witnesses: wits.into_iter().collect(),
     })
 }
 

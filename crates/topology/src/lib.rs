@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod codec;
 pub mod ingest;
 pub mod lint;
 mod machine;

@@ -18,12 +18,14 @@
 //! | `CTAM-W201` | `SubscriptOutOfBounds` | warning | affine subscripts stay inside declared array extents |
 //! | `CTAM-W202` | `NonAffineSubscript` | warning | subscripts are affine (exact dependence model) |
 //! | `CTAM-W203` | `CoupledSubscript` | warning | subscript rows use one loop variable each (cheap per-row screens apply) |
+//! | `CTAM-W204` | `UnprovableIndirectPair` | warning | an indirect pair resisted every index-fact screen; its race verdict holds for the concrete tables only |
 //! | `CTAM-A401` | `PredictedFalseSharing` | advice | no two cores write blocks sharing a cache line in one round |
 //! | `CTAM-A402` | `AffinityLoss` | advice | the distribution keeps the strongest-sharing group pairs under one cache |
 //! | `CTAM-A403` | `ReuseStarvedSchedule` | advice | the schedule achieves a healthy fraction of the Figure 7 reuse bound |
 //! | `CTAM-A404` | `DeadTagBits` | advice | every tag bit (data block) is claimed by some group |
 //! | `CTAM-N301` | `SymbolicRaceProof` | note | race freedom was proved from dependence relations, without enumeration |
 //! | `CTAM-N302` | `RaceCheckEnumerated` | note | the race check fell back to element-access enumeration |
+//! | `CTAM-N303` | `IndexFactRaceProof` | note | race freedom was proved symbolically with index-array facts carrying the dependence summary |
 //! | `CTAM-T501` | `TopoCapacityInversion` | error | cache capacities grow outward (inclusion can hold) |
 //! | `CTAM-T502` | `TopoAsymmetricArity` | warning | same-level siblings fan out alike; no cache/core child mixing |
 //! | `CTAM-T503` | `TopoLineShrink` | warning | line sizes do not shrink outward |
@@ -31,6 +33,28 @@
 //! | `CTAM-T505` | `TopoLevelCoverageGap` | warning | every core's lookup path visits every level |
 //! | `CTAM-T506` | `TopoNonLaminarSharing` | error | `shared_cpu_map` domains nest or are disjoint |
 //! | `CTAM-T507` | `TopoDegenerateTree` | warning | the hierarchy has ≥2 cores, caches, and a shared level |
+//!
+//! A separate `CTAM-C6xx` band belongs to the **independent certificate
+//! checker** ([`ctam_cert::check_certificate`]): when
+//! [`ctam::CtamParams::certify`] is set, the pipeline emits a
+//! proof-carrying [`ctam_cert::Certificate`] for every mapping
+//! ([`certificate_for`]) and the checker — a leaf crate that shares no code
+//! with the analyzer — re-validates every obligation from the certificate's
+//! plain data alone. Its rejections are [`ctam_cert::Rejection`] values,
+//! not [`Diagnostic`]s, because they judge the certificate (and hence the
+//! toolchain), not the schedule:
+//!
+//! | code | name | rejected obligation |
+//! |------|------|---------------------|
+//! | `CTAM-C601` | `Malformed` | shape errors: wrong arity, unbounded or oversized domain, dangling indices |
+//! | `CTAM-C602` | `Coverage` | the claimed units do not partition the re-enumerated domain, or a unit is dropped/duplicated |
+//! | `CTAM-C603` | `Placement` | a dependence or conflicting element pair crosses cores within a round |
+//! | `CTAM-C604` | `Witness` | a claimed distance has no valid realizability witness |
+//! | `CTAM-C605` | `Recheck` | re-derived conflict distances disagree with the claimed set |
+//! | `CTAM-C606` | `IndexFacts` | claimed index-table facts do not hold for the table values (bands must be tight) |
+//! | `CTAM-C607` | `PairCoverage` | the per-pair dispositions miss a same-array pair with a write, or the merged distance set is wrong |
+//! | `CTAM-C608` | `Structure` | schedule/machine structure mismatch: out-of-range cores or units, subscripts leaving declared extents |
+//! | `CTAM-C609` | `VerdictMismatch` | the claimed verdict is not the one the evidence supports |
 //!
 //! The `CTAM-A4xx` band comes from the **advisor** ([`advise_mapping`]): a
 //! static locality & interference analyzer that predicts per-cache-level
@@ -80,8 +104,9 @@
 pub mod report;
 
 pub use ctam::verify::{
-    advise_mapping, is_clean, lint_shared_cpu_maps, lint_topology, render_json, verify_mapping,
-    verify_mapping_with, AdvisorOptions, AdvisorReport, Code, Diagnostic, LevelPrediction,
-    ReuseScore, Severity, VerifyOptions,
+    advise_mapping, certificate_for, diagnostic_order, is_clean, lint_shared_cpu_maps,
+    lint_topology, render_json, sort_diagnostics, verify_mapping, verify_mapping_with,
+    AdvisorOptions, AdvisorReport, Code, Diagnostic, LevelPrediction, ReuseScore, Severity,
+    VerifyOptions,
 };
 pub use report::{verify_evaluation, NestReport, VerificationReport};

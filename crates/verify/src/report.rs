@@ -8,12 +8,13 @@
 use std::fmt;
 
 use ctam::pipeline::EvalResult;
-use ctam::verify::{self, Diagnostic, Severity, VerifyOptions};
+use ctam::verify::{self, Code, Diagnostic, Severity, VerifyOptions};
+use ctam_cert::json::{self, field, JsonValue};
 use ctam_loopir::Program;
 use ctam_topology::Machine;
 
 /// The verifier's findings for one nest of a program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NestReport {
     /// Index of the nest within the program.
     pub nest: usize,
@@ -29,7 +30,7 @@ impl NestReport {
 }
 
 /// Aggregated verification findings for every nest of an evaluated program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VerificationReport {
     /// Per-nest findings, in nest order.
     pub nests: Vec<NestReport>,
@@ -89,6 +90,80 @@ impl VerificationReport {
         out.push(']');
         out
     }
+
+    /// Parses a report back from its [`Self::to_json`] encoding —
+    /// `VerificationReport::from_json(&r.to_json()) == Ok(r)` for every
+    /// report. The redundant `name`/`severity` fields of each diagnostic
+    /// are ignored on input (they are derived from the code).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first syntax or shape error, including unknown
+    /// diagnostic codes.
+    pub fn from_json(input: &str) -> Result<VerificationReport, String> {
+        let v = json::parse(input)?;
+        let nests = v
+            .as_array()
+            .ok_or("report must be an array of per-nest objects")?
+            .iter()
+            .map(|n| {
+                let diagnostics = field(n, "diagnostics")?
+                    .as_array()
+                    .ok_or("diagnostics must be an array")?
+                    .iter()
+                    .map(diagnostic_from_value)
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(NestReport {
+                    nest: field(n, "nest")?
+                        .as_usize()
+                        .ok_or("nest must be a non-negative integer")?,
+                    diagnostics,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(VerificationReport { nests })
+    }
+
+    /// Restores the canonical diagnostic order (severity, code, then
+    /// location — [`verify::diagnostic_order`]) in every nest. Reports from
+    /// [`verify_evaluation`] are already canonical; use this after merging
+    /// or hand-assembling reports so rendering is deterministic.
+    pub fn sort(&mut self) {
+        for n in &mut self.nests {
+            verify::sort_diagnostics(&mut n.diagnostics);
+        }
+    }
+}
+
+fn diagnostic_from_value(v: &JsonValue) -> Result<Diagnostic, String> {
+    let id = field(v, "code")?.as_str().ok_or("code must be a string")?;
+    let code = Code::from_id(id).ok_or_else(|| format!("unknown diagnostic code `{id}`"))?;
+    let message = field(v, "message")?
+        .as_str()
+        .ok_or("message must be a string")?;
+    let mut d = Diagnostic::new(code, message);
+    let coord = |key: &str| -> Result<Option<usize>, String> {
+        match v.get(key) {
+            None => Ok(None),
+            Some(x) => x
+                .as_usize()
+                .map(Some)
+                .ok_or_else(|| format!("{key} must be a non-negative integer")),
+        }
+    };
+    if let Some(nest) = coord("nest")? {
+        d = d.with_nest(nest);
+    }
+    if let Some(group) = coord("group")? {
+        d = d.with_group(group);
+    }
+    if let Some(round) = coord("round")? {
+        d = d.with_round(round);
+    }
+    if let Some(core) = coord("core")? {
+        d = d.with_core(core);
+    }
+    Ok(d)
 }
 
 impl fmt::Display for VerificationReport {
@@ -171,6 +246,70 @@ mod tests {
         assert_eq!(report.nests.len(), 2);
         assert!(report.is_clean(), "{report}");
         assert!(report.to_json().starts_with("[{\"nest\":0,"));
+    }
+
+    #[test]
+    fn report_json_roundtrips() {
+        let mut p = Program::new("one-nest");
+        let a = p.add_array("A", &[256], 8);
+        let d = IntegerSet::builder(1).bounds(0, 0, 255).build();
+        p.add_nest(LoopNest::new("touch", d).with_ref(ArrayRef::read(a, AffineMap::identity(1))));
+        let m = catalog::dunnington();
+        let r = evaluate(&p, &m, Strategy::Base, &CtamParams::default()).unwrap();
+        // Verify against a foreign machine so the report carries findings.
+        let report = verify_evaluation(&p, &catalog::harpertown(), &r);
+        let json = report.to_json();
+        let back = VerificationReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(back.to_json(), json);
+        assert!(VerificationReport::from_json("{}").is_err());
+        assert!(VerificationReport::from_json(
+            "[{\"nest\":0,\"diagnostics\":[{\"code\":\"CTAM-X999\",\"message\":\"m\"}]}]"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shuffled_diagnostics_sort_canonically() {
+        use ctam::verify::Code;
+        // Deliberately out of order: advice before error, high code before
+        // low, later round before earlier.
+        let shuffled = vec![
+            Diagnostic::new(Code::DeadTagBits, "advice last").with_nest(0),
+            Diagnostic::new(Code::RaceOnBlock, "race b")
+                .with_nest(0)
+                .with_round(2),
+            Diagnostic::new(Code::RaceOnBlock, "race a")
+                .with_nest(0)
+                .with_round(1),
+            Diagnostic::new(Code::IterationUnmapped, "coverage first").with_nest(0),
+        ];
+        let mut report = VerificationReport {
+            nests: vec![NestReport {
+                nest: 0,
+                diagnostics: shuffled,
+            }],
+        };
+        report.sort();
+        let codes: Vec<_> = report.nests[0]
+            .diagnostics
+            .iter()
+            .map(|d| (d.code().id(), d.round()))
+            .collect();
+        assert_eq!(
+            codes,
+            vec![
+                ("CTAM-E001", None),
+                ("CTAM-E004", Some(1)),
+                ("CTAM-E004", Some(2)),
+                ("CTAM-A404", None),
+            ]
+        );
+        // Sorting is idempotent and survives a JSON round-trip.
+        let again = VerificationReport::from_json(&report.to_json()).unwrap();
+        let mut resorted = again.clone();
+        resorted.sort();
+        assert_eq!(resorted, again);
     }
 
     #[test]
